@@ -1,0 +1,19 @@
+//! Benchmark chiplet systems used in the paper's evaluation.
+//!
+//! Three "open-source" benchmark systems (Table I) plus a synthetic system
+//! generator used for the 2,000-sample thermal-model evaluation (Table II)
+//! and the five synthetic cases of Table III.
+//!
+//! The exact netlists of the published benchmarks are not distributed with
+//! the paper, so the systems here are reconstructed from the public sources
+//! the paper cites (TAP-2.5D for the multi-GPU system, Kannan et al. for the
+//! disaggregated CPU-DRAM system and press material for the Ascend 910
+//! package): die footprints, power budgets and connection structure follow
+//! those descriptions, which preserves the relative behaviour the paper's
+//! comparisons rest on. See DESIGN.md for the substitution notes.
+
+pub mod standard;
+pub mod synthetic;
+
+pub use standard::{ascend910_system, cpu_dram_system, multi_gpu_system, standard_benchmarks};
+pub use synthetic::{synthetic_case, synthetic_cases, SyntheticSystemGenerator, SyntheticConfig};

@@ -1,0 +1,186 @@
+//! The three reconstructed benchmark systems of Table I.
+
+use rlp_chiplet::{Chiplet, ChipletSystem, Net};
+
+/// Multi-GPU system, after the MCM-GPU style benchmark used by TAP-2.5D:
+/// four GPU chiplets, each paired with an HBM stack, with GPU-to-GPU links.
+///
+/// # Examples
+///
+/// ```
+/// let sys = rlp_benchmarks::multi_gpu_system();
+/// assert_eq!(sys.chiplet_count(), 8);
+/// assert!(sys.total_power() > 300.0);
+/// ```
+pub fn multi_gpu_system() -> ChipletSystem {
+    let mut sys = ChipletSystem::new("multi-gpu", 55.0, 55.0);
+    let gpus: Vec<_> = (0..4)
+        .map(|i| sys.add_chiplet(Chiplet::new(format!("gpu{i}"), 14.0, 16.0, 70.0)))
+        .collect();
+    let hbms: Vec<_> = (0..4)
+        .map(|i| sys.add_chiplet(Chiplet::new(format!("hbm{i}"), 8.0, 12.0, 15.0)))
+        .collect();
+    // Each GPU talks to its own HBM stack over a wide interface.
+    for (gpu, hbm) in gpus.iter().zip(hbms.iter()) {
+        sys.add_net(Net::new(*gpu, *hbm, 512));
+    }
+    // GPU-to-GPU links (all pairs), narrower.
+    for i in 0..gpus.len() {
+        for j in (i + 1)..gpus.len() {
+            sys.add_net(Net::new(gpus[i], gpus[j], 128));
+        }
+    }
+    sys
+}
+
+/// Disaggregated CPU-DRAM system, after Kannan et al.: eight core chiplets,
+/// two shared cache chiplets and four DRAM stacks.
+///
+/// # Examples
+///
+/// ```
+/// let sys = rlp_benchmarks::cpu_dram_system();
+/// assert_eq!(sys.chiplet_count(), 14);
+/// ```
+pub fn cpu_dram_system() -> ChipletSystem {
+    let mut sys = ChipletSystem::new("cpu-dram", 55.0, 55.0);
+    let cores: Vec<_> = (0..8)
+        .map(|i| sys.add_chiplet(Chiplet::new(format!("core{i}"), 9.0, 9.0, 22.0)))
+        .collect();
+    let caches: Vec<_> = (0..2)
+        .map(|i| sys.add_chiplet(Chiplet::new(format!("llc{i}"), 10.0, 12.0, 15.0)))
+        .collect();
+    let drams: Vec<_> = (0..4)
+        .map(|i| sys.add_chiplet(Chiplet::new(format!("dram{i}"), 8.0, 12.0, 5.0)))
+        .collect();
+    // Every core connects to both last-level-cache slices.
+    for core in &cores {
+        for cache in &caches {
+            sys.add_net(Net::new(*core, *cache, 64));
+        }
+    }
+    // Each cache slice owns two DRAM channels.
+    for (i, cache) in caches.iter().enumerate() {
+        sys.add_net(Net::new(*cache, drams[2 * i], 128));
+        sys.add_net(Net::new(*cache, drams[2 * i + 1], 128));
+    }
+    sys
+}
+
+/// Ascend 910 style AI training package: one large compute die, four HBM
+/// stacks, an I/O die and two low-power dummy/spacer dies.
+///
+/// # Examples
+///
+/// ```
+/// let sys = rlp_benchmarks::ascend910_system();
+/// assert_eq!(sys.chiplet_count(), 8);
+/// ```
+pub fn ascend910_system() -> ChipletSystem {
+    let mut sys = ChipletSystem::new("ascend910", 65.0, 50.0);
+    let compute = sys.add_chiplet(Chiplet::new("davinci", 26.0, 18.0, 260.0));
+    let io = sys.add_chiplet(Chiplet::new("nimbus-io", 12.0, 10.0, 15.0));
+    let hbms: Vec<_> = (0..4)
+        .map(|i| sys.add_chiplet(Chiplet::new(format!("hbm{i}"), 8.0, 12.0, 8.0)))
+        .collect();
+    // Two thermally inert spacer dies present in the real package.
+    sys.add_chiplet(Chiplet::new("dummy0", 12.0, 10.0, 0.0));
+    sys.add_chiplet(Chiplet::new("dummy1", 12.0, 10.0, 0.0));
+    for hbm in &hbms {
+        sys.add_net(Net::new(compute, *hbm, 512));
+    }
+    sys.add_net(Net::new(compute, io, 256));
+    sys
+}
+
+/// All three standard benchmark systems, in the order of the paper's Table I.
+pub fn standard_benchmarks() -> Vec<ChipletSystem> {
+    vec![multi_gpu_system(), cpu_dram_system(), ascend910_system()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlp_chiplet::{Placement, PlacementGrid, Rotation};
+
+    #[test]
+    fn benchmark_inventory_matches_expectations() {
+        let multi_gpu = multi_gpu_system();
+        assert_eq!(multi_gpu.chiplet_count(), 8);
+        assert_eq!(multi_gpu.net_count(), 4 + 6);
+        assert!((multi_gpu.total_power() - 340.0).abs() < 1e-9);
+
+        let cpu_dram = cpu_dram_system();
+        assert_eq!(cpu_dram.chiplet_count(), 14);
+        assert_eq!(cpu_dram.net_count(), 16 + 4);
+        assert!((cpu_dram.total_power() - 226.0).abs() < 1e-9);
+
+        let ascend = ascend910_system();
+        assert_eq!(ascend.chiplet_count(), 8);
+        assert_eq!(ascend.net_count(), 5);
+        assert!((ascend.total_power() - 307.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_leaves_room_for_floorplanning() {
+        for sys in standard_benchmarks() {
+            let util = sys.utilization();
+            assert!(
+                util > 0.2 && util < 0.6,
+                "{}: utilization {util} outside the plannable range",
+                sys.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_benchmark_admits_a_legal_grid_placement() {
+        // Greedy first-fit over a 16x16 grid must succeed for each benchmark;
+        // this is the same grid the RL environment and the SA baseline use.
+        for sys in standard_benchmarks() {
+            let grid = PlacementGrid::new(16, 16);
+            let mut placement = Placement::for_system(&sys);
+            let mut ids: Vec<_> = sys.chiplet_ids().collect();
+            ids.sort_by(|&a, &b| {
+                sys.chiplet(b)
+                    .area()
+                    .partial_cmp(&sys.chiplet(a).area())
+                    .unwrap()
+            });
+            for id in ids {
+                let mask =
+                    grid.feasibility_mask(&sys, &placement, id, Rotation::None, 0.2);
+                let cell = mask
+                    .iter()
+                    .position(|&ok| ok)
+                    .unwrap_or_else(|| panic!("{}: no feasible cell for {id}", sys.name()));
+                grid.apply_action(&sys, &mut placement, id, Rotation::None, cell)
+                    .unwrap();
+            }
+            assert!(sys.validate_placement(&placement, 0.2).is_ok());
+        }
+    }
+
+    #[test]
+    fn benchmark_names_are_distinct() {
+        let names: Vec<String> = standard_benchmarks()
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"multi-gpu".to_string()));
+        assert!(names.contains(&"cpu-dram".to_string()));
+        assert!(names.contains(&"ascend910".to_string()));
+    }
+
+    #[test]
+    fn dummy_dies_have_zero_power() {
+        let ascend = ascend910_system();
+        let dummies: Vec<_> = ascend
+            .chiplets()
+            .filter(|(_, c)| c.name().starts_with("dummy"))
+            .collect();
+        assert_eq!(dummies.len(), 2);
+        assert!(dummies.iter().all(|(_, c)| c.power() == 0.0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for placement validation and microbump assignment.
+
+use crate::chiplet::ChipletId;
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a placement is rejected by [`crate::ChipletSystem::validate_placement`]
+/// or by the grid/bump machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// A chiplet id refers outside the system it is being used with.
+    UnknownChiplet {
+        /// The offending identifier.
+        id: ChipletId,
+        /// Number of chiplets in the system.
+        count: usize,
+    },
+    /// A chiplet that must be placed has no position yet.
+    Unplaced {
+        /// The chiplet missing a position.
+        id: ChipletId,
+    },
+    /// A chiplet extends beyond the interposer outline.
+    OutOfBounds {
+        /// The offending chiplet.
+        id: ChipletId,
+    },
+    /// Two chiplets overlap or violate the minimum spacing rule.
+    SpacingViolation {
+        /// First chiplet of the offending pair.
+        first: ChipletId,
+        /// Second chiplet of the offending pair.
+        second: ChipletId,
+        /// Required minimum spacing in millimetres.
+        required_mm: f64,
+    },
+    /// The placement was built for a different number of chiplets.
+    SizeMismatch {
+        /// Number of slots in the placement.
+        placement_slots: usize,
+        /// Number of chiplets in the system.
+        system_chiplets: usize,
+    },
+    /// A grid cell index is outside the placement grid.
+    CellOutOfRange {
+        /// Flattened cell index.
+        cell: usize,
+        /// Number of cells in the grid.
+        cells: usize,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::UnknownChiplet { id, count } => {
+                write!(f, "unknown {id}: system has {count} chiplets")
+            }
+            PlacementError::Unplaced { id } => write!(f, "{id} has not been placed"),
+            PlacementError::OutOfBounds { id } => {
+                write!(f, "{id} extends beyond the interposer outline")
+            }
+            PlacementError::SpacingViolation {
+                first,
+                second,
+                required_mm,
+            } => write!(
+                f,
+                "{first} and {second} violate the minimum spacing of {required_mm} mm"
+            ),
+            PlacementError::SizeMismatch {
+                placement_slots,
+                system_chiplets,
+            } => write!(
+                f,
+                "placement has {placement_slots} slots but the system has {system_chiplets} chiplets"
+            ),
+            PlacementError::CellOutOfRange { cell, cells } => {
+                write!(f, "grid cell {cell} is out of range (grid has {cells} cells)")
+            }
+        }
+    }
+}
+
+impl Error for PlacementError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PlacementError::SpacingViolation {
+            first: ChipletId::from_index(0),
+            second: ChipletId::from_index(1),
+            required_mm: 0.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("chiplet#0"));
+        assert!(msg.contains("0.5 mm"));
+
+        let e = PlacementError::CellOutOfRange { cell: 99, cells: 64 };
+        assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlacementError>();
+    }
+}

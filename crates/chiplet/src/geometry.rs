@@ -1,0 +1,271 @@
+//! Planar geometry primitives (millimetre units).
+//!
+//! All dimensions in this crate are in millimetres, matching the interposer
+//! and die dimensions used by the TAP-2.5D benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the interposer plane, in millimetres.
+///
+/// # Examples
+///
+/// ```
+/// use rlp_chiplet::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.manhattan_distance(b), 7.0);
+/// assert!((a.euclidean_distance(b) - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in millimetres.
+    pub x: f64,
+    /// Vertical coordinate in millimetres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan (L1) distance to another point.
+    pub fn manhattan_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (L2) distance to another point.
+    pub fn euclidean_distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle described by its lower-left corner and size.
+///
+/// # Examples
+///
+/// ```
+/// use rlp_chiplet::Rect;
+/// let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+/// let b = Rect::new(2.0, 2.0, 4.0, 4.0);
+/// assert!(a.overlaps(&b));
+/// assert_eq!(a.intersection_area(&b), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// X coordinate of the lower-left corner, in millimetres.
+    pub x: f64,
+    /// Y coordinate of the lower-left corner, in millimetres.
+    pub y: f64,
+    /// Width in millimetres (non-negative).
+    pub width: f64,
+    /// Height in millimetres (non-negative).
+    pub height: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative or not finite.
+    pub fn new(x: f64, y: f64, width: f64, height: f64) -> Self {
+        assert!(
+            width >= 0.0 && height >= 0.0 && width.is_finite() && height.is_finite(),
+            "rectangle size must be non-negative and finite"
+        );
+        Self {
+            x,
+            y,
+            width,
+            height,
+        }
+    }
+
+    /// Creates a rectangle centred at `center` with the given size.
+    pub fn from_center(center: Point, width: f64, height: f64) -> Self {
+        Self::new(center.x - width / 2.0, center.y - height / 2.0, width, height)
+    }
+
+    /// X coordinate of the right edge.
+    pub fn right(&self) -> f64 {
+        self.x + self.width
+    }
+
+    /// Y coordinate of the top edge.
+    pub fn top(&self) -> f64 {
+        self.y + self.height
+    }
+
+    /// Centre point of the rectangle.
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.width / 2.0, self.y + self.height / 2.0)
+    }
+
+    /// Area in square millimetres.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Returns `true` if the rectangles overlap with positive area.
+    ///
+    /// Rectangles that merely touch along an edge do not overlap.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.top()
+            && other.y < self.top()
+    }
+
+    /// Area of the intersection of two rectangles (zero if disjoint).
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let dx = self.right().min(other.right()) - self.x.max(other.x);
+        let dy = self.top().min(other.top()) - self.y.max(other.y);
+        if dx > 0.0 && dy > 0.0 {
+            dx * dy
+        } else {
+            0.0
+        }
+    }
+
+    /// Returns `true` if `other` lies entirely inside `self` (edges may touch).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.x >= self.x
+            && other.y >= self.y
+            && other.right() <= self.right()
+            && other.top() <= self.top()
+    }
+
+    /// Returns `true` if the point lies inside or on the boundary.
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.x && p.x <= self.right() && p.y >= self.y && p.y <= self.top()
+    }
+
+    /// Returns the rectangle expanded by `margin` on every side.
+    ///
+    /// A negative margin shrinks the rectangle; the size is clamped at zero.
+    pub fn expanded(&self, margin: f64) -> Rect {
+        let width = (self.width + 2.0 * margin).max(0.0);
+        let height = (self.height + 2.0 * margin).max(0.0);
+        let center = self.center();
+        Rect::from_center(center, width, height)
+    }
+
+    /// Minimum separation between two rectangles along the x and y axes.
+    ///
+    /// Each component is zero when the projections overlap on that axis, so
+    /// `(0.0, 0.0)` means the rectangles overlap or touch.
+    pub fn separation(&self, other: &Rect) -> (f64, f64) {
+        let dx = if self.right() < other.x {
+            other.x - self.right()
+        } else if other.right() < self.x {
+            self.x - other.right()
+        } else {
+            0.0
+        };
+        let dy = if self.top() < other.y {
+            other.y - self.top()
+        } else if other.top() < self.y {
+            self.y - other.top()
+        } else {
+            0.0
+        };
+        (dx, dy)
+    }
+
+    /// Shortest centre-to-centre Euclidean distance to another rectangle.
+    pub fn center_distance(&self, other: &Rect) -> f64 {
+        self.center().euclidean_distance(other.center())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distances() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert_eq!(a.manhattan_distance(b), 7.0);
+        assert!((a.euclidean_distance(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.manhattan_distance(a), 0.0);
+    }
+
+    #[test]
+    fn rect_accessors() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.right(), 4.0);
+        assert_eq!(r.top(), 6.0);
+        assert_eq!(r.center(), Point::new(2.5, 4.0));
+        assert_eq!(r.area(), 12.0);
+    }
+
+    #[test]
+    fn from_center_round_trips() {
+        let r = Rect::from_center(Point::new(5.0, 5.0), 4.0, 2.0);
+        assert_eq!(r.x, 3.0);
+        assert_eq!(r.y, 4.0);
+        assert_eq!(r.center(), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn overlapping_rects() {
+        let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let b = Rect::new(3.0, 3.0, 4.0, 4.0);
+        assert!(a.overlaps(&b));
+        assert_eq!(a.intersection_area(&b), 1.0);
+    }
+
+    #[test]
+    fn touching_rects_do_not_overlap() {
+        let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let b = Rect::new(4.0, 0.0, 4.0, 4.0);
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.intersection_area(&b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_rects() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(10.0, 10.0, 1.0, 1.0);
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.intersection_area(&b), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_point(Point::new(10.0, 10.0)));
+        assert!(!outer.contains_point(Point::new(10.1, 0.0)));
+    }
+
+    #[test]
+    fn expansion_and_shrinking() {
+        let r = Rect::new(2.0, 2.0, 2.0, 2.0);
+        let grown = r.expanded(1.0);
+        assert_eq!(grown, Rect::new(1.0, 1.0, 4.0, 4.0));
+        let shrunk = r.expanded(-2.0);
+        assert_eq!(shrunk.area(), 0.0);
+    }
+
+    #[test]
+    fn separation_components() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(5.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.separation(&b), (3.0, 0.0));
+        let c = Rect::new(0.0, 7.0, 2.0, 2.0);
+        assert_eq!(a.separation(&c), (0.0, 5.0));
+        assert_eq!(a.separation(&a), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_size_panics() {
+        Rect::new(0.0, 0.0, -1.0, 1.0);
+    }
+}

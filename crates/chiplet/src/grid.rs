@@ -1,0 +1,412 @@
+//! Discretised placement grid used by the RL environment.
+//!
+//! RLPlanner places chiplets sequentially: the agent picks a *grid cell*, the
+//! chiplet is centred on that cell, and infeasible cells are masked out
+//! before sampling. [`PlacementGrid`] provides the cell geometry, the
+//! occupancy map used as the state tensor, and the feasibility (action)
+//! masks.
+
+use crate::chiplet::{ChipletId, Rotation};
+use crate::error::PlacementError;
+use crate::geometry::{Point, Rect};
+use crate::netlist::ChipletSystem;
+use crate::placement::{Placement, Position};
+use serde::{Deserialize, Serialize};
+
+/// A fixed `cols`×`rows` grid laid over the interposer outline.
+///
+/// # Examples
+///
+/// ```
+/// use rlp_chiplet::{Chiplet, ChipletSystem, Placement, PlacementGrid};
+///
+/// let mut sys = ChipletSystem::new("demo", 20.0, 20.0);
+/// let a = sys.add_chiplet(Chiplet::new("a", 6.0, 6.0, 10.0));
+/// let grid = PlacementGrid::new(10, 10);
+/// let placement = Placement::for_system(&sys);
+/// let mask = grid.feasibility_mask(&sys, &placement, a, Default::default(), 0.1);
+/// // Cells too close to the boundary are infeasible, interior cells are not.
+/// assert!(mask.iter().any(|&m| m));
+/// assert!(mask.iter().any(|&m| !m));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementGrid {
+    cols: usize,
+    rows: usize,
+}
+
+impl PlacementGrid {
+    /// Creates a grid with the given number of columns and rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must have at least one cell");
+        Self { cols, rows }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of cells (`cols * rows`).
+    pub fn cell_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Width of one cell for the given system, in millimetres.
+    pub fn cell_width(&self, system: &ChipletSystem) -> f64 {
+        system.interposer_width() / self.cols as f64
+    }
+
+    /// Height of one cell for the given system, in millimetres.
+    pub fn cell_height(&self, system: &ChipletSystem) -> f64 {
+        system.interposer_height() / self.rows as f64
+    }
+
+    /// Converts a flattened cell index to `(col, row)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::CellOutOfRange`] if the index is out of range.
+    pub fn cell_coords(&self, cell: usize) -> Result<(usize, usize), PlacementError> {
+        if cell >= self.cell_count() {
+            return Err(PlacementError::CellOutOfRange {
+                cell,
+                cells: self.cell_count(),
+            });
+        }
+        Ok((cell % self.cols, cell / self.cols))
+    }
+
+    /// Converts `(col, row)` to a flattened cell index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is out of range.
+    pub fn cell_index(&self, col: usize, row: usize) -> usize {
+        assert!(col < self.cols && row < self.rows, "cell out of range");
+        row * self.cols + col
+    }
+
+    /// Centre point of a cell in interposer coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::CellOutOfRange`] if the index is out of range.
+    pub fn cell_center(&self, system: &ChipletSystem, cell: usize) -> Result<Point, PlacementError> {
+        let (col, row) = self.cell_coords(cell)?;
+        let cw = self.cell_width(system);
+        let ch = self.cell_height(system);
+        Ok(Point::new(
+            (col as f64 + 0.5) * cw,
+            (row as f64 + 0.5) * ch,
+        ))
+    }
+
+    /// Lower-left position that centres a chiplet with the given footprint on
+    /// the cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::CellOutOfRange`] if the index is out of range.
+    pub fn position_for(
+        &self,
+        system: &ChipletSystem,
+        footprint: (f64, f64),
+        cell: usize,
+    ) -> Result<Position, PlacementError> {
+        let center = self.cell_center(system, cell)?;
+        Ok(Position::new(
+            center.x - footprint.0 / 2.0,
+            center.y - footprint.1 / 2.0,
+        ))
+    }
+
+    /// The rectangle a chiplet would occupy if centred on `cell`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::CellOutOfRange`] if the index is out of range.
+    pub fn rect_for(
+        &self,
+        system: &ChipletSystem,
+        chiplet: ChipletId,
+        rotation: Rotation,
+        cell: usize,
+    ) -> Result<Rect, PlacementError> {
+        let footprint = system.chiplet(chiplet).footprint(rotation);
+        let pos = self.position_for(system, footprint, cell)?;
+        Ok(Rect::new(pos.x, pos.y, footprint.0, footprint.1))
+    }
+
+    /// Fraction of each cell covered by already-placed chiplets, row-major.
+    ///
+    /// This is the occupancy channel of the RL state tensor; values lie in
+    /// `[0, 1]`.
+    pub fn occupancy_map(&self, system: &ChipletSystem, placement: &Placement) -> Vec<f32> {
+        let cw = self.cell_width(system);
+        let ch = self.cell_height(system);
+        let cell_area = cw * ch;
+        let rects: Vec<Rect> = placement
+            .iter_placed()
+            .filter_map(|(id, _, _)| placement.rect_of(id, system))
+            .collect();
+        let mut map = vec![0.0f32; self.cell_count()];
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let cell_rect = Rect::new(col as f64 * cw, row as f64 * ch, cw, ch);
+                let mut covered = 0.0;
+                for r in &rects {
+                    covered += cell_rect.intersection_area(r);
+                }
+                map[self.cell_index(col, row)] = (covered / cell_area).min(1.0) as f32;
+            }
+        }
+        map
+    }
+
+    /// Power dissipated inside each cell by already-placed chiplets (watts),
+    /// row-major. Power is spread uniformly over each chiplet footprint.
+    ///
+    /// This is the power channel of the RL state tensor and also feeds the
+    /// thermal model's power-map rasterisation.
+    pub fn power_map(&self, system: &ChipletSystem, placement: &Placement) -> Vec<f32> {
+        let cw = self.cell_width(system);
+        let ch = self.cell_height(system);
+        let mut map = vec![0.0f32; self.cell_count()];
+        for (id, _, _) in placement.iter_placed() {
+            let Some(rect) = placement.rect_of(id, system) else {
+                continue;
+            };
+            let density = system.chiplet(id).power() / rect.area().max(f64::MIN_POSITIVE);
+            for row in 0..self.rows {
+                for col in 0..self.cols {
+                    let cell_rect = Rect::new(col as f64 * cw, row as f64 * ch, cw, ch);
+                    let overlap = cell_rect.intersection_area(&rect);
+                    if overlap > 0.0 {
+                        map[self.cell_index(col, row)] += (overlap * density) as f32;
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// Boolean mask of cells where the chiplet can legally be centred.
+    ///
+    /// A cell is feasible when the resulting rectangle lies inside the
+    /// interposer and keeps at least `min_spacing_mm` of clearance (in x or
+    /// y) from every already-placed chiplet.
+    pub fn feasibility_mask(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+        chiplet: ChipletId,
+        rotation: Rotation,
+        min_spacing_mm: f64,
+    ) -> Vec<bool> {
+        let outline = system.interposer_rect();
+        let placed: Vec<Rect> = placement
+            .iter_placed()
+            .filter(|(id, _, _)| *id != chiplet)
+            .filter_map(|(id, _, _)| placement.rect_of(id, system))
+            .collect();
+        let mut mask = vec![false; self.cell_count()];
+        for cell in 0..self.cell_count() {
+            let rect = match self.rect_for(system, chiplet, rotation, cell) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            if !outline.contains_rect(&rect) {
+                continue;
+            }
+            let clear = placed.iter().all(|other| {
+                if rect.overlaps(other) {
+                    return false;
+                }
+                let (dx, dy) = rect.separation(other);
+                dx.max(dy) >= min_spacing_mm
+            });
+            mask[cell] = clear;
+        }
+        mask
+    }
+
+    /// Applies a masked action: centres `chiplet` on `cell` and records it in
+    /// the placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::CellOutOfRange`] for an invalid cell index.
+    /// The caller is responsible for checking feasibility first (the RL
+    /// environment does this via the action mask).
+    pub fn apply_action(
+        &self,
+        system: &ChipletSystem,
+        placement: &mut Placement,
+        chiplet: ChipletId,
+        rotation: Rotation,
+        cell: usize,
+    ) -> Result<(), PlacementError> {
+        let footprint = system.chiplet(chiplet).footprint(rotation);
+        let pos = self.position_for(system, footprint, cell)?;
+        placement.place_rotated(chiplet, pos, rotation);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chiplet::Chiplet;
+
+    fn system() -> (ChipletSystem, ChipletId, ChipletId) {
+        let mut sys = ChipletSystem::new("t", 20.0, 20.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 6.0, 6.0, 12.0));
+        let b = sys.add_chiplet(Chiplet::new("b", 4.0, 8.0, 6.0));
+        (sys, a, b)
+    }
+
+    #[test]
+    fn cell_geometry() {
+        let (sys, _, _) = system();
+        let grid = PlacementGrid::new(10, 5);
+        assert_eq!(grid.cell_count(), 50);
+        assert_eq!(grid.cell_width(&sys), 2.0);
+        assert_eq!(grid.cell_height(&sys), 4.0);
+        assert_eq!(grid.cell_coords(0).unwrap(), (0, 0));
+        assert_eq!(grid.cell_coords(11).unwrap(), (1, 1));
+        assert_eq!(grid.cell_index(1, 1), 11);
+        assert_eq!(
+            grid.cell_center(&sys, 0).unwrap(),
+            Point::new(1.0, 2.0)
+        );
+    }
+
+    #[test]
+    fn cell_out_of_range_is_rejected() {
+        let (sys, a, _) = system();
+        let grid = PlacementGrid::new(4, 4);
+        assert!(matches!(
+            grid.cell_coords(16),
+            Err(PlacementError::CellOutOfRange { cell: 16, cells: 16 })
+        ));
+        assert!(grid.cell_center(&sys, 100).is_err());
+        assert!(grid
+            .rect_for(&sys, a, Rotation::None, 100)
+            .is_err());
+    }
+
+    #[test]
+    fn position_centres_chiplet_on_cell() {
+        let (sys, a, _) = system();
+        let grid = PlacementGrid::new(10, 10);
+        // Cell (5, 5) centre is at (11, 11); a is 6x6 so lower-left is (8, 8).
+        let cell = grid.cell_index(5, 5);
+        let rect = grid.rect_for(&sys, a, Rotation::None, cell).unwrap();
+        assert_eq!(rect, Rect::new(8.0, 8.0, 6.0, 6.0));
+    }
+
+    #[test]
+    fn boundary_cells_are_infeasible() {
+        let (sys, a, _) = system();
+        let grid = PlacementGrid::new(10, 10);
+        let placement = Placement::for_system(&sys);
+        let mask = grid.feasibility_mask(&sys, &placement, a, Rotation::None, 0.0);
+        // Corner cell: a 6x6 chiplet centred at (1,1) spills outside.
+        assert!(!mask[grid.cell_index(0, 0)]);
+        // Centre cell is fine.
+        assert!(mask[grid.cell_index(5, 5)]);
+    }
+
+    #[test]
+    fn occupied_region_becomes_infeasible() {
+        let (sys, a, b) = system();
+        let grid = PlacementGrid::new(10, 10);
+        let mut placement = Placement::for_system(&sys);
+        grid.apply_action(&sys, &mut placement, a, Rotation::None, grid.cell_index(5, 5))
+            .unwrap();
+        let mask = grid.feasibility_mask(&sys, &placement, b, Rotation::None, 0.1);
+        // Directly on top of a is not allowed.
+        assert!(!mask[grid.cell_index(5, 5)]);
+        // Far corner region should still have feasible cells.
+        assert!(mask.iter().any(|&m| m));
+    }
+
+    #[test]
+    fn min_spacing_shrinks_feasible_region() {
+        let (sys, a, b) = system();
+        let grid = PlacementGrid::new(20, 20);
+        let mut placement = Placement::for_system(&sys);
+        grid.apply_action(&sys, &mut placement, a, Rotation::None, grid.cell_index(10, 10))
+            .unwrap();
+        let loose = grid.feasibility_mask(&sys, &placement, b, Rotation::None, 0.0);
+        let tight = grid.feasibility_mask(&sys, &placement, b, Rotation::None, 2.0);
+        let loose_count = loose.iter().filter(|&&m| m).count();
+        let tight_count = tight.iter().filter(|&&m| m).count();
+        assert!(tight_count < loose_count);
+    }
+
+    #[test]
+    fn rotation_changes_feasibility() {
+        let mut sys = ChipletSystem::new("narrow", 20.0, 8.0);
+        let tall = sys.add_chiplet(Chiplet::new("tall", 4.0, 10.0, 1.0));
+        let grid = PlacementGrid::new(10, 4);
+        let placement = Placement::for_system(&sys);
+        let upright = grid.feasibility_mask(&sys, &placement, tall, Rotation::None, 0.0);
+        let rotated = grid.feasibility_mask(&sys, &placement, tall, Rotation::Quarter, 0.0);
+        // 10 mm tall chiplet cannot stand upright on an 8 mm interposer.
+        assert!(upright.iter().all(|&m| !m));
+        assert!(rotated.iter().any(|&m| m));
+    }
+
+    #[test]
+    fn occupancy_map_sums_to_chiplet_area() {
+        let (sys, a, _) = system();
+        let grid = PlacementGrid::new(20, 20);
+        let mut placement = Placement::for_system(&sys);
+        grid.apply_action(&sys, &mut placement, a, Rotation::None, grid.cell_index(10, 10))
+            .unwrap();
+        let map = grid.occupancy_map(&sys, &placement);
+        let cell_area = grid.cell_width(&sys) * grid.cell_height(&sys);
+        let covered: f64 = map.iter().map(|&v| v as f64 * cell_area).sum();
+        assert!((covered - 36.0).abs() < 1e-6, "covered {covered}");
+    }
+
+    #[test]
+    fn power_map_sums_to_placed_power() {
+        let (sys, a, b) = system();
+        let grid = PlacementGrid::new(25, 25);
+        let mut placement = Placement::for_system(&sys);
+        grid.apply_action(&sys, &mut placement, a, Rotation::None, grid.cell_index(6, 6))
+            .unwrap();
+        grid.apply_action(&sys, &mut placement, b, Rotation::None, grid.cell_index(18, 18))
+            .unwrap();
+        let map = grid.power_map(&sys, &placement);
+        let total: f64 = map.iter().map(|&v| v as f64).sum();
+        assert!((total - 18.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn empty_placement_maps_are_zero() {
+        let (sys, _, _) = system();
+        let grid = PlacementGrid::new(8, 8);
+        let placement = Placement::for_system(&sys);
+        assert!(grid.occupancy_map(&sys, &placement).iter().all(|&v| v == 0.0));
+        assert!(grid.power_map(&sys, &placement).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_sized_grid_panics() {
+        PlacementGrid::new(0, 4);
+    }
+}

@@ -1,0 +1,54 @@
+//! Chiplet, interposer and placement model for 2.5D systems.
+//!
+//! This crate is the geometric substrate of the RLPlanner reproduction. It
+//! knows nothing about reinforcement learning or thermal physics; it models
+//! the *problem*: a set of rectangular chiplets, an interposer of fixed size,
+//! the inter-chiplet connectivity, and the rules that decide whether a
+//! placement is legal and how long its wires are.
+//!
+//! The main types are:
+//!
+//! * [`Chiplet`] — a rectangular die with a name, footprint and power budget.
+//! * [`ChipletSystem`] — the chiplets, the interposer outline, and the
+//!   inter-chiplet [`Net`]s (each net carries a wire count used to weight
+//!   wirelength, mirroring TAP-2.5D).
+//! * [`Placement`] — positions (and optional 90° rotations) for every
+//!   chiplet, with legality checks (in-bounds, pairwise spacing).
+//! * [`PlacementGrid`] — the discretised interposer used by the RL
+//!   environment: occupancy map, per-chiplet feasibility (action) masks.
+//! * [`bumps`] — microbump assignment along facing chiplet edges and the
+//!   resulting total wirelength, following the TAP-2.5D flow the paper cites.
+//!
+//! # Examples
+//!
+//! ```
+//! use rlp_chiplet::{Chiplet, ChipletSystem, Net, Placement, Position};
+//!
+//! let mut system = ChipletSystem::new("demo", 30.0, 30.0);
+//! let cpu = system.add_chiplet(Chiplet::new("cpu", 10.0, 10.0, 25.0));
+//! let mem = system.add_chiplet(Chiplet::new("mem", 8.0, 8.0, 5.0));
+//! system.add_net(Net::new(cpu, mem, 64));
+//!
+//! let mut placement = Placement::new(system.chiplet_count());
+//! placement.place(cpu, Position::new(2.0, 2.0));
+//! placement.place(mem, Position::new(15.0, 15.0));
+//! assert!(system.validate_placement(&placement, 0.1).is_ok());
+//! let wl = rlp_chiplet::wirelength::total_wirelength(&system, &placement);
+//! assert!(wl > 0.0);
+//! ```
+
+pub mod bumps;
+pub mod chiplet;
+pub mod error;
+pub mod geometry;
+pub mod grid;
+pub mod netlist;
+pub mod placement;
+pub mod wirelength;
+
+pub use chiplet::{Chiplet, ChipletId, Rotation};
+pub use error::PlacementError;
+pub use geometry::{Point, Rect};
+pub use grid::PlacementGrid;
+pub use netlist::{ChipletSystem, Net, NetId};
+pub use placement::{Placement, Position};

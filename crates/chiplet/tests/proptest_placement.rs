@@ -1,0 +1,149 @@
+//! Property-based tests for the chiplet placement model.
+
+use proptest::prelude::*;
+use rlp_chiplet::bumps::{assign_bumps, BumpConfig};
+use rlp_chiplet::wirelength::total_wirelength;
+use rlp_chiplet::{
+    Chiplet, ChipletSystem, Net, Placement, PlacementGrid, Position, Rect, Rotation,
+};
+
+/// Strategy: a system of `n` chiplets with random sizes and powers on a
+/// generously sized interposer, connected in a chain.
+fn arb_system() -> impl Strategy<Value = ChipletSystem> {
+    (2usize..7, prop::collection::vec((2.0f64..10.0, 2.0f64..10.0, 0.0f64..50.0), 7))
+        .prop_map(|(n, dims)| {
+            let mut sys = ChipletSystem::new("prop", 60.0, 60.0);
+            let mut prev = None;
+            for i in 0..n {
+                let (w, h, p) = dims[i % dims.len()];
+                let id = sys.add_chiplet(Chiplet::new(format!("c{i}"), w, h, p));
+                if let Some(prev) = prev {
+                    sys.add_net(Net::new(prev, id, 8));
+                }
+                prev = Some(id);
+            }
+            sys
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rectangle intersection area is symmetric and bounded by each area.
+    #[test]
+    fn intersection_area_is_symmetric_and_bounded(
+        ax in -10.0f64..10.0, ay in -10.0f64..10.0, aw in 0.1f64..10.0, ah in 0.1f64..10.0,
+        bx in -10.0f64..10.0, by in -10.0f64..10.0, bw in 0.1f64..10.0, bh in 0.1f64..10.0,
+    ) {
+        let a = Rect::new(ax, ay, aw, ah);
+        let b = Rect::new(bx, by, bw, bh);
+        let ab = a.intersection_area(&b);
+        let ba = b.intersection_area(&a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+        prop_assert!(ab <= a.area() + 1e-9);
+        prop_assert!(ab <= b.area() + 1e-9);
+        // overlaps() and positive intersection area agree.
+        prop_assert_eq!(a.overlaps(&b), ab > 0.0);
+    }
+
+    /// Any placement produced by feasibility-masked grid actions is legal.
+    #[test]
+    fn masked_grid_actions_always_yield_legal_placements(
+        system in arb_system(),
+        cell_picks in prop::collection::vec(0usize..10_000, 7),
+        spacing in 0.0f64..1.0,
+    ) {
+        let grid = PlacementGrid::new(20, 20);
+        let mut placement = Placement::for_system(&system);
+        for (i, id) in system.chiplet_ids().enumerate() {
+            let mask = grid.feasibility_mask(&system, &placement, id, Rotation::None, spacing);
+            let feasible: Vec<usize> = mask.iter().enumerate()
+                .filter(|(_, &ok)| ok).map(|(c, _)| c).collect();
+            if feasible.is_empty() {
+                return Ok(());
+            }
+            let cell = feasible[cell_picks[i % cell_picks.len()] % feasible.len()];
+            grid.apply_action(&system, &mut placement, id, Rotation::None, cell).unwrap();
+            // The partial placement must already satisfy the spacing rule.
+        }
+        prop_assert!(system.validate_placement(&placement, spacing).is_ok());
+    }
+
+    /// Wirelength is non-negative, zero for co-centred chiplets and
+    /// translation invariant.
+    #[test]
+    fn wirelength_properties(
+        system in arb_system(),
+        dx in 0.0f64..5.0,
+        dy in 0.0f64..5.0,
+    ) {
+        // Place chiplets on a diagonal, then translate the whole placement.
+        let mut p1 = Placement::for_system(&system);
+        let mut p2 = Placement::for_system(&system);
+        for (i, id) in system.chiplet_ids().enumerate() {
+            let base = Position::new(2.0 + 7.0 * i as f64 * 0.9, 2.0 + 6.0 * i as f64 * 0.9);
+            p1.place(id, base);
+            p2.place(id, Position::new(base.x + dx, base.y + dy));
+        }
+        let wl1 = total_wirelength(&system, &p1);
+        let wl2 = total_wirelength(&system, &p2);
+        prop_assert!(wl1 >= 0.0);
+        prop_assert!((wl1 - wl2).abs() < 1e-6, "translation changed wirelength: {wl1} vs {wl2}");
+    }
+
+    /// Microbump assignment always produces exactly one bump pair per wire,
+    /// with every bump inside its own die.
+    #[test]
+    fn bump_assignment_counts_and_containment(
+        system in arb_system(),
+        offsets in prop::collection::vec((2.0f64..45.0, 2.0f64..45.0), 7),
+    ) {
+        let mut placement = Placement::for_system(&system);
+        for (i, id) in system.chiplet_ids().enumerate() {
+            let (x, y) = offsets[i % offsets.len()];
+            let chiplet = system.chiplet(id);
+            let x = x.min(60.0 - chiplet.width());
+            let y = y.min(60.0 - chiplet.height());
+            placement.place(id, Position::new(x, y));
+        }
+        let assignment = assign_bumps(&system, &placement, &BumpConfig::default()).unwrap();
+        let expected_wires: usize = system.nets().map(|n| n.wires as usize).sum();
+        prop_assert_eq!(assignment.wire_count(), expected_wires);
+        for net_bumps in assignment.nets() {
+            let from_rect = placement.rect_of(net_bumps.net.from, &system).unwrap();
+            let to_rect = placement.rect_of(net_bumps.net.to, &system).unwrap();
+            for (from, to) in &net_bumps.pairs {
+                prop_assert!(from_rect.contains_point(*from));
+                prop_assert!(to_rect.contains_point(*to));
+            }
+        }
+        prop_assert!(assignment.total_wirelength() >= 0.0);
+    }
+
+    /// Occupancy and power maps conserve area and power for any legal placement.
+    #[test]
+    fn grid_maps_conserve_area_and_power(
+        system in arb_system(),
+        seed_cells in prop::collection::vec(0usize..10_000, 7),
+    ) {
+        let grid = PlacementGrid::new(24, 24);
+        let mut placement = Placement::for_system(&system);
+        for (i, id) in system.chiplet_ids().enumerate() {
+            let mask = grid.feasibility_mask(&system, &placement, id, Rotation::None, 0.1);
+            let feasible: Vec<usize> = mask.iter().enumerate()
+                .filter(|(_, &ok)| ok).map(|(c, _)| c).collect();
+            if feasible.is_empty() {
+                return Ok(());
+            }
+            let cell = feasible[seed_cells[i % seed_cells.len()] % feasible.len()];
+            grid.apply_action(&system, &mut placement, id, Rotation::None, cell).unwrap();
+        }
+        let cell_area = grid.cell_width(&system) * grid.cell_height(&system);
+        let occupied: f64 = grid.occupancy_map(&system, &placement)
+            .iter().map(|&v| v as f64 * cell_area).sum();
+        prop_assert!((occupied - system.total_chiplet_area()).abs() < 1e-3 * system.total_chiplet_area().max(1.0));
+        let power: f64 = grid.power_map(&system, &placement).iter().map(|&v| v as f64).sum();
+        prop_assert!((power - system.total_power()).abs() < 1e-3 * system.total_power().max(1.0));
+    }
+}

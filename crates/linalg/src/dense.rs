@@ -1,0 +1,379 @@
+//! Dense matrices and direct solvers.
+//!
+//! The thermal characterisation pipeline solves many *small* dense systems
+//! (for example when fitting the mutual-thermal-resistance curve); these use
+//! the row-major [`DenseMatrix`] type with partial-pivoting LU.
+
+use crate::error::LinalgError;
+
+/// A row-major dense matrix of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use rlp_linalg::DenseMatrix;
+///
+/// let m = DenseMatrix::identity(3);
+/// assert_eq!(m.get(1, 1), 1.0);
+/// assert_eq!(m.get(0, 2), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{} elements", rows * cols),
+                found: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Adds `value` to the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn add_to(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] += value;
+    }
+
+    /// Returns a view of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Computes the matrix-vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                found: format!("length {}", x.len()),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *yi = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// Computes the matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the inner dimensions disagree.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{} rows", self.cols),
+                found: format!("{} rows", other.rows),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.add_to(i, j, a * other.get(k, j));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Solves `self * x = b` with partial-pivoting LU decomposition.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if the matrix is not square.
+    /// * [`LinalgError::DimensionMismatch`] if `b.len()` differs from the matrix size.
+    /// * [`LinalgError::SingularMatrix`] if a zero pivot is encountered.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {}", self.rows),
+                found: format!("length {}", b.len()),
+            });
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+        // Gaussian elimination with partial pivoting.
+        for col in 0..n {
+            let mut pivot_row = col;
+            let mut pivot_val = lu[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = lu[row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::SingularMatrix { pivot: col });
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    lu.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = lu[col * n + col];
+            for row in (col + 1)..n {
+                let factor = lu[row * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    lu[row * n + j] -= factor * lu[col * n + j];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for row in (0..n).rev() {
+            let mut sum = x[row];
+            for j in (row + 1)..n {
+                sum -= lu[row * n + j] * x[j];
+            }
+            x[row] = sum / lu[row * n + row];
+        }
+        Ok(x)
+    }
+}
+
+/// Fits a least-squares polynomial of degree `degree` to the points `(xs, ys)`.
+///
+/// Returns the coefficients in increasing-power order (`c[0] + c[1] x + ...`).
+/// Used for smoothing the 1D mutual-thermal-resistance table.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if `xs` and `ys` differ in length
+/// or there are fewer points than coefficients, and propagates
+/// [`LinalgError::SingularMatrix`] from the normal-equation solve.
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Vec<f64>, LinalgError> {
+    if xs.len() != ys.len() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("{} y-values", xs.len()),
+            found: format!("{} y-values", ys.len()),
+        });
+    }
+    let n_coeff = degree + 1;
+    if xs.len() < n_coeff {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("at least {n_coeff} points"),
+            found: format!("{} points", xs.len()),
+        });
+    }
+    // Build the normal equations (V^T V) c = V^T y for the Vandermonde matrix V.
+    let mut ata = DenseMatrix::zeros(n_coeff, n_coeff);
+    let mut aty = vec![0.0; n_coeff];
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let mut powers = vec![1.0; n_coeff];
+        for p in 1..n_coeff {
+            powers[p] = powers[p - 1] * x;
+        }
+        for i in 0..n_coeff {
+            aty[i] += powers[i] * y;
+            for j in 0..n_coeff {
+                ata.add_to(i, j, powers[i] * powers[j]);
+            }
+        }
+    }
+    ata.solve(&aty)
+}
+
+/// Evaluates a polynomial with coefficients in increasing-power order at `x`.
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let m = DenseMatrix::identity(4);
+        let b = vec![1.0, -2.0, 3.5, 0.0];
+        assert_eq!(m.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_2x2_system() {
+        let m = DenseMatrix::from_row_major(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = m.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let m = DenseMatrix::from_row_major(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = m.solve(&[7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let m = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(
+            m.solve(&[1.0, 2.0]),
+            Err(LinalgError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_solve_is_rejected() {
+        let m = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            m.solve(&[1.0, 2.0]),
+            Err(LinalgError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_manual_computation() {
+        let m = DenseMatrix::from_row_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let y = m.matvec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_rejects_wrong_length() {
+        let m = DenseMatrix::zeros(2, 3);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_with_identity_is_noop() {
+        let m = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = m.matmul(&DenseMatrix::identity(2)).unwrap();
+        assert_eq!(out, m);
+    }
+
+    #[test]
+    fn transpose_swaps_shape() {
+        let m = DenseMatrix::from_row_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn from_row_major_validates_length() {
+        assert!(DenseMatrix::from_row_major(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn polyfit_recovers_quadratic() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 - 3.0 * x + 0.5 * x * x).collect();
+        let c = polyfit(&xs, &ys, 2).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-8);
+        assert!((c[1] + 3.0).abs() < 1e-8);
+        assert!((c[2] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn polyfit_rejects_underdetermined_input() {
+        assert!(polyfit(&[1.0], &[1.0], 2).is_err());
+        assert!(polyfit(&[1.0, 2.0], &[1.0], 1).is_err());
+    }
+
+    #[test]
+    fn polyval_evaluates_constant_and_linear() {
+        assert_eq!(polyval(&[5.0], 100.0), 5.0);
+        assert_eq!(polyval(&[1.0, 2.0], 3.0), 7.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types shared by the linear-algebra kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the dense and sparse solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Matrix/vector dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was provided.
+        found: String,
+    },
+    /// An iterative solver failed to reach the requested tolerance.
+    NotConverged {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the last iteration.
+        residual: f64,
+        /// Requested tolerance.
+        tolerance: f64,
+    },
+    /// A direct factorisation encountered a (numerically) singular matrix.
+    SingularMatrix {
+        /// Pivot column at which the factorisation broke down.
+        pivot: usize,
+    },
+    /// The matrix is not square but the operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::NotConverged {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations \
+                 (residual {residual:.3e} > tolerance {tolerance:.3e})"
+            ),
+            LinalgError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::NotConverged {
+            iterations: 10,
+            residual: 1.0,
+            tolerance: 1e-9,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10 iterations"));
+        assert!(msg.starts_with("iterative solver"));
+
+        let e = LinalgError::SingularMatrix { pivot: 3 };
+        assert!(e.to_string().contains("pivot column 3"));
+
+        let e = LinalgError::NotSquare { rows: 2, cols: 5 };
+        assert!(e.to_string().contains("2x5"));
+
+        let e = LinalgError::DimensionMismatch {
+            expected: "3".into(),
+            found: "4".into(),
+        };
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,335 @@
+//! Sparse matrix storage.
+//!
+//! The grid thermal model produces a conductance matrix with only a handful
+//! of non-zeros per row (one per neighbouring thermal node), so the solvers
+//! operate on compressed sparse row ([`CsrMatrix`]) storage assembled from a
+//! coordinate-format builder ([`CooMatrix`]).
+
+use crate::error::LinalgError;
+
+/// Coordinate-format (triplet) sparse matrix builder.
+///
+/// Duplicate entries are summed when converting to CSR, which makes the type
+/// convenient for finite-volume style assembly where each conductance
+/// contributes to several matrix entries.
+///
+/// # Examples
+///
+/// ```
+/// use rlp_linalg::CooMatrix;
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 1.0);
+/// coo.push(0, 0, 2.0); // duplicates are summed
+/// let csr = coo.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty builder for a `rows`×`cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with pre-allocated capacity for `nnz` entries.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends the triplet `(row, col, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Converts the triplets into compressed sparse row format, summing
+    /// duplicates and dropping explicit zeros that result from cancellation.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        row_ptr.push(0);
+
+        let mut current_row = 0usize;
+        let mut i = 0usize;
+        while i < entries.len() {
+            let (r, c, _) = entries[i];
+            while current_row < r {
+                row_ptr.push(col_idx.len());
+                current_row += 1;
+            }
+            let mut sum = 0.0;
+            while i < entries.len() && entries[i].0 == r && entries[i].1 == c {
+                sum += entries[i].2;
+                i += 1;
+            }
+            if sum != 0.0 {
+                col_idx.push(c);
+                values.push(sum);
+            }
+        }
+        while current_row < self.rows {
+            row_ptr.push(col_idx.len());
+            current_row += 1;
+        }
+
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// Compressed sparse row matrix.
+///
+/// Construct via [`CooMatrix::to_csr`]. The storage is immutable; assembly
+/// happens in coordinate format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the value at `(row, col)`, or `0.0` if the entry is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        match self.col_idx[start..end].binary_search(&col) {
+            Ok(offset) => self.values[start + offset],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Returns the `(column_indices, values)` slices for one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> (&[usize], &[f64]) {
+        assert!(row < self.rows, "row index out of bounds");
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        (&self.col_idx[start..end], &self.values[start..end])
+    }
+
+    /// Computes the sparse matrix-vector product `y = A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                found: format!("length {}", x.len()),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        Ok(y)
+    }
+
+    /// Computes `y = A x` into a caller-provided buffer without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_into: x length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec_into: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let start = self.row_ptr[i];
+            let end = self.row_ptr[i + 1];
+            let mut sum = 0.0;
+            for k in start..end {
+                sum += self.values[k] * x[self.col_idx[k]];
+            }
+            *yi = sum;
+        }
+    }
+
+    /// Extracts the main diagonal (missing entries are `0.0`).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Checks structural symmetry and approximate value symmetry within `tol`.
+    ///
+    /// The grid thermal conductance matrix must be symmetric; this is used in
+    /// debug assertions and tests.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for row in 0..self.rows {
+            let (cols, vals) = self.row(row);
+            for (&col, &val) in cols.iter().zip(vals.iter()) {
+                if (self.get(col, row) - val).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 1, -1.0);
+        coo.push(1, 0, -1.0);
+        coo.push(1, 1, 2.0);
+        coo.push(1, 2, -1.0);
+        coo.push(2, 1, -1.0);
+        coo.push(2, 2, 2.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_duplicates_are_summed() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 1.5);
+        coo.push(0, 0, 2.5);
+        assert_eq!(coo.to_csr().get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn cancelled_entries_are_dropped() {
+        let mut coo = CooMatrix::new(1, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, -1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(3, 3, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.row(0).0.len(), 0);
+        assert_eq!(csr.row(3).0, &[3]);
+    }
+
+    #[test]
+    fn matvec_matches_dense_equivalent() {
+        let a = sample();
+        let y = a.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_rejects_bad_length() {
+        assert!(sample().matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        assert_eq!(sample().diagonal(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        assert!(sample().is_symmetric(1e-12));
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        assert!(!coo.to_csr().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn coo_len_and_is_empty() {
+        let mut coo = CooMatrix::with_capacity(2, 2, 4);
+        assert!(coo.is_empty());
+        coo.push(0, 0, 1.0);
+        assert_eq!(coo.len(), 1);
+        assert!(!coo.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn coo_push_out_of_bounds_panics() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(1, 0, 1.0);
+    }
+}

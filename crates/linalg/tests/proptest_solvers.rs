@@ -1,0 +1,112 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use rlp_linalg::solvers::{conjugate_gradient, CgOptions};
+use rlp_linalg::{dense::polyval, CooMatrix, DenseMatrix};
+
+/// Builds a strictly diagonally dominant symmetric matrix, which is SPD.
+fn spd_from_offdiag(n: usize, offdiag: &[f64]) -> rlp_linalg::CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    let mut row_sums = vec![0.0; n];
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = offdiag[k % offdiag.len()];
+            k += 1;
+            if v != 0.0 {
+                coo.push(i, j, v);
+                coo.push(j, i, v);
+                row_sums[i] += v.abs();
+                row_sums[j] += v.abs();
+            }
+        }
+    }
+    for (i, s) in row_sums.iter().enumerate() {
+        coo.push(i, i, s + 1.0);
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CG recovers a known solution of a random SPD system.
+    #[test]
+    fn cg_recovers_known_solution(
+        n in 2usize..20,
+        offdiag in prop::collection::vec(-2.0f64..2.0, 1..40),
+        x_true in prop::collection::vec(-10.0f64..10.0, 20),
+    ) {
+        let a = spd_from_offdiag(n, &offdiag);
+        let x_true = &x_true[..n];
+        let b = a.matvec(x_true).unwrap();
+        let sol = conjugate_gradient(&a, &b, &CgOptions::default()).unwrap();
+        for (xi, ti) in sol.x.iter().zip(x_true.iter()) {
+            prop_assert!((xi - ti).abs() < 1e-5, "{xi} vs {ti}");
+        }
+    }
+
+    /// CSR round-trips triplets: matvec agrees with a dense reference.
+    #[test]
+    fn csr_matvec_matches_dense(
+        n in 1usize..12,
+        entries in prop::collection::vec((0usize..12, 0usize..12, -5.0f64..5.0), 0..60),
+        x in prop::collection::vec(-3.0f64..3.0, 12),
+    ) {
+        let mut coo = CooMatrix::new(n, n);
+        let mut dense = DenseMatrix::zeros(n, n);
+        for &(r, c, v) in &entries {
+            let (r, c) = (r % n, c % n);
+            coo.push(r, c, v);
+            dense.add_to(r, c, v);
+        }
+        let csr = coo.to_csr();
+        let x = &x[..n];
+        let y_sparse = csr.matvec(x).unwrap();
+        let y_dense = dense.matvec(x).unwrap();
+        for (a, b) in y_sparse.iter().zip(y_dense.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Dense LU solve satisfies the original equations.
+    #[test]
+    fn dense_solve_satisfies_system(
+        n in 1usize..8,
+        raw in prop::collection::vec(-4.0f64..4.0, 64),
+        b in prop::collection::vec(-4.0f64..4.0, 8),
+    ) {
+        // Diagonal dominance keeps the matrix comfortably non-singular.
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v = raw[(i * n + j) % raw.len()];
+                    m.set(i, j, v);
+                    row_sum += v.abs();
+                }
+            }
+            m.set(i, i, row_sum + 1.0);
+        }
+        let b = &b[..n];
+        let x = m.solve(b).unwrap();
+        let ax = m.matvec(&x).unwrap();
+        for (ai, bi) in ax.iter().zip(b.iter()) {
+            prop_assert!((ai - bi).abs() < 1e-6);
+        }
+    }
+
+    /// polyval is linear in the coefficients.
+    #[test]
+    fn polyval_is_linear_in_coefficients(
+        c1 in prop::collection::vec(-3.0f64..3.0, 1..5),
+        x in -2.0f64..2.0,
+        scale in -3.0f64..3.0,
+    ) {
+        let scaled: Vec<f64> = c1.iter().map(|v| v * scale).collect();
+        let lhs = polyval(&scaled, x);
+        let rhs = scale * polyval(&c1, x);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! Weight initialisation schemes.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation for a weight tensor with the given
+/// fan-in and fan-out: samples from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(shape: Vec<usize>, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    uniform(shape, -a, a, rng)
+}
+
+/// He/Kaiming uniform initialisation for ReLU networks: `U(-a, a)` with
+/// `a = sqrt(6 / fan_in)`.
+pub fn he_uniform(shape: Vec<usize>, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / fan_in as f64).sqrt() as f32;
+    uniform(shape, -a, a, rng)
+}
+
+/// Uniform initialisation in `[low, high)`.
+///
+/// # Panics
+///
+/// Panics if `low >= high`.
+pub fn uniform(shape: Vec<usize>, low: f32, high: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(low < high, "uniform init requires low < high");
+    let len: usize = shape.iter().product();
+    let data = (0..len).map(|_| rng.gen_range(low..high)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xavier_values_are_within_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let t = xavier_uniform(vec![10, 20], 10, 20, &mut rng);
+        let bound = (6.0f32 / 30.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+        assert_eq!(t.shape(), &[10, 20]);
+    }
+
+    #[test]
+    fn he_values_are_within_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = he_uniform(vec![50], 25, &mut rng);
+        let bound = (6.0f32 / 25.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn initialisation_is_deterministic_for_a_seed() {
+        let a = uniform(vec![16], -1.0, 1.0, &mut ChaCha8Rng::seed_from_u64(42));
+        let b = uniform(vec![16], -1.0, 1.0, &mut ChaCha8Rng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn initialisation_is_not_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = uniform(vec![64], -1.0, 1.0, &mut rng);
+        let first = t.data()[0];
+        assert!(t.data().iter().any(|&v| (v - first).abs() > 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn invalid_range_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        uniform(vec![1], 1.0, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,135 @@
+//! Element-wise activation layers.
+
+use super::Layer;
+use crate::{Parameter, Tensor};
+
+/// Rectified linear unit: `y = max(x, 0)`.
+#[derive(Debug, Clone, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        }
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("backward called before forward(train=true)");
+        assert_eq!(mask.len(), grad_output.len(), "relu gradient shape mismatch");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_output.shape().to_vec())
+    }
+
+    fn visit_parameters(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = input.map(|v| v.tanh());
+        if train {
+            self.output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let out = self
+            .output
+            .as_ref()
+            .expect("backward called before forward(train=true)");
+        assert_eq!(out.len(), grad_output.len(), "tanh gradient shape mismatch");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(out.data().iter())
+            .map(|(&g, &y)| g * (1.0 - y * y))
+            .collect();
+        Tensor::from_vec(data, grad_output.shape().to_vec())
+    }
+
+    fn visit_parameters(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negative_values() {
+        let mut relu = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], vec![3]);
+        assert_eq!(relu.forward(&x, false).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient_passes_only_positive_inputs() {
+        let mut relu = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0], vec![2]);
+        relu.forward(&x, true);
+        let g = relu.backward(&Tensor::from_vec(vec![5.0, 5.0], vec![2]));
+        assert_eq!(g.data(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_differences() {
+        let mut tanh = Tanh::new();
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.2], vec![3]);
+        tanh.forward(&x, true);
+        let grad = tanh.backward(&Tensor::full(vec![3], 1.0));
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let numeric =
+                (Tanh::new().forward(&xp, false).sum() - Tanh::new().forward(&xm, false).sum())
+                    / (2.0 * eps);
+            assert!((grad.data()[i] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn activations_have_no_parameters() {
+        assert_eq!(ReLU::new().parameter_count(), 0);
+        assert_eq!(Tanh::new().parameter_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn relu_backward_requires_forward() {
+        ReLU::new().backward(&Tensor::zeros(vec![1]));
+    }
+}

@@ -1,0 +1,339 @@
+//! 2D convolution layer.
+
+use super::Layer;
+use crate::init::he_uniform;
+use crate::{Parameter, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A 2D convolution over `[batch, channels, height, width]` tensors.
+///
+/// The kernel is square, with configurable stride and zero padding. This is
+/// the feature-encoding layer of the RLPlanner agent: the state tensor
+/// (occupancy map, power map, next-chiplet footprint) is encoded by a small
+/// stack of these convolutions before the policy and value heads.
+///
+/// # Examples
+///
+/// ```
+/// use rlp_nn::{layers::Conv2d, Layer, Tensor};
+/// let mut conv = Conv2d::new(2, 4, 3, 1, 1, 0);
+/// let x = Tensor::zeros(vec![1, 2, 8, 8]);
+/// let y = conv.forward(&x, false);
+/// assert_eq!(y.shape(), &[1, 4, 8, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: Parameter,
+    bias: Parameter,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialised weights and zero bias.
+    ///
+    /// `seed` makes the initialisation reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the channel counts, kernel size or stride is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+            "convolution dimensions must be positive"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fan_in = in_channels * kernel * kernel;
+        let weight = he_uniform(
+            vec![out_channels, in_channels, kernel, kernel],
+            fan_in,
+            &mut rng,
+        );
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight: Parameter::new(weight),
+            bias: Parameter::new(Tensor::zeros(vec![out_channels])),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for a given input spatial size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit into the padded input.
+    pub fn output_size(&self, height: usize, width: usize) -> (usize, usize) {
+        let padded_h = height + 2 * self.padding;
+        let padded_w = width + 2 * self.padding;
+        assert!(
+            padded_h >= self.kernel && padded_w >= self.kernel,
+            "kernel larger than padded input"
+        );
+        (
+            (padded_h - self.kernel) / self.stride + 1,
+            (padded_w - self.kernel) / self.stride + 1,
+        )
+    }
+
+    fn weight_at(&self, oc: usize, ic: usize, kh: usize, kw: usize) -> f32 {
+        let k = self.kernel;
+        self.weight.value.data()[((oc * self.in_channels + ic) * k + kh) * k + kw]
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 4, "conv input must be rank 4");
+        assert_eq!(input.shape()[1], self.in_channels, "channel mismatch");
+        let (batch, _, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (oh, ow) = self.output_size(h, w);
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        let mut out = Tensor::zeros(vec![batch, self.out_channels, oh, ow]);
+        let in_data = input.data();
+        let out_data = out.data_mut();
+        for b in 0..batch {
+            for oc in 0..self.out_channels {
+                let bias = self.bias.value.data()[oc];
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = bias;
+                        for ic in 0..self.in_channels {
+                            for kh in 0..self.kernel {
+                                let iy = (y * self.stride + kh) as isize - self.padding as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kw in 0..self.kernel {
+                                    let ix =
+                                        (x * self.stride + kw) as isize - self.padding as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let in_idx = ((b * self.in_channels + ic) * h
+                                        + iy as usize)
+                                        * w
+                                        + ix as usize;
+                                    acc += in_data[in_idx] * self.weight_at(oc, ic, kh, kw);
+                                }
+                            }
+                        }
+                        out_data[((b * self.out_channels + oc) * oh + y) * ow + x] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward(train=true)")
+            .clone();
+        let (batch, _, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (oh, ow) = self.output_size(h, w);
+        assert_eq!(
+            grad_output.shape(),
+            &[batch, self.out_channels, oh, ow],
+            "grad_output shape mismatch"
+        );
+        let mut grad_input = Tensor::zeros(input.shape().to_vec());
+        let k = self.kernel;
+        let in_data = input.data();
+        let go = grad_output.data();
+        {
+            let gw = self.weight.grad.data_mut();
+            let gb = self.bias.grad.data_mut();
+            let gi = grad_input.data_mut();
+            for b in 0..batch {
+                for oc in 0..self.out_channels {
+                    for y in 0..oh {
+                        for x in 0..ow {
+                            let g = go[((b * self.out_channels + oc) * oh + y) * ow + x];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            gb[oc] += g;
+                            for ic in 0..self.in_channels {
+                                for kh in 0..k {
+                                    let iy =
+                                        (y * self.stride + kh) as isize - self.padding as isize;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for kw in 0..k {
+                                        let ix = (x * self.stride + kw) as isize
+                                            - self.padding as isize;
+                                        if ix < 0 || ix >= w as isize {
+                                            continue;
+                                        }
+                                        let in_idx = ((b * self.in_channels + ic) * h
+                                            + iy as usize)
+                                            * w
+                                            + ix as usize;
+                                        let w_idx =
+                                            ((oc * self.in_channels + ic) * k + kh) * k + kw;
+                                        gw[w_idx] += in_data[in_idx] * g;
+                                        gi[in_idx] += self.weight.value.data()[w_idx] * g;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn visit_parameters(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_follows_stride_and_padding() {
+        let conv = Conv2d::new(1, 1, 3, 1, 1, 0);
+        assert_eq!(conv.output_size(8, 8), (8, 8));
+        let strided = Conv2d::new(1, 1, 3, 2, 1, 0);
+        assert_eq!(strided.output_size(8, 8), (4, 4));
+        let valid = Conv2d::new(1, 1, 3, 1, 0, 0);
+        assert_eq!(valid.output_size(8, 8), (6, 6));
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, 0);
+        conv.weight.value = Tensor::from_vec(vec![1.0], vec![1, 1, 1, 1]);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), vec![1, 1, 4, 4]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn averaging_kernel_computes_local_means() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, 0);
+        conv.weight.value = Tensor::full(vec![1, 1, 3, 3], 1.0 / 9.0);
+        let x = Tensor::full(vec![1, 1, 5, 5], 2.0);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        for &v in y.data() {
+            assert!((v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 11);
+        let x = Tensor::from_vec(
+            (0..2 * 2 * 4 * 4).map(|v| (v as f32 * 0.17).sin()).collect(),
+            vec![2, 2, 4, 4],
+        );
+        let y = conv.forward(&x, true);
+        let grad_in = conv.backward(&Tensor::full(y.shape().to_vec(), 1.0));
+
+        let eps = 1e-2;
+        for &i in &[0usize, 5, 17, 31, 63] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let mut probe = conv.clone();
+            let lp = probe.forward(&xp, false).sum();
+            let lm = probe.forward(&xm, false).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad_in.data()[i] - numeric).abs() < 1e-2,
+                "dx[{i}]: analytic {} vs numeric {}",
+                grad_in.data()[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, 5);
+        let x = Tensor::from_vec(
+            (0..1 * 1 * 5 * 5).map(|v| (v as f32 * 0.31).cos()).collect(),
+            vec![1, 1, 5, 5],
+        );
+        let y = conv.forward(&x, true);
+        conv.backward(&Tensor::full(y.shape().to_vec(), 1.0));
+        let analytic = conv.weight.grad.clone();
+
+        let eps = 1e-2;
+        for &i in &[0usize, 4, 9, 13, 17] {
+            let mut plus = conv.clone();
+            plus.weight.value.data_mut()[i] += eps;
+            let mut minus = conv.clone();
+            minus.weight.value.data_mut()[i] -= eps;
+            let lp = plus.forward(&x, false).sum();
+            let lm = minus.forward(&x, false).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic.data()[i] - numeric).abs() < 5e-2,
+                "dW[{i}]: analytic {} vs numeric {}",
+                analytic.data()[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_counts_output_elements() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, 0);
+        let x = Tensor::zeros(vec![2, 1, 4, 4]);
+        let y = conv.forward(&x, true);
+        conv.backward(&Tensor::full(y.shape().to_vec(), 1.0));
+        // dL/db sums the gradient over batch and spatial dims: 2*4*4 = 32.
+        assert_eq!(conv.bias.grad.data()[0], 32.0);
+    }
+
+    #[test]
+    fn parameter_count_is_correct() {
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, 0);
+        assert_eq!(conv.parameter_count(), 8 * 3 * 3 * 3 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channel_count_panics() {
+        let mut conv = Conv2d::new(2, 1, 3, 1, 1, 0);
+        conv.forward(&Tensor::zeros(vec![1, 3, 4, 4]), false);
+    }
+}

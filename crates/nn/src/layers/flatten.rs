@@ -1,0 +1,78 @@
+//! Flattening layer between convolutional and dense stages.
+
+use super::Layer;
+use crate::{Parameter, Tensor};
+
+/// Flattens `[batch, d1, d2, ...]` into `[batch, d1*d2*...]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert!(
+            input.shape().len() >= 2,
+            "flatten input must have a batch dimension"
+        );
+        if train {
+            self.input_shape = Some(input.shape().to_vec());
+        }
+        let batch = input.shape()[0];
+        let features: usize = input.shape()[1..].iter().product();
+        input.reshape(vec![batch, features])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = self
+            .input_shape
+            .as_ref()
+            .expect("backward called before forward(train=true)");
+        grad_output.reshape(shape.clone())
+    }
+
+    fn visit_parameters(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_collapses_trailing_dims() {
+        let mut flatten = Flatten::new();
+        let x = Tensor::zeros(vec![2, 3, 4, 4]);
+        let y = flatten.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 48]);
+    }
+
+    #[test]
+    fn backward_restores_original_shape() {
+        let mut flatten = Flatten::new();
+        let x = Tensor::zeros(vec![2, 3, 2, 2]);
+        let y = flatten.forward(&x, true);
+        let g = flatten.backward(&Tensor::full(y.shape().to_vec(), 1.0));
+        assert_eq!(g.shape(), &[2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn flatten_preserves_data_order() {
+        let mut flatten = Flatten::new();
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), vec![2, 2, 2]);
+        let y = flatten.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        Flatten::new().backward(&Tensor::zeros(vec![1, 1]));
+    }
+}

@@ -1,0 +1,203 @@
+//! Fully connected layer.
+
+use super::Layer;
+use crate::init::xavier_uniform;
+use crate::{Parameter, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A fully connected (dense) layer: `y = x · W + b`.
+///
+/// Input shape `[batch, in_features]`, output `[batch, out_features]`.
+///
+/// # Examples
+///
+/// ```
+/// use rlp_nn::{layers::Linear, Layer, Tensor};
+/// let mut layer = Linear::new(3, 2, 0);
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![1, 3]);
+/// let y = layer.forward(&x, true);
+/// assert_eq!(y.shape(), &[1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Parameter,
+    bias: Parameter,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialised weights and zero bias.
+    ///
+    /// `seed` makes the initialisation reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0, "layer dimensions must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let weight = xavier_uniform(
+            vec![in_features, out_features],
+            in_features,
+            out_features,
+            &mut rng,
+        );
+        Self {
+            in_features,
+            out_features,
+            weight: Parameter::new(weight),
+            bias: Parameter::new(Tensor::zeros(vec![out_features])),
+            cached_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Immutable access to the weight matrix (shape `[in, out]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "linear input must be rank 2");
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "linear input feature mismatch"
+        );
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        input
+            .matmul(&self.weight.value)
+            .add_row_broadcast(&self.bias.value)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward(train=true)");
+        assert_eq!(grad_output.shape()[0], input.shape()[0], "batch mismatch");
+        assert_eq!(grad_output.shape()[1], self.out_features, "grad feature mismatch");
+        // dL/dW = x^T · dL/dy ; dL/db = sum_rows(dL/dy) ; dL/dx = dL/dy · W^T
+        let grad_w = input.transpose().matmul(grad_output);
+        self.weight.grad.add_assign(&grad_w);
+        self.bias.grad.add_assign(&grad_output.sum_rows());
+        grad_output.matmul(&self.weight.value.transpose())
+    }
+
+    fn visit_parameters(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically checks dL/dx for L = sum(y).
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut layer = Linear::new(3, 2, 7);
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.5, 1.0, 0.1, -0.4], vec![2, 3]);
+        let y = layer.forward(&x, true);
+        let grad_out = Tensor::full(y.shape().to_vec(), 1.0);
+        let grad_in = layer.backward(&grad_out);
+
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let mut probe = layer.clone();
+            let lp = probe.forward(&xp, false).sum();
+            let lm = probe.forward(&xm, false).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad_in.data()[i] - numeric).abs() < 1e-2,
+                "dx[{i}]: analytic {} vs numeric {}",
+                grad_in.data()[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut layer = Linear::new(2, 2, 3);
+        let x = Tensor::from_vec(vec![0.5, -1.0], vec![1, 2]);
+        let y = layer.forward(&x, true);
+        layer.backward(&Tensor::full(y.shape().to_vec(), 1.0));
+        let analytic = layer.weight.grad.clone();
+
+        let eps = 1e-3;
+        for i in 0..layer.weight.value.len() {
+            let mut plus = layer.clone();
+            plus.weight.value.data_mut()[i] += eps;
+            let mut minus = layer.clone();
+            minus.weight.value.data_mut()[i] -= eps;
+            let lp = plus.forward(&x, false).sum();
+            let lm = minus.forward(&x, false).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic.data()[i] - numeric).abs() < 1e-2,
+                "dW[{i}]: analytic {} vs numeric {}",
+                analytic.data()[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn bias_shifts_output() {
+        let mut layer = Linear::new(2, 2, 0);
+        layer.bias.value = Tensor::from_vec(vec![1.0, -1.0], vec![2]);
+        let x = Tensor::zeros(vec![1, 2]);
+        let y = layer.forward(&x, false);
+        assert_eq!(y.data(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut layer = Linear::new(2, 1, 0);
+        let x = Tensor::from_vec(vec![1.0, 1.0], vec![1, 2]);
+        let y = layer.forward(&x, true);
+        let g = Tensor::full(y.shape().to_vec(), 1.0);
+        layer.backward(&g);
+        let first = layer.bias.grad.data()[0];
+        layer.forward(&x, true);
+        layer.backward(&g);
+        assert_eq!(layer.bias.grad.data()[0], 2.0 * first);
+        layer.zero_grad();
+        assert_eq!(layer.bias.grad.data()[0], 0.0);
+    }
+
+    #[test]
+    fn parameter_count_is_weights_plus_bias() {
+        let mut layer = Linear::new(4, 3, 0);
+        assert_eq!(layer.parameter_count(), 4 * 3 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut layer = Linear::new(2, 2, 0);
+        layer.backward(&Tensor::zeros(vec![1, 2]));
+    }
+}

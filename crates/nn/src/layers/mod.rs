@@ -1,0 +1,58 @@
+//! Network layers with explicit forward/backward passes.
+
+mod activation;
+mod conv;
+mod flatten;
+mod linear;
+mod sequential;
+
+pub use activation::{ReLU, Tanh};
+pub use conv::Conv2d;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use sequential::Sequential;
+
+use crate::{Parameter, Tensor};
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need during [`Layer::forward`] (inputs,
+/// activation masks, ...) so that a subsequent [`Layer::backward`] can
+/// compute gradients. Calling `backward` before `forward`, or with a
+/// gradient whose shape does not match the cached forward pass, panics.
+///
+/// Gradients of trainable parameters are **accumulated** into
+/// [`Parameter::grad`]; call [`Layer::zero_grad`] (or
+/// [`crate::Adam::zero_grad`]) between optimisation steps.
+pub trait Layer {
+    /// Runs the layer on a batch of inputs.
+    ///
+    /// `train` enables caching for a later backward pass; inference-only
+    /// calls can pass `false` to skip it.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad_output` (gradient of the loss with respect to
+    /// this layer's output), returning the gradient with respect to the
+    /// layer's input and accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass with `train = true` preceded this call.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter of the layer, in a deterministic
+    /// order.
+    fn visit_parameters(&mut self, f: &mut dyn FnMut(&mut Parameter));
+
+    /// Zeroes the gradients of all parameters.
+    fn zero_grad(&mut self) {
+        self.visit_parameters(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of scalar parameters in the layer.
+    fn parameter_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_parameters(&mut |p| count += p.value.len());
+        count
+    }
+}

@@ -1,0 +1,90 @@
+//! Minimal neural-network library for the RLPlanner agent.
+//!
+//! The Rust deep-learning ecosystem is thin, so this crate implements the
+//! small set of building blocks the paper's agent needs, from scratch:
+//!
+//! * [`Tensor`] — a dense, row-major `f32` tensor with the handful of ops
+//!   the layers use (matmul, broadcasting adds, element-wise maps).
+//! * [`layers`] — `Linear`, `Conv2d`, `ReLU`, `Tanh`, `Flatten` and a
+//!   [`layers::Sequential`] container. Every layer implements [`Layer`] with
+//!   an explicit `forward`/`backward` pair (manual backpropagation — no
+//!   autograd graph), caching whatever it needs from the forward pass.
+//! * [`optim::Adam`] — the Adam optimiser used by PPO and RND.
+//! * [`distribution::Categorical`] — a masked categorical action
+//!   distribution with sampling, log-probabilities and entropy.
+//!
+//! The networks in the paper are small (a CNN encoder over the occupancy /
+//! power / mask grid plus two fully connected heads), so clarity is favoured
+//! over vectorised performance everywhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use rlp_nn::{layers::{Linear, ReLU, Sequential}, Layer, Tensor};
+//!
+//! let mut net = Sequential::new();
+//! net.push(Linear::new(4, 8, 1));
+//! net.push(ReLU::new());
+//! net.push(Linear::new(8, 2, 2));
+//! let x = Tensor::from_vec(vec![0.5; 4], vec![1, 4]);
+//! let y = net.forward(&x, true);
+//! assert_eq!(y.shape(), &[1, 2]);
+//! ```
+
+pub mod distribution;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod tensor;
+
+pub use distribution::Categorical;
+pub use layers::Layer;
+pub use optim::Adam;
+pub use tensor::Tensor;
+
+/// A trainable parameter: its value and the gradient accumulated by the last
+/// backward pass.
+///
+/// The optimiser identifies parameters by their traversal order through
+/// [`Layer::visit_parameters`], which is deterministic for a fixed network
+/// structure.
+#[derive(Debug, Clone)]
+pub struct Parameter {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient of the loss with respect to the value.
+    pub grad: Tensor,
+}
+
+impl Parameter {
+    /// Creates a parameter with zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().to_vec());
+        Self { value, grad }
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_starts_with_zero_grad() {
+        let p = Parameter::new(Tensor::from_vec(vec![1.0, 2.0], vec![2]));
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_grad_clears_gradient() {
+        let mut p = Parameter::new(Tensor::from_vec(vec![1.0], vec![1]));
+        p.grad = Tensor::from_vec(vec![5.0], vec![1]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! The environment interface consumed by the PPO agent.
+
+use rlp_nn::Tensor;
+
+/// One observation of the environment: the state tensor fed to the policy
+/// network and the mask of currently feasible actions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// State tensor *without* a batch dimension (e.g. `[channels, h, w]`).
+    pub state: Tensor,
+    /// `action_mask[a]` is `true` when action `a` is feasible in this state.
+    pub action_mask: Vec<bool>,
+}
+
+impl Observation {
+    /// Creates an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is empty or disables every action.
+    pub fn new(state: Tensor, action_mask: Vec<bool>) -> Self {
+        assert!(!action_mask.is_empty(), "action mask must not be empty");
+        assert!(
+            action_mask.iter().any(|&m| m),
+            "observation must have at least one feasible action"
+        );
+        Self { state, action_mask }
+    }
+
+    /// Number of feasible actions in this observation.
+    pub fn feasible_count(&self) -> usize {
+        self.action_mask.iter().filter(|&&m| m).count()
+    }
+}
+
+/// Result of taking one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Observation after the step; `None` when the episode terminated and no
+    /// further action will be taken.
+    pub observation: Option<Observation>,
+    /// Scalar reward for the transition.
+    pub reward: f64,
+    /// `true` when the episode has ended.
+    pub done: bool,
+}
+
+/// A sequential decision problem with a discrete, maskable action space.
+///
+/// RLPlanner's floorplanning environment places one chiplet per step; the
+/// episode ends when every chiplet is placed and the final reward combines
+/// wirelength and peak temperature.
+pub trait Environment {
+    /// Resets the environment and returns the initial observation.
+    fn reset(&mut self) -> Observation;
+
+    /// Applies an action.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the action is infeasible (the agent is
+    /// expected to respect the action mask) or if the episode already ended.
+    fn step(&mut self, action: usize) -> StepResult;
+
+    /// Size of the (flat) discrete action space.
+    fn action_count(&self) -> usize;
+
+    /// Shape of the observation state tensor (without batch dimension).
+    fn observation_shape(&self) -> Vec<usize>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_counts_feasible_actions() {
+        let obs = Observation::new(Tensor::zeros(vec![2]), vec![true, false, true]);
+        assert_eq!(obs.feasible_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one feasible action")]
+    fn observation_requires_a_feasible_action() {
+        Observation::new(Tensor::zeros(vec![1]), vec![false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn observation_requires_nonempty_mask() {
+        Observation::new(Tensor::zeros(vec![1]), vec![]);
+    }
+}

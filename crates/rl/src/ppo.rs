@@ -1,0 +1,489 @@
+//! Proximal policy optimisation with action masking.
+
+use crate::actor_critic::ActorCritic;
+use crate::buffer::{RolloutBuffer, Transition};
+use crate::env::{Environment, Observation};
+use crate::rnd::RandomNetworkDistillation;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rlp_nn::layers::Layer;
+use rlp_nn::optim::clip_grad_norm;
+use rlp_nn::{Adam, Categorical, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the PPO agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpoConfig {
+    /// Discount factor.
+    pub gamma: f64,
+    /// GAE smoothing factor.
+    pub gae_lambda: f64,
+    /// Clipping range of the probability ratio.
+    pub clip_epsilon: f32,
+    /// Weight of the entropy bonus.
+    pub entropy_coef: f32,
+    /// Weight of the value loss.
+    pub value_coef: f32,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Optimisation epochs per update.
+    pub epochs: usize,
+    /// Minibatch size per gradient step.
+    pub minibatch_size: usize,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f32,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.99,
+            gae_lambda: 0.95,
+            clip_epsilon: 0.2,
+            entropy_coef: 0.01,
+            value_coef: 0.5,
+            learning_rate: 3e-4,
+            epochs: 4,
+            minibatch_size: 64,
+            max_grad_norm: 0.5,
+        }
+    }
+}
+
+impl PpoConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.gamma) {
+            return Err(format!("gamma must be in [0, 1], got {}", self.gamma));
+        }
+        if !(0.0..=1.0).contains(&self.gae_lambda) {
+            return Err(format!("gae_lambda must be in [0, 1], got {}", self.gae_lambda));
+        }
+        if self.clip_epsilon <= 0.0 {
+            return Err("clip_epsilon must be positive".to_string());
+        }
+        if self.learning_rate <= 0.0 {
+            return Err("learning_rate must be positive".to_string());
+        }
+        if self.epochs == 0 || self.minibatch_size == 0 {
+            return Err("epochs and minibatch_size must be positive".to_string());
+        }
+        if self.max_grad_norm <= 0.0 {
+            return Err("max_grad_norm must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of sampling an action for one observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActionSample {
+    /// Sampled action index.
+    pub action: usize,
+    /// Log-probability of the action under the current policy.
+    pub log_prob: f32,
+    /// Value estimate of the observed state.
+    pub value: f32,
+}
+
+/// Aggregate statistics of one PPO update.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PpoStats {
+    /// Mean clipped policy loss.
+    pub policy_loss: f32,
+    /// Mean value loss.
+    pub value_loss: f32,
+    /// Mean policy entropy.
+    pub entropy: f32,
+    /// Number of gradient steps taken.
+    pub gradient_steps: usize,
+}
+
+/// A PPO agent wrapping an [`ActorCritic`] model.
+pub struct PpoAgent {
+    model: ActorCritic,
+    optimizer: Adam,
+    config: PpoConfig,
+    rng: ChaCha8Rng,
+}
+
+impl PpoAgent {
+    /// Creates an agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(model: ActorCritic, config: PpoConfig, seed: u64) -> Self {
+        config.validate().expect("invalid PPO configuration");
+        let optimizer = Adam::new(config.learning_rate);
+        Self {
+            model,
+            optimizer,
+            config,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &PpoConfig {
+        &self.config
+    }
+
+    /// Immutable access to the underlying model.
+    pub fn model(&self) -> &ActorCritic {
+        &self.model
+    }
+
+    /// Mutable access to the underlying model (e.g. for checkpointing).
+    pub fn model_mut(&mut self) -> &mut ActorCritic {
+        &mut self.model
+    }
+
+    fn batch_of_one(observation: &Observation) -> Tensor {
+        let mut shape = vec![1];
+        shape.extend_from_slice(observation.state.shape());
+        observation.state.reshape(shape)
+    }
+
+    /// Samples an action from the masked policy for a single observation.
+    pub fn select_action(&mut self, observation: &Observation) -> ActionSample {
+        let states = Self::batch_of_one(observation);
+        let (logits, values) = self.model.evaluate(&states, false);
+        let dist = Categorical::from_logits(logits.row(0).data(), Some(&observation.action_mask));
+        let action = dist.sample(&mut self.rng);
+        ActionSample {
+            action,
+            log_prob: dist.log_prob(action),
+            value: values.get(&[0, 0]),
+        }
+    }
+
+    /// Picks the most probable feasible action (no exploration).
+    pub fn greedy_action(&mut self, observation: &Observation) -> usize {
+        let states = Self::batch_of_one(observation);
+        let (logits, _) = self.model.evaluate(&states, false);
+        Categorical::from_logits(logits.row(0).data(), Some(&observation.action_mask)).argmax()
+    }
+
+    /// Value estimate of a single observation.
+    pub fn value_of(&mut self, observation: &Observation) -> f32 {
+        let states = Self::batch_of_one(observation);
+        let (_, values) = self.model.evaluate(&states, false);
+        values.get(&[0, 0])
+    }
+
+    /// Plays one full episode in `env`, appending transitions to `buffer`.
+    ///
+    /// When an RND module is supplied, intrinsic rewards are added to each
+    /// transition and the predictor network is trained on the visited states
+    /// at the end of the episode (the "RLPlanner (RND)" variant).
+    ///
+    /// Returns the total extrinsic episode reward.
+    pub fn collect_episode(
+        &mut self,
+        env: &mut dyn Environment,
+        buffer: &mut RolloutBuffer,
+        mut rnd: Option<&mut RandomNetworkDistillation>,
+    ) -> f64 {
+        let mut observation = env.reset();
+        let mut episode_reward = 0.0;
+        let mut visited_states = Vec::new();
+        loop {
+            let sample = self.select_action(&observation);
+            let step = env.step(sample.action);
+            episode_reward += step.reward;
+            let intrinsic = match (&mut rnd, &step.observation) {
+                (Some(rnd), Some(next)) => {
+                    visited_states.push(next.state.clone());
+                    rnd.bonus(&next.state)
+                }
+                _ => 0.0,
+            };
+            buffer.push(Transition {
+                state: observation.state.clone(),
+                action_mask: observation.action_mask.clone(),
+                action: sample.action,
+                log_prob: sample.log_prob,
+                value: sample.value,
+                reward: step.reward,
+                intrinsic_reward: intrinsic,
+                done: step.done,
+            });
+            if step.done {
+                break;
+            }
+            observation = step
+                .observation
+                .expect("non-terminal step must produce an observation");
+        }
+        if let Some(rnd) = rnd {
+            if !visited_states.is_empty() {
+                let refs: Vec<&Tensor> = visited_states.iter().collect();
+                rnd.update(&refs);
+            }
+        }
+        episode_reward
+    }
+
+    /// Runs a PPO update on the collected rollout and clears nothing — the
+    /// caller decides when to clear the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn update(&mut self, buffer: &mut RolloutBuffer) -> PpoStats {
+        assert!(!buffer.is_empty(), "cannot update from an empty rollout");
+        buffer.compute_gae(self.config.gamma, self.config.gae_lambda, 0.0);
+        let n = buffer.len();
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut stats = PpoStats::default();
+        let mut accumulated_entropy = 0.0f32;
+        let mut entropy_samples = 0usize;
+
+        for _ in 0..self.config.epochs {
+            indices.shuffle(&mut self.rng);
+            for chunk in indices.chunks(self.config.minibatch_size) {
+                let states = buffer.stacked_states_for(chunk);
+                self.model.zero_grad();
+                let (logits, values) = self.model.evaluate(&states, true);
+                let batch = chunk.len();
+                let actions = self.model.action_count();
+                let mut grad_logits = Tensor::zeros(vec![batch, actions]);
+                let mut grad_values = Tensor::zeros(vec![batch, 1]);
+                let mut policy_loss = 0.0f32;
+                let mut value_loss = 0.0f32;
+
+                for (row, &idx) in chunk.iter().enumerate() {
+                    let transition = &buffer.transitions()[idx];
+                    let advantage = buffer.advantages()[idx];
+                    let target_return = buffer.returns()[idx];
+                    let dist = Categorical::from_logits(
+                        logits.row(row).data(),
+                        Some(&transition.action_mask),
+                    );
+                    let new_log_prob = dist.log_prob(transition.action);
+                    let ratio = (new_log_prob - transition.log_prob).exp();
+                    let clipped_ratio = ratio
+                        .clamp(1.0 - self.config.clip_epsilon, 1.0 + self.config.clip_epsilon);
+                    let unclipped = ratio * advantage;
+                    let clipped = clipped_ratio * advantage;
+                    policy_loss += -unclipped.min(clipped);
+
+                    // Gradient of -min(unclipped, clipped) wrt the new log-prob:
+                    // zero when the clipped branch is active.
+                    let d_loss_d_logp = if unclipped <= clipped { -ratio * advantage } else { 0.0 };
+                    let logp_grad = dist.log_prob_grad_logits(transition.action);
+                    let entropy_grad = dist.entropy_grad_logits();
+                    for a in 0..actions {
+                        let g = d_loss_d_logp * logp_grad[a]
+                            - self.config.entropy_coef * entropy_grad[a];
+                        grad_logits.set(&[row, a], g / batch as f32);
+                    }
+
+                    let value = values.get(&[row, 0]);
+                    let v_err = value - target_return;
+                    value_loss += v_err * v_err;
+                    grad_values.set(
+                        &[row, 0],
+                        self.config.value_coef * 2.0 * v_err / batch as f32,
+                    );
+
+                    accumulated_entropy += dist.entropy();
+                    entropy_samples += 1;
+                }
+
+                self.model.backward_heads(&grad_logits, &grad_values);
+                clip_grad_norm(&mut self.model, self.config.max_grad_norm);
+                self.optimizer.step(&mut self.model);
+
+                stats.policy_loss += policy_loss / batch as f32;
+                stats.value_loss += value_loss / batch as f32;
+                stats.gradient_steps += 1;
+            }
+        }
+
+        if stats.gradient_steps > 0 {
+            stats.policy_loss /= stats.gradient_steps as f32;
+            stats.value_loss /= stats.gradient_steps as f32;
+        }
+        if entropy_samples > 0 {
+            stats.entropy = accumulated_entropy / entropy_samples as f32;
+        }
+        stats
+    }
+}
+
+impl std::fmt::Debug for PpoAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PpoAgent")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::StepResult;
+    use rlp_nn::layers::{Linear, ReLU, Sequential};
+
+    /// A one-step bandit: three actions with rewards 0.0, 1.0 and 0.2.
+    struct Bandit {
+        mask: Vec<bool>,
+    }
+
+    impl Bandit {
+        fn new() -> Self {
+            Self {
+                mask: vec![true, true, true],
+            }
+        }
+        fn masked() -> Self {
+            Self {
+                mask: vec![true, false, true],
+            }
+        }
+    }
+
+    impl Environment for Bandit {
+        fn reset(&mut self) -> Observation {
+            Observation::new(Tensor::from_vec(vec![1.0, 0.0], vec![2]), self.mask.clone())
+        }
+        fn step(&mut self, action: usize) -> StepResult {
+            assert!(self.mask[action], "agent picked a masked action");
+            let reward = match action {
+                1 => 1.0,
+                2 => 0.2,
+                _ => 0.0,
+            };
+            StepResult {
+                observation: None,
+                reward,
+                done: true,
+            }
+        }
+        fn action_count(&self) -> usize {
+            3
+        }
+        fn observation_shape(&self) -> Vec<usize> {
+            vec![2]
+        }
+    }
+
+    fn bandit_agent(seed: u64) -> PpoAgent {
+        let mut encoder = Sequential::new();
+        encoder.push(Linear::new(2, 16, seed));
+        encoder.push(ReLU::new());
+        let model = ActorCritic::new(encoder, 16, 3, seed + 1);
+        let config = PpoConfig {
+            learning_rate: 0.01,
+            epochs: 4,
+            minibatch_size: 16,
+            entropy_coef: 0.001,
+            ..PpoConfig::default()
+        };
+        PpoAgent::new(model, config, seed)
+    }
+
+    #[test]
+    fn ppo_learns_the_best_bandit_arm() {
+        let mut agent = bandit_agent(3);
+        let mut env = Bandit::new();
+        for _ in 0..40 {
+            let mut buffer = RolloutBuffer::new();
+            for _ in 0..16 {
+                agent.collect_episode(&mut env, &mut buffer, None);
+            }
+            agent.update(&mut buffer);
+        }
+        let obs = env.reset();
+        assert_eq!(agent.greedy_action(&obs), 1, "agent failed to learn the best arm");
+    }
+
+    #[test]
+    fn masked_actions_are_never_selected() {
+        let mut agent = bandit_agent(5);
+        let mut env = Bandit::masked();
+        // The environment asserts that masked actions are never stepped.
+        for _ in 0..10 {
+            let mut buffer = RolloutBuffer::new();
+            for _ in 0..8 {
+                agent.collect_episode(&mut env, &mut buffer, None);
+            }
+            agent.update(&mut buffer);
+        }
+        let obs = env.reset();
+        let action = agent.greedy_action(&obs);
+        assert_ne!(action, 1);
+    }
+
+    #[test]
+    fn value_estimate_converges_towards_mean_reward() {
+        let mut agent = bandit_agent(9);
+        let mut env = Bandit::new();
+        for _ in 0..50 {
+            let mut buffer = RolloutBuffer::new();
+            for _ in 0..16 {
+                agent.collect_episode(&mut env, &mut buffer, None);
+            }
+            agent.update(&mut buffer);
+        }
+        let obs = env.reset();
+        let value = agent.value_of(&obs);
+        // Once the policy prefers arm 1, the value should approach 1.0.
+        assert!(value > 0.5, "value {value}");
+    }
+
+    #[test]
+    fn update_reports_statistics() {
+        let mut agent = bandit_agent(1);
+        let mut env = Bandit::new();
+        let mut buffer = RolloutBuffer::new();
+        for _ in 0..8 {
+            agent.collect_episode(&mut env, &mut buffer, None);
+        }
+        let stats = agent.update(&mut buffer);
+        assert!(stats.gradient_steps > 0);
+        assert!(stats.entropy > 0.0);
+        assert!(stats.value_loss >= 0.0);
+    }
+
+    #[test]
+    fn collect_episode_accumulates_reward() {
+        let mut agent = bandit_agent(2);
+        let mut env = Bandit::new();
+        let mut buffer = RolloutBuffer::new();
+        let reward = agent.collect_episode(&mut env, &mut buffer, None);
+        assert_eq!(buffer.len(), 1);
+        assert!((0.0..=1.0).contains(&reward));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rollout")]
+    fn update_requires_data() {
+        let mut agent = bandit_agent(0);
+        agent.update(&mut RolloutBuffer::new());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(PpoConfig {
+            gamma: 1.5,
+            ..PpoConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PpoConfig {
+            epochs: 0,
+            ..PpoConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PpoConfig::default().validate().is_ok());
+    }
+}

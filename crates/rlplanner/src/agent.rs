@@ -1,0 +1,153 @@
+//! Builders for the RLPlanner agent networks.
+//!
+//! The paper's agent is a CNN feature encoder shared by a policy head (a
+//! probability over grid cells) and a value head, trained with PPO and
+//! optionally augmented with an RND exploration bonus. These builders size
+//! the networks for a given environment observation shape and action count.
+
+use rlp_nn::layers::{Conv2d, Flatten, Linear, ReLU, Sequential};
+use rlp_rl::{ActorCritic, RandomNetworkDistillation};
+use serde::{Deserialize, Serialize};
+
+/// Agent network hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// Channel widths of the two convolutional encoder stages.
+    pub conv_channels: (usize, usize),
+    /// Width of the shared fully connected feature layer.
+    pub feature_dim: usize,
+    /// Hidden width of the RND networks.
+    pub rnd_hidden_dim: usize,
+    /// Embedding width of the RND networks.
+    pub rnd_embedding_dim: usize,
+    /// Scale of the RND intrinsic reward.
+    pub rnd_bonus_scale: f64,
+    /// Seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        Self {
+            conv_channels: (8, 16),
+            feature_dim: 128,
+            rnd_hidden_dim: 128,
+            rnd_embedding_dim: 32,
+            rnd_bonus_scale: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds the CNN actor-critic network for an observation of shape
+/// `[channels, rows, cols]` and a discrete action space of `action_count`
+/// cells.
+///
+/// The encoder is two stride-2 convolutions followed by a fully connected
+/// feature layer; the policy and value heads sit on top of the shared
+/// features, as described in the paper.
+///
+/// # Panics
+///
+/// Panics if the observation shape is not rank 3 or the grid is too small
+/// for two stride-2 convolutions.
+pub fn build_actor_critic(
+    observation_shape: &[usize],
+    action_count: usize,
+    config: &AgentConfig,
+) -> ActorCritic {
+    assert_eq!(
+        observation_shape.len(),
+        3,
+        "observation must be [channels, rows, cols]"
+    );
+    let (channels, rows, cols) = (
+        observation_shape[0],
+        observation_shape[1],
+        observation_shape[2],
+    );
+    let (c1, c2) = config.conv_channels;
+    let conv1 = Conv2d::new(channels, c1, 3, 2, 1, config.seed.wrapping_add(1));
+    let (h1, w1) = conv1.output_size(rows, cols);
+    let conv2 = Conv2d::new(c1, c2, 3, 2, 1, config.seed.wrapping_add(2));
+    let (h2, w2) = conv2.output_size(h1, w1);
+    assert!(h2 > 0 && w2 > 0, "grid too small for the CNN encoder");
+    let flat_dim = c2 * h2 * w2;
+
+    let mut encoder = Sequential::new();
+    encoder.push(conv1);
+    encoder.push(ReLU::new());
+    encoder.push(conv2);
+    encoder.push(ReLU::new());
+    encoder.push(Flatten::new());
+    encoder.push(Linear::new(flat_dim, config.feature_dim, config.seed.wrapping_add(3)));
+    encoder.push(ReLU::new());
+
+    ActorCritic::new(encoder, config.feature_dim, action_count, config.seed)
+}
+
+/// Builds the RND exploration module for a flattened observation of the
+/// given shape.
+pub fn build_rnd(observation_shape: &[usize], config: &AgentConfig) -> RandomNetworkDistillation {
+    let input_dim: usize = observation_shape.iter().product();
+    RandomNetworkDistillation::new(
+        input_dim,
+        config.rnd_hidden_dim,
+        config.rnd_embedding_dim,
+        config.rnd_bonus_scale,
+        config.seed.wrapping_add(1000),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlp_nn::Tensor;
+
+    #[test]
+    fn actor_critic_matches_environment_dimensions() {
+        let config = AgentConfig::default();
+        let mut model = build_actor_critic(&[4, 16, 16], 256, &config);
+        assert_eq!(model.action_count(), 256);
+        let states = Tensor::zeros(vec![2, 4, 16, 16]);
+        let (logits, values) = model.evaluate(&states, false);
+        assert_eq!(logits.shape(), &[2, 256]);
+        assert_eq!(values.shape(), &[2, 1]);
+    }
+
+    #[test]
+    fn encoder_handles_non_square_grids() {
+        let config = AgentConfig::default();
+        let mut model = build_actor_critic(&[4, 12, 20], 240, &config);
+        let (logits, _) = model.evaluate(&Tensor::zeros(vec![1, 4, 12, 20]), false);
+        assert_eq!(logits.shape(), &[1, 240]);
+    }
+
+    #[test]
+    fn network_size_scales_with_config() {
+        let small = AgentConfig {
+            conv_channels: (4, 8),
+            feature_dim: 32,
+            ..AgentConfig::default()
+        };
+        let large = AgentConfig::default();
+        let mut small_model = build_actor_critic(&[4, 16, 16], 256, &small);
+        let mut large_model = build_actor_critic(&[4, 16, 16], 256, &large);
+        assert!(small_model.parameter_count() < large_model.parameter_count());
+    }
+
+    #[test]
+    fn rnd_matches_flattened_observation() {
+        let config = AgentConfig::default();
+        let mut rnd = build_rnd(&[4, 16, 16], &config);
+        assert_eq!(rnd.input_dim(), 4 * 16 * 16);
+        let bonus = rnd.bonus(&Tensor::zeros(vec![4, 16, 16]));
+        assert!(bonus.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "observation must be")]
+    fn flat_observation_is_rejected() {
+        build_actor_critic(&[16], 16, &AgentConfig::default());
+    }
+}

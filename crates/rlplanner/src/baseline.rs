@@ -1,0 +1,155 @@
+//! The TAP-2.5D simulated-annealing baseline.
+//!
+//! The paper compares RLPlanner against TAP-2.5D in two configurations:
+//! annealing with the full HotSpot-style solver in the loop, and annealing
+//! with the fast thermal model. Both are expressed here by constructing the
+//! baseline with the corresponding [`rlp_thermal::ThermalAnalyzer`].
+
+use crate::reward::{RewardBreakdown, RewardCalculator, RewardConfig};
+use rlp_chiplet::{ChipletSystem, Placement};
+use rlp_sa::{InitialPlacementError, SaConfig, SaPlanner};
+use rlp_thermal::ThermalAnalyzer;
+use std::time::Duration;
+
+/// Outcome of a baseline run.
+#[derive(Debug, Clone)]
+pub struct Tap25dResult {
+    /// Best placement found by the annealer.
+    pub best_placement: Placement,
+    /// Reward breakdown of the best placement.
+    pub best_breakdown: RewardBreakdown,
+    /// Number of objective (reward) evaluations performed.
+    pub evaluations: usize,
+    /// Wall-clock runtime of the anneal.
+    pub runtime: Duration,
+}
+
+/// The SA-based thermally-aware placer used as the paper's baseline.
+#[derive(Debug, Clone)]
+pub struct Tap25dBaseline<A> {
+    reward: RewardCalculator<A>,
+    sa_config: SaConfig,
+}
+
+impl<A: ThermalAnalyzer> Tap25dBaseline<A> {
+    /// Creates a baseline for a system, thermal backend and reward weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid.
+    pub fn new(
+        system: ChipletSystem,
+        analyzer: A,
+        reward_config: RewardConfig,
+        sa_config: SaConfig,
+    ) -> Self {
+        sa_config.validate().expect("invalid SA configuration");
+        Self {
+            reward: RewardCalculator::new(system, analyzer, reward_config),
+            sa_config,
+        }
+    }
+
+    /// The reward calculator (shared objective with RLPlanner).
+    pub fn reward_calculator(&self) -> &RewardCalculator<A> {
+        &self.reward
+    }
+
+    /// The annealing configuration.
+    pub fn sa_config(&self) -> &SaConfig {
+        &self.sa_config
+    }
+
+    /// Runs the anneal and evaluates the best placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InitialPlacementError`] if no legal starting placement
+    /// exists on the configured grid.
+    pub fn run(&self) -> Result<Tap25dResult, InitialPlacementError> {
+        let planner = SaPlanner::new(self.reward.system().clone(), self.sa_config.clone());
+        let sa_result = planner.run(&self.reward)?;
+        let best_breakdown = self
+            .reward
+            .evaluate(&sa_result.best_placement)
+            .unwrap_or(RewardBreakdown {
+                reward: sa_result.best_objective,
+                wirelength_mm: f64::NAN,
+                max_temperature_c: f64::NAN,
+            });
+        Ok(Tap25dResult {
+            best_placement: sa_result.best_placement,
+            best_breakdown,
+            evaluations: sa_result.evaluations,
+            runtime: sa_result.runtime,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlp_chiplet::{Chiplet, Net};
+    use rlp_thermal::{
+        CharacterizationOptions, FastThermalModel, GridThermalSolver, ThermalConfig,
+    };
+
+    fn system() -> ChipletSystem {
+        let mut sys = ChipletSystem::new("t", 36.0, 36.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 9.0, 9.0, 30.0));
+        let b = sys.add_chiplet(Chiplet::new("b", 7.0, 7.0, 15.0));
+        let c = sys.add_chiplet(Chiplet::new("c", 5.0, 5.0, 5.0));
+        sys.add_net(Net::new(a, b, 64));
+        sys.add_net(Net::new(b, c, 16));
+        sys
+    }
+
+    fn quick_sa(seed: u64) -> SaConfig {
+        SaConfig {
+            initial_temperature: 2.0,
+            final_temperature: 0.05,
+            cooling_rate: 0.85,
+            moves_per_temperature: 15,
+            grid: (12, 12),
+            seed,
+            ..SaConfig::default()
+        }
+    }
+
+    #[test]
+    fn baseline_with_fast_model_improves_over_random_start() {
+        let model = FastThermalModel::characterize(
+            &ThermalConfig::with_grid(12, 12),
+            36.0,
+            36.0,
+            &CharacterizationOptions {
+                footprint_samples_mm: vec![4.0, 8.0, 12.0],
+                distance_bins: 16,
+                ..CharacterizationOptions::default()
+            },
+        )
+        .unwrap();
+        let baseline = Tap25dBaseline::new(system(), model, RewardConfig::default(), quick_sa(0));
+        let result = baseline.run().unwrap();
+        assert!(result.best_placement.is_complete());
+        assert!(result.best_breakdown.reward < 0.0);
+        assert!(result.best_breakdown.wirelength_mm > 0.0);
+        assert!(result.evaluations > 10);
+        assert!(system()
+            .validate_placement(&result.best_placement, 0.2)
+            .is_ok());
+    }
+
+    #[test]
+    fn baseline_with_grid_solver_runs() {
+        let solver = GridThermalSolver::new(ThermalConfig::with_grid(10, 10));
+        let sa = SaConfig {
+            max_evaluations: Some(30),
+            ..quick_sa(1)
+        };
+        let baseline = Tap25dBaseline::new(system(), solver, RewardConfig::default(), sa);
+        let result = baseline.run().unwrap();
+        assert!(result.best_placement.is_complete());
+        assert!(result.evaluations <= 30);
+    }
+}

@@ -1,0 +1,133 @@
+//! `rlplanner-cli` — run any benchmark system through any of the four
+//! methods from the command line.
+//!
+//! ```text
+//! rlplanner_cli <system> <method> [episodes-or-evals]
+//!
+//!   <system>   multi-gpu | cpu-dram | ascend910 | case1..case5
+//!   <method>   rl | rl-rnd | sa-hotspot | sa-fast
+//!   [budget]   RL training episodes or SA objective evaluations (default 100)
+//! ```
+//!
+//! Prints the reward breakdown and the final placement as JSON on stdout.
+
+use rlp_benchmarks::{ascend910_system, cpu_dram_system, multi_gpu_system, synthetic_case};
+use rlp_chiplet::ChipletSystem;
+use rlp_sa::SaConfig;
+use rlp_thermal::{CharacterizationOptions, FastThermalModel, GridThermalSolver, ThermalConfig};
+use rlplanner::{RewardBreakdown, RewardConfig, RlPlanner, RlPlannerConfig, Tap25dBaseline};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rlplanner_cli <multi-gpu|cpu-dram|ascend910|case1..case5> <rl|rl-rnd|sa-hotspot|sa-fast> [budget]");
+    ExitCode::from(2)
+}
+
+fn load_system(name: &str) -> Option<ChipletSystem> {
+    match name {
+        "multi-gpu" => Some(multi_gpu_system()),
+        "cpu-dram" => Some(cpu_dram_system()),
+        "ascend910" => Some(ascend910_system()),
+        _ => name
+            .strip_prefix("case")
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|n| (1..=5).contains(n))
+            .map(synthetic_case),
+    }
+}
+
+fn print_result(system: &ChipletSystem, breakdown: &RewardBreakdown, placement: &rlp_chiplet::Placement) {
+    println!(
+        "reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C",
+        breakdown.reward, breakdown.wirelength_mm, breakdown.max_temperature_c
+    );
+    match serde_json::to_string_pretty(placement) {
+        Ok(json) => println!("{json}"),
+        Err(err) => eprintln!("could not serialise the placement: {err}"),
+    }
+    let _ = system;
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        return usage();
+    }
+    let Some(system) = load_system(&args[1]) else {
+        eprintln!("unknown system `{}`", args[1]);
+        return usage();
+    };
+    let budget: usize = args
+        .get(3)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let thermal_config = ThermalConfig::with_grid(32, 32);
+    let reward_config = RewardConfig::default();
+
+    let characterize = || {
+        FastThermalModel::characterize(
+            &thermal_config,
+            system.interposer_width(),
+            system.interposer_height(),
+            &CharacterizationOptions::default(),
+        )
+        .expect("fast-model characterisation failed")
+    };
+
+    match args[2].as_str() {
+        "rl" | "rl-rnd" => {
+            let mut planner = RlPlanner::new(
+                system.clone(),
+                characterize(),
+                reward_config,
+                RlPlannerConfig {
+                    episodes: budget,
+                    use_rnd: args[2] == "rl-rnd",
+                    ..RlPlannerConfig::default()
+                },
+            );
+            let result = planner.train();
+            eprintln!(
+                "trained {} episodes in {:.2?}",
+                result.episodes_run, result.runtime
+            );
+            print_result(&system, &result.best_breakdown, &result.best_placement);
+        }
+        "sa-hotspot" | "sa-fast" => {
+            let sa_config = SaConfig {
+                max_evaluations: Some(budget),
+                final_temperature: 1e-6,
+                ..SaConfig::default()
+            };
+            let result = if args[2] == "sa-hotspot" {
+                Tap25dBaseline::new(
+                    system.clone(),
+                    GridThermalSolver::new(thermal_config.clone()),
+                    reward_config,
+                    sa_config,
+                )
+                .run()
+            } else {
+                Tap25dBaseline::new(system.clone(), characterize(), reward_config, sa_config).run()
+            };
+            match result {
+                Ok(result) => {
+                    eprintln!(
+                        "annealed with {} evaluations in {:.2?}",
+                        result.evaluations, result.runtime
+                    );
+                    print_result(&system, &result.best_breakdown, &result.best_placement);
+                }
+                Err(err) => {
+                    eprintln!("annealing failed: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown method `{other}`");
+            return usage();
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,58 @@
+//! RLPlanner: reinforcement-learning chiplet floorplanning with fast thermal
+//! analysis — a Rust reproduction of the DATE 2024 paper.
+//!
+//! The crate assembles the substrates of this workspace into the paper's
+//! tool (Fig. 1 of the paper):
+//!
+//! * [`RewardCalculator`] — the thermal-aware reward
+//!   `R = −λ·W − µ·(max(T−T₀, 0))^α / (1 + e^−(T−T₀))` evaluated after
+//!   microbump assignment, with either thermal backend (the HotSpot-style
+//!   grid solver or the fast LTI model) plugged in through
+//!   [`rlp_thermal::ThermalAnalyzer`].
+//! * [`FloorplanEnv`] — the chiplet floorplanning environment: chiplets are
+//!   placed sequentially on a grid, the state tensor carries occupancy,
+//!   power and feasibility channels, and infeasible cells are masked out of
+//!   the action distribution.
+//! * [`agent`] — builders for the CNN policy/value network and the RND
+//!   exploration module sized for a given environment.
+//! * [`RlPlanner`] — the PPO training loop (with optional RND bonus) that
+//!   produces the best floorplan found during training.
+//! * [`Tap25dBaseline`] — the simulated-annealing baseline (TAP-2.5D) run on
+//!   the same reward, used for the paper's Table I / Table III comparisons.
+//!
+//! # Examples
+//!
+//! Training a tiny planner on a two-chiplet system with the fast thermal
+//! model (reduced budgets so the example runs quickly):
+//!
+//! ```no_run
+//! use rlp_chiplet::{Chiplet, ChipletSystem, Net};
+//! use rlp_thermal::{CharacterizationOptions, FastThermalModel, ThermalConfig};
+//! use rlplanner::{RewardConfig, RlPlanner, RlPlannerConfig};
+//!
+//! let mut system = ChipletSystem::new("demo", 30.0, 30.0);
+//! let a = system.add_chiplet(Chiplet::new("a", 8.0, 8.0, 25.0));
+//! let b = system.add_chiplet(Chiplet::new("b", 6.0, 6.0, 10.0));
+//! system.add_net(Net::new(a, b, 64));
+//!
+//! let thermal = FastThermalModel::characterize(
+//!     &ThermalConfig::with_grid(16, 16), 30.0, 30.0,
+//!     &CharacterizationOptions::default()).unwrap();
+//! let mut planner = RlPlanner::new(
+//!     system, thermal, RewardConfig::default(),
+//!     RlPlannerConfig { episodes: 50, ..RlPlannerConfig::default() });
+//! let result = planner.train();
+//! println!("best reward {:.3}", result.best_breakdown.reward);
+//! ```
+
+pub mod agent;
+pub mod baseline;
+pub mod env;
+pub mod planner;
+pub mod reward;
+
+pub use agent::AgentConfig;
+pub use baseline::{Tap25dBaseline, Tap25dResult};
+pub use env::{EnvConfig, FloorplanEnv};
+pub use planner::{RlPlanner, RlPlannerConfig, TrainingResult};
+pub use reward::{RewardBreakdown, RewardCalculator, RewardConfig};

@@ -1,0 +1,349 @@
+//! The RLPlanner training loop.
+
+use crate::agent::{build_actor_critic, build_rnd, AgentConfig};
+use crate::env::{EnvConfig, FloorplanEnv};
+use crate::reward::{RewardBreakdown, RewardCalculator, RewardConfig};
+use rlp_chiplet::{ChipletSystem, Placement};
+use rlp_rl::{Environment, PpoAgent, PpoConfig, RandomNetworkDistillation, RolloutBuffer};
+use rlp_thermal::ThermalAnalyzer;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Training-loop configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RlPlannerConfig {
+    /// Total number of training episodes (the paper trains for 600 epochs on
+    /// its benchmarks; examples and tests use far fewer).
+    pub episodes: usize,
+    /// Episodes collected per PPO update.
+    pub episodes_per_update: usize,
+    /// Enables the RND exploration bonus (the "RLPlanner (RND)" variant).
+    pub use_rnd: bool,
+    /// PPO hyper-parameters.
+    pub ppo: PpoConfig,
+    /// Agent network hyper-parameters.
+    pub agent: AgentConfig,
+    /// Environment parameters.
+    pub env: EnvConfig,
+    /// Random seed for action sampling and minibatch shuffling.
+    pub seed: u64,
+    /// Optional wall-clock budget; training stops early when exceeded.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for RlPlannerConfig {
+    fn default() -> Self {
+        Self {
+            episodes: 600,
+            episodes_per_update: 8,
+            use_rnd: false,
+            ppo: PpoConfig {
+                learning_rate: 1e-3,
+                minibatch_size: 32,
+                ..PpoConfig::default()
+            },
+            agent: AgentConfig::default(),
+            env: EnvConfig::default(),
+            seed: 0,
+            time_budget: None,
+        }
+    }
+}
+
+impl RlPlannerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.episodes == 0 || self.episodes_per_update == 0 {
+            return Err("episode counts must be positive".to_string());
+        }
+        self.ppo.validate()
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainingResult {
+    /// Best complete placement encountered during training.
+    pub best_placement: Placement,
+    /// Reward breakdown of the best placement.
+    pub best_breakdown: RewardBreakdown,
+    /// Episode rewards in training order.
+    pub reward_history: Vec<f64>,
+    /// Number of episodes actually run (may be fewer than configured when a
+    /// time budget is set).
+    pub episodes_run: usize,
+    /// Wall-clock training time.
+    pub runtime: Duration,
+}
+
+impl TrainingResult {
+    /// Mean reward over the last `window` episodes (or all of them if fewer).
+    pub fn recent_mean_reward(&self, window: usize) -> f64 {
+        if self.reward_history.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        let tail = &self.reward_history[self.reward_history.len().saturating_sub(window)..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// The RLPlanner: a PPO agent training on the floorplanning environment.
+pub struct RlPlanner<A> {
+    env: FloorplanEnv<A>,
+    agent: PpoAgent,
+    rnd: Option<RandomNetworkDistillation>,
+    config: RlPlannerConfig,
+}
+
+impl<A: ThermalAnalyzer> RlPlanner<A> {
+    /// Builds a planner for a system with the given thermal backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration is invalid.
+    pub fn new(
+        system: ChipletSystem,
+        analyzer: A,
+        reward_config: RewardConfig,
+        config: RlPlannerConfig,
+    ) -> Self {
+        config.validate().expect("invalid RLPlanner configuration");
+        let reward = RewardCalculator::new(system, analyzer, reward_config);
+        let env = FloorplanEnv::new(reward, config.env);
+        let observation_shape = env.observation_shape();
+        let action_count = env.action_count();
+        let model = build_actor_critic(&observation_shape, action_count, &config.agent);
+        let agent = PpoAgent::new(model, config.ppo.clone(), config.seed);
+        let rnd = if config.use_rnd {
+            Some(build_rnd(&observation_shape, &config.agent))
+        } else {
+            None
+        };
+        Self {
+            env,
+            agent,
+            rnd,
+            config,
+        }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &RlPlannerConfig {
+        &self.config
+    }
+
+    /// The underlying environment (e.g. to inspect the reward calculator).
+    pub fn env(&self) -> &FloorplanEnv<A> {
+        &self.env
+    }
+
+    /// Runs the training loop and returns the best floorplan found.
+    ///
+    /// # Panics
+    ///
+    /// Panics if training never produces a complete placement (which would
+    /// mean the grid is too coarse for the system — enlarge the grid or the
+    /// interposer).
+    pub fn train(&mut self) -> TrainingResult {
+        let start = Instant::now();
+        let mut reward_history = Vec::with_capacity(self.config.episodes);
+        let mut best: Option<(Placement, RewardBreakdown)> = None;
+        let mut buffer = RolloutBuffer::new();
+        let mut episodes_run = 0usize;
+
+        'training: while episodes_run < self.config.episodes {
+            buffer.clear();
+            for _ in 0..self.config.episodes_per_update {
+                if episodes_run >= self.config.episodes {
+                    break;
+                }
+                if let Some(budget) = self.config.time_budget {
+                    if start.elapsed() > budget {
+                        break 'training;
+                    }
+                }
+                let episode_reward =
+                    self.agent
+                        .collect_episode(&mut self.env, &mut buffer, self.rnd.as_mut());
+                episodes_run += 1;
+                reward_history.push(episode_reward);
+                if let Some(breakdown) = self.env.last_breakdown() {
+                    let is_better = best
+                        .as_ref()
+                        .map(|(_, b)| breakdown.reward > b.reward)
+                        .unwrap_or(true);
+                    if is_better {
+                        best = Some((self.env.placement().clone(), breakdown));
+                    }
+                }
+            }
+            if !buffer.is_empty() {
+                self.agent.update(&mut buffer);
+            }
+        }
+
+        let (best_placement, best_breakdown) = best.expect(
+            "training never produced a complete placement; increase the grid resolution",
+        );
+        TrainingResult {
+            best_placement,
+            best_breakdown,
+            reward_history,
+            episodes_run,
+            runtime: start.elapsed(),
+        }
+    }
+
+    /// Runs one greedy (argmax) episode with the current policy and returns
+    /// its breakdown, or `None` if the greedy episode failed to complete a
+    /// placement.
+    pub fn evaluate_greedy(&mut self) -> Option<RewardBreakdown> {
+        let mut observation = self.env.reset();
+        loop {
+            let action = self.agent.greedy_action(&observation);
+            let step = self.env.step(action);
+            if step.done {
+                return self.env.last_breakdown();
+            }
+            observation = step.observation.expect("non-terminal step has an observation");
+        }
+    }
+}
+
+impl<A> std::fmt::Debug for RlPlanner<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RlPlanner")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlp_chiplet::{Chiplet, Net};
+    use rlp_thermal::{CharacterizationOptions, FastThermalModel, ThermalConfig};
+
+    fn small_system() -> ChipletSystem {
+        let mut sys = ChipletSystem::new("t", 36.0, 36.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 9.0, 9.0, 30.0));
+        let b = sys.add_chiplet(Chiplet::new("b", 7.0, 7.0, 15.0));
+        let c = sys.add_chiplet(Chiplet::new("c", 5.0, 5.0, 5.0));
+        sys.add_net(Net::new(a, b, 64));
+        sys.add_net(Net::new(b, c, 16));
+        sys
+    }
+
+    fn fast_model(size: f64) -> FastThermalModel {
+        FastThermalModel::characterize(
+            &ThermalConfig::with_grid(12, 12),
+            size,
+            size,
+            &CharacterizationOptions {
+                footprint_samples_mm: vec![4.0, 8.0, 12.0],
+                distance_bins: 16,
+                ..CharacterizationOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn quick_config(episodes: usize, use_rnd: bool) -> RlPlannerConfig {
+        RlPlannerConfig {
+            episodes,
+            episodes_per_update: 4,
+            use_rnd,
+            env: EnvConfig {
+                grid: (12, 12),
+                min_spacing_mm: 0.2,
+            },
+            agent: AgentConfig {
+                conv_channels: (4, 8),
+                feature_dim: 32,
+                rnd_hidden_dim: 32,
+                rnd_embedding_dim: 8,
+                ..AgentConfig::default()
+            },
+            ..RlPlannerConfig::default()
+        }
+    }
+
+    #[test]
+    fn training_produces_a_legal_best_placement() {
+        let system = small_system();
+        let mut planner = RlPlanner::new(
+            system.clone(),
+            fast_model(36.0),
+            RewardConfig::default(),
+            quick_config(12, false),
+        );
+        let result = planner.train();
+        assert_eq!(result.episodes_run, 12);
+        assert_eq!(result.reward_history.len(), 12);
+        assert!(result.best_placement.is_complete());
+        assert!(system
+            .validate_placement(&result.best_placement, 0.2)
+            .is_ok());
+        assert!(result.best_breakdown.reward < 0.0);
+        assert!(result.best_breakdown.wirelength_mm > 0.0);
+        assert!(result.recent_mean_reward(4).is_finite());
+    }
+
+    #[test]
+    fn rnd_variant_trains_too() {
+        let system = small_system();
+        let mut planner = RlPlanner::new(
+            system,
+            fast_model(36.0),
+            RewardConfig::default(),
+            quick_config(8, true),
+        );
+        let result = planner.train();
+        assert!(result.best_placement.is_complete());
+    }
+
+    #[test]
+    fn greedy_evaluation_completes_a_placement() {
+        let system = small_system();
+        let mut planner = RlPlanner::new(
+            system,
+            fast_model(36.0),
+            RewardConfig::default(),
+            quick_config(8, false),
+        );
+        planner.train();
+        let breakdown = planner.evaluate_greedy();
+        assert!(breakdown.is_some());
+    }
+
+    #[test]
+    fn time_budget_stops_training_early() {
+        let system = small_system();
+        let mut planner = RlPlanner::new(
+            system,
+            fast_model(36.0),
+            RewardConfig::default(),
+            RlPlannerConfig {
+                time_budget: Some(Duration::from_millis(1)),
+                ..quick_config(1000, false)
+            },
+        );
+        let result = planner.train();
+        assert!(result.episodes_run < 1000);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(RlPlannerConfig {
+            episodes: 0,
+            ..RlPlannerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RlPlannerConfig::default().validate().is_ok());
+    }
+}

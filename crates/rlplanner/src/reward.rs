@@ -1,0 +1,269 @@
+//! The thermal-aware reward calculator.
+
+use rlp_chiplet::bumps::BumpConfig;
+use rlp_chiplet::wirelength::bump_aware_wirelength;
+use rlp_chiplet::{ChipletSystem, Placement};
+use rlp_sa::Objective;
+use rlp_thermal::{ThermalAnalyzer, ThermalError};
+use serde::{Deserialize, Serialize};
+
+/// Weights and limits of the reward function
+/// `R = −λ·W − µ·(max(T−T₀, 0))^α / (1 + e^−(T−T₀))`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// Wirelength weight λ, in reward units per millimetre.
+    pub lambda: f64,
+    /// Temperature weight µ.
+    pub mu: f64,
+    /// Temperature limit T₀ in degrees Celsius.
+    pub temperature_limit_c: f64,
+    /// Exponent α that keeps the penalty smooth around T₀.
+    pub alpha: f64,
+    /// Microbump geometry used for the wirelength evaluation.
+    pub bump_config: BumpConfig,
+    /// Reward assigned to placements that cannot be evaluated (incomplete or
+    /// thermally unsolvable); strongly negative so optimisers avoid them.
+    pub infeasible_penalty: f64,
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 3e-4,
+            mu: 0.5,
+            temperature_limit_c: 90.0,
+            alpha: 2.0,
+            bump_config: BumpConfig::default(),
+            infeasible_penalty: -100.0,
+        }
+    }
+}
+
+impl RewardConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.lambda < 0.0 || self.mu < 0.0 {
+            return Err("lambda and mu must be non-negative".to_string());
+        }
+        if self.alpha <= 0.0 {
+            return Err("alpha must be positive".to_string());
+        }
+        if !self.temperature_limit_c.is_finite() {
+            return Err("temperature limit must be finite".to_string());
+        }
+        if self.infeasible_penalty >= 0.0 {
+            return Err("the infeasible penalty must be negative".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The three quantities the paper reports per design: reward, total
+/// wirelength and maximum operating temperature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardBreakdown {
+    /// Combined reward (higher is better, always negative in practice).
+    pub reward: f64,
+    /// Total bump-to-bump wirelength in millimetres.
+    pub wirelength_mm: f64,
+    /// Maximum chiplet temperature in degrees Celsius.
+    pub max_temperature_c: f64,
+}
+
+/// Evaluates the reward of complete placements using a pluggable thermal
+/// backend — the grid solver for "(HotSpot)" rows and the fast model for
+/// "(Fast Thermal Model)" rows of the paper's tables.
+#[derive(Debug, Clone)]
+pub struct RewardCalculator<A> {
+    system: ChipletSystem,
+    analyzer: A,
+    config: RewardConfig,
+}
+
+impl<A: ThermalAnalyzer> RewardCalculator<A> {
+    /// Creates a calculator for a system and thermal backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reward configuration is invalid.
+    pub fn new(system: ChipletSystem, analyzer: A, config: RewardConfig) -> Self {
+        config.validate().expect("invalid reward configuration");
+        Self {
+            system,
+            analyzer,
+            config,
+        }
+    }
+
+    /// The system being evaluated.
+    pub fn system(&self) -> &ChipletSystem {
+        &self.system
+    }
+
+    /// The reward configuration.
+    pub fn config(&self) -> &RewardConfig {
+        &self.config
+    }
+
+    /// The thermal backend.
+    pub fn analyzer(&self) -> &A {
+        &self.analyzer
+    }
+
+    /// Temperature penalty term of the reward for a given peak temperature.
+    pub fn temperature_penalty(&self, max_temperature_c: f64) -> f64 {
+        let excess = (max_temperature_c - self.config.temperature_limit_c).max(0.0);
+        let sigmoid = 1.0 + (-(max_temperature_c - self.config.temperature_limit_c)).exp();
+        self.config.mu * excess.powf(self.config.alpha) / sigmoid
+    }
+
+    /// Evaluates a complete placement: microbump assignment, wirelength and
+    /// thermal analysis, combined into the paper's reward.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ThermalError`] if the placement is incomplete or the
+    /// thermal backend fails.
+    pub fn evaluate(&self, placement: &Placement) -> Result<RewardBreakdown, ThermalError> {
+        let wirelength_mm =
+            bump_aware_wirelength(&self.system, placement, &self.config.bump_config)?;
+        let max_temperature_c = self.analyzer.max_temperature(&self.system, placement)?;
+        let reward = -self.config.lambda * wirelength_mm - self.temperature_penalty(max_temperature_c);
+        Ok(RewardBreakdown {
+            reward,
+            wirelength_mm,
+            max_temperature_c,
+        })
+    }
+
+    /// Like [`RewardCalculator::evaluate`] but maps failures to the
+    /// configured infeasible penalty, which is what optimisation loops need.
+    pub fn reward_or_penalty(&self, placement: &Placement) -> f64 {
+        self.evaluate(placement)
+            .map(|b| b.reward)
+            .unwrap_or(self.config.infeasible_penalty)
+    }
+}
+
+impl<A: ThermalAnalyzer> Objective for RewardCalculator<A> {
+    fn evaluate(&self, placement: &Placement) -> f64 {
+        self.reward_or_penalty(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlp_chiplet::{Chiplet, Net, Position};
+    use rlp_thermal::{GridThermalSolver, ThermalConfig};
+
+    fn system() -> ChipletSystem {
+        let mut sys = ChipletSystem::new("t", 40.0, 40.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 8.0, 8.0, 30.0));
+        let b = sys.add_chiplet(Chiplet::new("b", 8.0, 8.0, 30.0));
+        sys.add_net(Net::new(a, b, 64));
+        sys
+    }
+
+    fn calculator() -> RewardCalculator<GridThermalSolver> {
+        RewardCalculator::new(
+            system(),
+            GridThermalSolver::new(ThermalConfig::with_grid(12, 12)),
+            RewardConfig::default(),
+        )
+    }
+
+    fn placement(gap: f64) -> Placement {
+        let sys = system();
+        let ids: Vec<_> = sys.chiplet_ids().collect();
+        let mut p = Placement::for_system(&sys);
+        p.place(ids[0], Position::new(4.0, 16.0));
+        p.place(ids[1], Position::new(12.0 + gap, 16.0));
+        p
+    }
+
+    #[test]
+    fn reward_is_negative_and_decomposes() {
+        let calc = calculator();
+        let breakdown = calc.evaluate(&placement(4.0)).unwrap();
+        assert!(breakdown.reward < 0.0);
+        assert!(breakdown.wirelength_mm > 0.0);
+        assert!(breakdown.max_temperature_c > 45.0);
+        let expected = -calc.config().lambda * breakdown.wirelength_mm
+            - calc.temperature_penalty(breakdown.max_temperature_c);
+        assert!((breakdown.reward - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longer_wires_hurt_the_reward() {
+        let calc = calculator();
+        let near = calc.evaluate(&placement(2.0)).unwrap();
+        let far = calc.evaluate(&placement(18.0)).unwrap();
+        assert!(far.wirelength_mm > near.wirelength_mm);
+        // With the default weights, wirelength dominates at these (cool)
+        // temperatures, so the farther placement is worse.
+        assert!(far.reward < near.reward);
+    }
+
+    #[test]
+    fn temperature_penalty_is_zero_well_below_the_limit() {
+        let calc = calculator();
+        assert!(calc.temperature_penalty(60.0) < 1e-9);
+        assert_eq!(calc.temperature_penalty(calc.config().temperature_limit_c), 0.0);
+        assert!(calc.temperature_penalty(100.0) > 1.0);
+    }
+
+    #[test]
+    fn temperature_penalty_is_monotone_above_the_limit() {
+        let calc = calculator();
+        let p95 = calc.temperature_penalty(95.0);
+        let p100 = calc.temperature_penalty(100.0);
+        let p110 = calc.temperature_penalty(110.0);
+        assert!(p95 < p100 && p100 < p110);
+    }
+
+    #[test]
+    fn incomplete_placement_gets_the_penalty() {
+        let calc = calculator();
+        let sys = system();
+        let ids: Vec<_> = sys.chiplet_ids().collect();
+        let mut p = Placement::for_system(&sys);
+        p.place(ids[0], Position::new(4.0, 16.0));
+        assert!(calc.evaluate(&p).is_err());
+        assert_eq!(calc.reward_or_penalty(&p), calc.config().infeasible_penalty);
+    }
+
+    #[test]
+    fn objective_trait_matches_reward_or_penalty() {
+        let calc = calculator();
+        let p = placement(6.0);
+        assert_eq!(Objective::evaluate(&calc, &p), calc.reward_or_penalty(&p));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(RewardConfig {
+            lambda: -1.0,
+            ..RewardConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RewardConfig {
+            alpha: 0.0,
+            ..RewardConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RewardConfig {
+            infeasible_penalty: 1.0,
+            ..RewardConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RewardConfig::default().validate().is_ok());
+    }
+}

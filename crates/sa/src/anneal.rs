@@ -1,0 +1,358 @@
+//! The simulated-annealing loop.
+
+use crate::moves::{apply_move, propose_move, random_initial_placement, InitialPlacementError};
+use crate::objective::Objective;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rlp_chiplet::{ChipletSystem, Placement, PlacementGrid};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Annealing schedule and search parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Starting temperature of the schedule (in objective units).
+    pub initial_temperature: f64,
+    /// Temperature at which the schedule stops.
+    pub final_temperature: f64,
+    /// Geometric cooling factor applied after every temperature step.
+    pub cooling_rate: f64,
+    /// Number of proposed moves per temperature step.
+    pub moves_per_temperature: usize,
+    /// Minimum spacing between chiplets in millimetres.
+    pub min_spacing_mm: f64,
+    /// Placement grid resolution (columns, rows).
+    pub grid: (usize, usize),
+    /// Random seed.
+    pub seed: u64,
+    /// Optional wall-clock budget; the anneal stops early when exceeded.
+    pub time_budget: Option<Duration>,
+    /// Optional cap on objective evaluations; used to give the SA baseline
+    /// the same evaluation budget as an RL training run.
+    pub max_evaluations: Option<usize>,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        Self {
+            initial_temperature: 1.0,
+            final_temperature: 1e-3,
+            cooling_rate: 0.95,
+            moves_per_temperature: 50,
+            min_spacing_mm: 0.2,
+            grid: (16, 16),
+            seed: 0,
+            time_budget: None,
+            max_evaluations: None,
+        }
+    }
+}
+
+impl SaConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial_temperature <= 0.0 || self.final_temperature <= 0.0 {
+            return Err("temperatures must be positive".to_string());
+        }
+        if self.final_temperature > self.initial_temperature {
+            return Err("final temperature must not exceed the initial temperature".to_string());
+        }
+        if !(0.0 < self.cooling_rate && self.cooling_rate < 1.0) {
+            return Err("cooling rate must be in (0, 1)".to_string());
+        }
+        if self.moves_per_temperature == 0 {
+            return Err("moves_per_temperature must be positive".to_string());
+        }
+        if self.grid.0 == 0 || self.grid.1 == 0 {
+            return Err("grid must be non-empty".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaResult {
+    /// Best placement found.
+    pub best_placement: Placement,
+    /// Objective of the best placement.
+    pub best_objective: f64,
+    /// Objective of the initial placement (before any move).
+    pub initial_objective: f64,
+    /// Number of objective evaluations performed.
+    pub evaluations: usize,
+    /// Number of accepted moves.
+    pub accepted_moves: usize,
+    /// Wall-clock duration of the search.
+    pub runtime: Duration,
+}
+
+/// A simulated-annealing floorplanner over a fixed chiplet system.
+#[derive(Debug, Clone)]
+pub struct SaPlanner {
+    system: ChipletSystem,
+    config: SaConfig,
+}
+
+impl SaPlanner {
+    /// Creates a planner for a system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use [`SaConfig::validate`] to
+    /// check beforehand.
+    pub fn new(system: ChipletSystem, config: SaConfig) -> Self {
+        config.validate().expect("invalid SA configuration");
+        Self { system, config }
+    }
+
+    /// The system being floorplanned.
+    pub fn system(&self) -> &ChipletSystem {
+        &self.system
+    }
+
+    /// The annealing configuration.
+    pub fn config(&self) -> &SaConfig {
+        &self.config
+    }
+
+    /// Runs the anneal, maximising `objective`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InitialPlacementError`] if no legal initial placement exists
+    /// on the configured grid.
+    pub fn run(&self, objective: &dyn Objective) -> Result<SaResult, InitialPlacementError> {
+        let start = Instant::now();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let grid = PlacementGrid::new(self.config.grid.0, self.config.grid.1);
+
+        // The random constructor places chiplets one at a time without
+        // backtracking, so on tightly packed systems a single attempt can
+        // strand a chiplet. Retry a bounded number of times before giving up.
+        let mut current = None;
+        let mut last_error = None;
+        for _ in 0..32 {
+            match random_initial_placement(
+                &self.system,
+                &grid,
+                self.config.min_spacing_mm,
+                &mut rng,
+            ) {
+                Ok(placement) => {
+                    current = Some(placement);
+                    break;
+                }
+                Err(err) => last_error = Some(err),
+            }
+        }
+        let mut current = match current {
+            Some(placement) => placement,
+            None => return Err(last_error.expect("at least one attempt was made")),
+        };
+        let mut current_objective = objective.evaluate(&current);
+        let initial_objective = current_objective;
+        let mut best = current.clone();
+        let mut best_objective = current_objective;
+        let mut evaluations = 1usize;
+        let mut accepted_moves = 0usize;
+
+        let mut temperature = self.config.initial_temperature;
+        'outer: while temperature > self.config.final_temperature {
+            for _ in 0..self.config.moves_per_temperature {
+                if let Some(budget) = self.config.time_budget {
+                    if start.elapsed() > budget {
+                        break 'outer;
+                    }
+                }
+                if let Some(max_evals) = self.config.max_evaluations {
+                    if evaluations >= max_evals {
+                        break 'outer;
+                    }
+                }
+                let candidate_move = propose_move(&self.system, &grid, &mut rng);
+                let Some(candidate) = apply_move(
+                    &self.system,
+                    &grid,
+                    &current,
+                    candidate_move,
+                    self.config.min_spacing_mm,
+                ) else {
+                    continue;
+                };
+                let candidate_objective = objective.evaluate(&candidate);
+                evaluations += 1;
+                let delta = candidate_objective - current_objective;
+                let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temperature).exp();
+                if accept {
+                    current = candidate;
+                    current_objective = candidate_objective;
+                    accepted_moves += 1;
+                    if current_objective > best_objective {
+                        best_objective = current_objective;
+                        best = current.clone();
+                    }
+                }
+            }
+            temperature *= self.config.cooling_rate;
+        }
+
+        Ok(SaResult {
+            best_placement: best,
+            best_objective,
+            initial_objective,
+            evaluations,
+            accepted_moves,
+            runtime: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlp_chiplet::{wirelength::total_wirelength, Chiplet, Net};
+
+    fn connected_system() -> ChipletSystem {
+        let mut sys = ChipletSystem::new("t", 40.0, 40.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 8.0, 8.0, 20.0));
+        let b = sys.add_chiplet(Chiplet::new("b", 8.0, 8.0, 20.0));
+        let c = sys.add_chiplet(Chiplet::new("c", 6.0, 6.0, 10.0));
+        sys.add_net(Net::new(a, b, 64));
+        sys.add_net(Net::new(b, c, 16));
+        sys
+    }
+
+    fn quick_config(seed: u64) -> SaConfig {
+        SaConfig {
+            initial_temperature: 2.0,
+            final_temperature: 0.01,
+            cooling_rate: 0.9,
+            moves_per_temperature: 40,
+            seed,
+            ..SaConfig::default()
+        }
+    }
+
+    #[test]
+    fn annealing_reduces_wirelength() {
+        let sys = connected_system();
+        let planner = SaPlanner::new(sys.clone(), quick_config(0));
+        // Maximise the negative wirelength (i.e. minimise wirelength).
+        let objective = {
+            let sys = sys.clone();
+            move |p: &Placement| -total_wirelength(&sys, p)
+        };
+        let result = planner.run(&objective).unwrap();
+        assert!(result.best_objective >= result.initial_objective);
+        assert!(result.accepted_moves > 0);
+        assert!(result.evaluations > 10);
+        assert!(sys.validate_placement(&result.best_placement, 0.2).is_ok());
+        // The optimum pulls connected chiplets together; the final wirelength
+        // should be well below a spread-out placement's.
+        let wl = total_wirelength(&sys, &result.best_placement);
+        assert!(wl < 64.0 * 30.0, "wirelength {wl} too large");
+    }
+
+    #[test]
+    fn different_seeds_explore_differently_but_both_improve() {
+        let sys = connected_system();
+        let objective = {
+            let sys = sys.clone();
+            move |p: &Placement| -total_wirelength(&sys, p)
+        };
+        let r1 = SaPlanner::new(sys.clone(), quick_config(1))
+            .run(&objective)
+            .unwrap();
+        let r2 = SaPlanner::new(sys.clone(), quick_config(2))
+            .run(&objective)
+            .unwrap();
+        assert!(r1.best_objective >= r1.initial_objective);
+        assert!(r2.best_objective >= r2.initial_objective);
+    }
+
+    #[test]
+    fn evaluation_budget_is_respected() {
+        let sys = connected_system();
+        let config = SaConfig {
+            max_evaluations: Some(25),
+            ..quick_config(3)
+        };
+        let planner = SaPlanner::new(sys.clone(), config);
+        let objective = {
+            let sys = sys.clone();
+            move |p: &Placement| -total_wirelength(&sys, p)
+        };
+        let result = planner.run(&objective).unwrap();
+        assert!(result.evaluations <= 25);
+    }
+
+    #[test]
+    fn time_budget_stops_the_search() {
+        let sys = connected_system();
+        let config = SaConfig {
+            time_budget: Some(Duration::from_millis(0)),
+            ..quick_config(4)
+        };
+        let planner = SaPlanner::new(sys.clone(), config);
+        let objective = {
+            let sys = sys.clone();
+            move |p: &Placement| -total_wirelength(&sys, p)
+        };
+        let result = planner.run(&objective).unwrap();
+        // Only the initial evaluation happens before the budget check trips.
+        assert_eq!(result.evaluations, 1);
+    }
+
+    #[test]
+    fn best_placement_is_always_legal() {
+        let sys = connected_system();
+        let planner = SaPlanner::new(sys.clone(), quick_config(5));
+        let objective = |_: &Placement| 0.0; // flat objective: accept everything
+        let result = planner.run(&objective).unwrap();
+        assert!(sys
+            .validate_placement(&result.best_placement, 0.2)
+            .is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SaConfig {
+            cooling_rate: 1.5,
+            ..SaConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SaConfig {
+            final_temperature: 10.0,
+            initial_temperature: 1.0,
+            ..SaConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SaConfig {
+            moves_per_temperature: 0,
+            ..SaConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SaConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SA configuration")]
+    fn planner_rejects_invalid_config() {
+        SaPlanner::new(
+            connected_system(),
+            SaConfig {
+                initial_temperature: -1.0,
+                ..SaConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Simulated-annealing chiplet floorplanner (the TAP-2.5D style baseline).
+//!
+//! The paper compares RLPlanner against TAP-2.5D, a thermally-aware
+//! simulated-annealing placer. This crate reproduces that baseline:
+//!
+//! * placements live on the same [`rlp_chiplet::PlacementGrid`] the RL
+//!   environment uses, so both optimisers search the same space;
+//! * the annealer proposes *relocate*, *swap* and *rotate* moves, always
+//!   keeping the placement legal (inside the interposer, minimum spacing);
+//! * the objective is supplied by the caller through the [`Objective`]
+//!   trait, which is how the harness swaps "TAP-2.5D (HotSpot)" for
+//!   "TAP-2.5D (fast thermal model)" — same annealer, different thermal
+//!   backend inside the objective.
+//!
+//! The annealer **maximises** the objective (the paper's reward is a
+//! negative cost, so larger is better).
+
+pub mod anneal;
+pub mod moves;
+pub mod objective;
+
+pub use anneal::{SaConfig, SaPlanner, SaResult};
+pub use moves::{InitialPlacementError, Move};
+pub use objective::Objective;

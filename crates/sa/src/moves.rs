@@ -1,0 +1,312 @@
+//! Legal move generation for the annealer.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rlp_chiplet::{
+    ChipletId, ChipletSystem, Placement, PlacementGrid, Rotation,
+};
+use std::error::Error;
+use std::fmt;
+
+/// One annealing move, mirroring the TAP-2.5D move set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Re-place one chiplet on a different feasible grid cell.
+    Relocate {
+        /// The chiplet being moved.
+        chiplet: ChipletId,
+        /// Destination grid cell.
+        cell: usize,
+    },
+    /// Exchange the positions (and rotations) of two chiplets.
+    Swap {
+        /// First chiplet.
+        first: ChipletId,
+        /// Second chiplet.
+        second: ChipletId,
+    },
+    /// Toggle the 90° rotation of a chiplet in place.
+    Rotate {
+        /// The chiplet being rotated.
+        chiplet: ChipletId,
+    },
+}
+
+/// Error returned when no legal initial placement could be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InitialPlacementError {
+    /// The chiplet that could not be placed.
+    pub chiplet: ChipletId,
+}
+
+impl fmt::Display for InitialPlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "could not find a feasible cell for {} while building the initial placement",
+            self.chiplet
+        )
+    }
+}
+
+impl Error for InitialPlacementError {}
+
+/// Builds a random legal initial placement by placing chiplets in order of
+/// decreasing area, each on a random feasible grid cell.
+///
+/// # Errors
+///
+/// Returns [`InitialPlacementError`] if some chiplet has no feasible cell,
+/// which usually means the grid is too coarse or the interposer too small.
+pub fn random_initial_placement(
+    system: &ChipletSystem,
+    grid: &PlacementGrid,
+    min_spacing_mm: f64,
+    rng: &mut impl Rng,
+) -> Result<Placement, InitialPlacementError> {
+    let mut order: Vec<ChipletId> = system.chiplet_ids().collect();
+    order.sort_by(|&a, &b| {
+        system
+            .chiplet(b)
+            .area()
+            .partial_cmp(&system.chiplet(a).area())
+            .expect("chiplet areas are finite")
+    });
+    let mut placement = Placement::for_system(system);
+    for id in order {
+        let mask = grid.feasibility_mask(system, &placement, id, Rotation::None, min_spacing_mm);
+        let feasible: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &ok)| ok)
+            .map(|(cell, _)| cell)
+            .collect();
+        let Some(&cell) = feasible.choose(rng) else {
+            return Err(InitialPlacementError { chiplet: id });
+        };
+        grid.apply_action(system, &mut placement, id, Rotation::None, cell)
+            .expect("feasible cell is in range");
+    }
+    Ok(placement)
+}
+
+/// Proposes a random move. The move is *not* yet checked for legality; use
+/// [`apply_move`] which validates and returns the modified placement only if
+/// it stays legal.
+pub fn propose_move(
+    system: &ChipletSystem,
+    grid: &PlacementGrid,
+    rng: &mut impl Rng,
+) -> Move {
+    let ids: Vec<ChipletId> = system.chiplet_ids().collect();
+    let pick = |rng: &mut dyn rand::RngCore| ids[rng.gen_range(0..ids.len())];
+    match rng.gen_range(0..10) {
+        // Relocations dominate, as in TAP-2.5D.
+        0..=5 => Move::Relocate {
+            chiplet: pick(rng),
+            cell: rng.gen_range(0..grid.cell_count()),
+        },
+        6..=8 if ids.len() >= 2 => {
+            let first = pick(rng);
+            let mut second = pick(rng);
+            while second == first {
+                second = pick(rng);
+            }
+            Move::Swap { first, second }
+        }
+        _ => Move::Rotate { chiplet: pick(rng) },
+    }
+}
+
+/// Applies a move to a copy of the placement, returning the new placement if
+/// it is legal (every chiplet inside the interposer and spacing respected).
+pub fn apply_move(
+    system: &ChipletSystem,
+    grid: &PlacementGrid,
+    placement: &Placement,
+    candidate: Move,
+    min_spacing_mm: f64,
+) -> Option<Placement> {
+    let mut next = placement.clone();
+    match candidate {
+        Move::Relocate { chiplet, cell } => {
+            let rotation = next.rotation(chiplet).unwrap_or(Rotation::None);
+            grid.apply_action(system, &mut next, chiplet, rotation, cell)
+                .ok()?;
+        }
+        Move::Swap { first, second } => {
+            let a = next.position(first)?;
+            let ra = next.rotation(first)?;
+            let b = next.position(second)?;
+            let rb = next.rotation(second)?;
+            // Swap centre locations, keeping each chiplet's own rotation.
+            let centre_a = placement.center_of(first, system)?;
+            let centre_b = placement.center_of(second, system)?;
+            let (wa, ha) = system.chiplet(first).footprint(ra);
+            let (wb, hb) = system.chiplet(second).footprint(rb);
+            next.place_rotated(
+                first,
+                rlp_chiplet::Position::new(centre_b.x - wa / 2.0, centre_b.y - ha / 2.0),
+                ra,
+            );
+            next.place_rotated(
+                second,
+                rlp_chiplet::Position::new(centre_a.x - wb / 2.0, centre_a.y - hb / 2.0),
+                rb,
+            );
+            let _ = (a, b);
+        }
+        Move::Rotate { chiplet } => {
+            let centre = placement.center_of(chiplet, system)?;
+            let rotation = next.rotation(chiplet)?.toggled();
+            let (w, h) = system.chiplet(chiplet).footprint(rotation);
+            next.place_rotated(
+                chiplet,
+                rlp_chiplet::Position::new(centre.x - w / 2.0, centre.y - h / 2.0),
+                rotation,
+            );
+        }
+    }
+    if system.validate_placement(&next, min_spacing_mm).is_ok() {
+        Some(next)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rlp_chiplet::Chiplet;
+
+    fn system() -> ChipletSystem {
+        let mut sys = ChipletSystem::new("t", 40.0, 40.0);
+        sys.add_chiplet(Chiplet::new("a", 8.0, 8.0, 20.0));
+        sys.add_chiplet(Chiplet::new("b", 6.0, 10.0, 10.0));
+        sys.add_chiplet(Chiplet::new("c", 5.0, 5.0, 5.0));
+        sys
+    }
+
+    #[test]
+    fn initial_placement_is_legal() {
+        let sys = system();
+        let grid = PlacementGrid::new(16, 16);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..20 {
+            let p = random_initial_placement(&sys, &grid, 0.2, &mut rng).unwrap();
+            assert!(p.is_complete());
+            assert!(sys.validate_placement(&p, 0.2).is_ok());
+        }
+    }
+
+    #[test]
+    fn initial_placement_fails_on_impossible_instances() {
+        let mut sys = ChipletSystem::new("tiny", 10.0, 10.0);
+        sys.add_chiplet(Chiplet::new("a", 8.0, 8.0, 1.0));
+        sys.add_chiplet(Chiplet::new("b", 8.0, 8.0, 1.0));
+        let grid = PlacementGrid::new(8, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(random_initial_placement(&sys, &grid, 0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn applied_moves_preserve_legality() {
+        let sys = system();
+        let grid = PlacementGrid::new(16, 16);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut placement = random_initial_placement(&sys, &grid, 0.2, &mut rng).unwrap();
+        let mut applied = 0;
+        for _ in 0..500 {
+            let candidate = propose_move(&sys, &grid, &mut rng);
+            if let Some(next) = apply_move(&sys, &grid, &placement, candidate, 0.2) {
+                assert!(sys.validate_placement(&next, 0.2).is_ok());
+                placement = next;
+                applied += 1;
+            }
+        }
+        assert!(applied > 50, "too few legal moves applied: {applied}");
+    }
+
+    #[test]
+    fn swap_exchanges_centres() {
+        let sys = system();
+        let ids: Vec<_> = sys.chiplet_ids().collect();
+        let grid = PlacementGrid::new(20, 20);
+        let mut placement = Placement::for_system(&sys);
+        grid.apply_action(&sys, &mut placement, ids[0], Rotation::None, grid.cell_index(5, 5))
+            .unwrap();
+        grid.apply_action(&sys, &mut placement, ids[1], Rotation::None, grid.cell_index(14, 14))
+            .unwrap();
+        grid.apply_action(&sys, &mut placement, ids[2], Rotation::None, grid.cell_index(5, 14))
+            .unwrap();
+        let before_a = placement.center_of(ids[0], &sys).unwrap();
+        let before_b = placement.center_of(ids[1], &sys).unwrap();
+        let next = apply_move(
+            &sys,
+            &grid,
+            &placement,
+            Move::Swap {
+                first: ids[0],
+                second: ids[1],
+            },
+            0.2,
+        )
+        .unwrap();
+        let after_a = next.center_of(ids[0], &sys).unwrap();
+        let after_b = next.center_of(ids[1], &sys).unwrap();
+        assert!((after_a.x - before_b.x).abs() < 1e-9);
+        assert!((after_b.y - before_a.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_move_toggles_rotation_in_place() {
+        let sys = system();
+        let ids: Vec<_> = sys.chiplet_ids().collect();
+        let grid = PlacementGrid::new(20, 20);
+        let mut placement = Placement::for_system(&sys);
+        for (i, &id) in ids.iter().enumerate() {
+            grid.apply_action(
+                &sys,
+                &mut placement,
+                id,
+                Rotation::None,
+                grid.cell_index(4 + 6 * i, 10),
+            )
+            .unwrap();
+        }
+        let centre_before = placement.center_of(ids[1], &sys).unwrap();
+        let next = apply_move(&sys, &grid, &placement, Move::Rotate { chiplet: ids[1] }, 0.2)
+            .unwrap();
+        assert_eq!(next.rotation(ids[1]), Some(Rotation::Quarter));
+        let centre_after = next.center_of(ids[1], &sys).unwrap();
+        assert!((centre_before.x - centre_after.x).abs() < 1e-9);
+        assert!((centre_before.y - centre_after.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn illegal_moves_are_rejected() {
+        let mut sys = ChipletSystem::new("t", 20.0, 20.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 8.0, 8.0, 1.0));
+        let b = sys.add_chiplet(Chiplet::new("b", 8.0, 8.0, 1.0));
+        let grid = PlacementGrid::new(10, 10);
+        let mut placement = Placement::for_system(&sys);
+        grid.apply_action(&sys, &mut placement, a, Rotation::None, grid.cell_index(2, 2))
+            .unwrap();
+        grid.apply_action(&sys, &mut placement, b, Rotation::None, grid.cell_index(7, 7))
+            .unwrap();
+        // Relocating b right on top of a must be rejected.
+        let result = apply_move(
+            &sys,
+            &grid,
+            &placement,
+            Move::Relocate {
+                chiplet: b,
+                cell: grid.cell_index(2, 2),
+            },
+            0.2,
+        );
+        assert!(result.is_none());
+    }
+}

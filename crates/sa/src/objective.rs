@@ -1,0 +1,50 @@
+//! The objective interface the annealer optimises.
+
+use rlp_chiplet::Placement;
+
+/// A (higher-is-better) objective over complete placements.
+///
+/// The RLPlanner harness implements this with its thermal-aware reward
+/// calculator; unit tests use simple geometric closures.
+///
+/// # Examples
+///
+/// ```
+/// use rlp_sa::Objective;
+/// use rlp_chiplet::Placement;
+///
+/// // Closures over placements are objectives.
+/// let objective = |p: &Placement| -(p.placed_count() as f64);
+/// let placement = Placement::new(3);
+/// assert_eq!(Objective::evaluate(&objective, &placement), 0.0);
+/// ```
+pub trait Objective {
+    /// Evaluates a placement; larger values are better.
+    fn evaluate(&self, placement: &Placement) -> f64;
+}
+
+impl<F> Objective for F
+where
+    F: Fn(&Placement) -> f64,
+{
+    fn evaluate(&self, placement: &Placement) -> f64 {
+        self(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_objectives() {
+        let obj = |p: &Placement| p.placed_count() as f64 * 2.0;
+        let mut placement = Placement::new(2);
+        assert_eq!(obj.evaluate(&placement), 0.0);
+        placement.place(
+            rlp_chiplet::ChipletId::from_index(0),
+            rlp_chiplet::Position::new(0.0, 0.0),
+        );
+        assert_eq!(obj.evaluate(&placement), 2.0);
+    }
+}

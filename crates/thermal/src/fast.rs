@@ -1,0 +1,557 @@
+//! The fast physics-informed thermal model (the paper's contribution).
+//!
+//! The thermal resistance network of the package is linear and
+//! time-invariant, so in steady state a chiplet's temperature rise is the
+//! superposition of
+//!
+//! * its **self-heating**: `R_self(w, h) · P_i`, where `R_self` is the
+//!   self-thermal resistance of a die with footprint `w × h`, and
+//! * **mutual heating** from every other chiplet: `R_mutual(d_ij) · P_j`,
+//!   where `d_ij` is the centre-to-centre distance.
+//!
+//! Both resistance tables are *characterised* once per package configuration
+//! by running the [`crate::GridThermalSolver`] on single-hot-chiplet
+//! configurations — a 2D sweep over die footprints for the self term and a
+//! distance histogram of the temperature field around an isolated source for
+//! the mutual term, exactly as the paper describes. After characterisation,
+//! evaluating a floorplan costs a few table lookups per chiplet pair, which
+//! is where the reported >120x speed-up over the full solver comes from.
+
+use crate::config::ThermalConfig;
+use crate::error::ThermalError;
+use crate::grid::GridThermalSolver;
+use crate::ThermalAnalyzer;
+use rlp_chiplet::{Chiplet, ChipletSystem, Placement, Position};
+use serde::{Deserialize, Serialize};
+
+/// Options controlling fast-model characterisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationOptions {
+    /// Die side lengths (mm) sampled for the 2D self-resistance table.
+    pub footprint_samples_mm: Vec<f64>,
+    /// Power (W) applied to the probe chiplet during characterisation.
+    pub reference_power_w: f64,
+    /// Number of distance bins in the 1D mutual-resistance table.
+    pub distance_bins: usize,
+    /// Footprint (mm) of the probe chiplet used for mutual characterisation.
+    pub mutual_source_size_mm: f64,
+}
+
+impl Default for CharacterizationOptions {
+    fn default() -> Self {
+        Self {
+            footprint_samples_mm: vec![2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 26.0],
+            reference_power_w: 10.0,
+            distance_bins: 40,
+            mutual_source_size_mm: 4.0,
+        }
+    }
+}
+
+/// The characterised fast thermal model for one interposer configuration.
+///
+/// # Examples
+///
+/// ```no_run
+/// use rlp_chiplet::{Chiplet, ChipletSystem, Placement, Position};
+/// use rlp_thermal::{CharacterizationOptions, FastThermalModel, ThermalAnalyzer, ThermalConfig};
+///
+/// let mut sys = ChipletSystem::new("demo", 30.0, 30.0);
+/// let cpu = sys.add_chiplet(Chiplet::new("cpu", 10.0, 10.0, 40.0));
+/// let mut placement = Placement::for_system(&sys);
+/// placement.place(cpu, Position::new(10.0, 10.0));
+///
+/// let model = FastThermalModel::characterize(
+///     &ThermalConfig::default(),
+///     30.0,
+///     30.0,
+///     &CharacterizationOptions::default(),
+/// ).unwrap();
+/// let t = model.max_temperature(&sys, &placement).unwrap();
+/// assert!(t > 45.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastThermalModel {
+    ambient_c: f64,
+    interposer_width_mm: f64,
+    interposer_height_mm: f64,
+    /// Sampled die widths for the self-resistance table (sorted, mm).
+    widths_mm: Vec<f64>,
+    /// Sampled die heights for the self-resistance table (sorted, mm).
+    heights_mm: Vec<f64>,
+    /// Self-thermal resistance table, `self_resistance[h_idx * widths + w_idx]`, K/W.
+    self_resistance_k_per_w: Vec<f64>,
+    /// Bin-centre distances for the mutual-resistance table (sorted, mm).
+    distances_mm: Vec<f64>,
+    /// Mutual thermal resistance per bin, K/W.
+    mutual_resistance_k_per_w: Vec<f64>,
+}
+
+impl FastThermalModel {
+    /// Characterises the model for an interposer of the given size using the
+    /// grid solver as the reference, following the paper's procedure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidConfig`] for unusable options and
+    /// propagates solver errors from the underlying characterisation runs.
+    pub fn characterize(
+        config: &ThermalConfig,
+        interposer_width_mm: f64,
+        interposer_height_mm: f64,
+        options: &CharacterizationOptions,
+    ) -> Result<Self, ThermalError> {
+        if options.footprint_samples_mm.len() < 2 {
+            return Err(ThermalError::InvalidConfig {
+                reason: "need at least two footprint samples".to_string(),
+            });
+        }
+        if options.distance_bins < 2 {
+            return Err(ThermalError::InvalidConfig {
+                reason: "need at least two distance bins".to_string(),
+            });
+        }
+        if options.reference_power_w <= 0.0 {
+            return Err(ThermalError::InvalidConfig {
+                reason: "reference power must be positive".to_string(),
+            });
+        }
+        let solver = GridThermalSolver::try_new(config.clone())?;
+        let mut samples = options.footprint_samples_mm.clone();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("footprint samples must be finite"));
+        samples.dedup();
+        // Footprints larger than the interposer cannot occur in a legal
+        // placement; clamp the sample range so characterisation stays legal.
+        let max_w = interposer_width_mm * 0.95;
+        let max_h = interposer_height_mm * 0.95;
+        let widths_mm: Vec<f64> = samples.iter().map(|&s| s.min(max_w)).collect();
+        let heights_mm: Vec<f64> = samples.iter().map(|&s| s.min(max_h)).collect();
+
+        // --- Self-resistance table: one solve per (w, h) sample. ---
+        let p0 = options.reference_power_w;
+        let mut self_resistance = vec![0.0; widths_mm.len() * heights_mm.len()];
+        for (hi, &h) in heights_mm.iter().enumerate() {
+            for (wi, &w) in widths_mm.iter().enumerate() {
+                let mut sys = ChipletSystem::new("probe", interposer_width_mm, interposer_height_mm);
+                let id = sys.add_chiplet(Chiplet::new("probe", w, h, p0));
+                let mut placement = Placement::for_system(&sys);
+                placement.place(
+                    id,
+                    Position::new(
+                        (interposer_width_mm - w) / 2.0,
+                        (interposer_height_mm - h) / 2.0,
+                    ),
+                );
+                let solution = solver.solve(&sys, &placement)?;
+                let temps =
+                    solver.chiplet_temperatures_from_solution(&sys, &placement, &solution);
+                self_resistance[hi * widths_mm.len() + wi] = (temps[0] - config.ambient_c) / p0;
+            }
+        }
+
+        // --- Mutual-resistance table: distance histogram of the field around
+        //     an isolated source, using two source positions so that the
+        //     table covers distances up to the interposer diagonal. ---
+        let src = options.mutual_source_size_mm.min(max_w).min(max_h);
+        let max_distance =
+            (interposer_width_mm.powi(2) + interposer_height_mm.powi(2)).sqrt();
+        let bin_width = max_distance / options.distance_bins as f64;
+        let mut bin_sum = vec![0.0; options.distance_bins];
+        let mut bin_count = vec![0usize; options.distance_bins];
+
+        let source_positions = [
+            Point2::new(interposer_width_mm / 2.0, interposer_height_mm / 2.0),
+            Point2::new(interposer_width_mm * 0.2, interposer_height_mm * 0.2),
+        ];
+        for source_center in source_positions {
+            let mut sys = ChipletSystem::new("probe", interposer_width_mm, interposer_height_mm);
+            let id = sys.add_chiplet(Chiplet::new("src", src, src, p0));
+            let mut placement = Placement::for_system(&sys);
+            placement.place(
+                id,
+                Position::new(source_center.x - src / 2.0, source_center.y - src / 2.0),
+            );
+            let solution = solver.solve(&sys, &placement)?;
+            let nx = solution.nx();
+            let ny = solution.ny();
+            let cell_w = interposer_width_mm / nx as f64;
+            let cell_h = interposer_height_mm / ny as f64;
+            for row in 0..ny {
+                for col in 0..nx {
+                    let cx = (col as f64 + 0.5) * cell_w;
+                    let cy = (row as f64 + 0.5) * cell_h;
+                    let d = ((cx - source_center.x).powi(2) + (cy - source_center.y).powi(2)).sqrt();
+                    // Cells inside the source footprint measure self-heating,
+                    // not mutual heating; skip them.
+                    if d < src {
+                        continue;
+                    }
+                    let bin = ((d / bin_width) as usize).min(options.distance_bins - 1);
+                    bin_sum[bin] += (solution.die_temperature_at(col, row) - config.ambient_c) / p0;
+                    bin_count[bin] += 1;
+                }
+            }
+        }
+
+        let mut distances_mm = Vec::with_capacity(options.distance_bins);
+        let mut mutual_resistance = Vec::with_capacity(options.distance_bins);
+        let mut last = 0.0;
+        for bin in 0..options.distance_bins {
+            let center = (bin as f64 + 0.5) * bin_width;
+            let value = if bin_count[bin] > 0 {
+                bin_sum[bin] / bin_count[bin] as f64
+            } else {
+                last
+            };
+            last = value;
+            distances_mm.push(center);
+            mutual_resistance.push(value);
+        }
+
+        Ok(Self {
+            ambient_c: config.ambient_c,
+            interposer_width_mm,
+            interposer_height_mm,
+            widths_mm,
+            heights_mm,
+            self_resistance_k_per_w: self_resistance,
+            distances_mm,
+            mutual_resistance_k_per_w: mutual_resistance,
+        })
+    }
+
+    /// Ambient temperature the model was characterised at, in Celsius.
+    pub fn ambient(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// Interposer outline `(width, height)` the model was characterised for, mm.
+    pub fn interposer(&self) -> (f64, f64) {
+        (self.interposer_width_mm, self.interposer_height_mm)
+    }
+
+    /// Self-thermal resistance of a die with footprint `w × h` (mm), K/W.
+    ///
+    /// Values outside the characterised range are clamped to the table edge.
+    pub fn self_resistance(&self, width_mm: f64, height_mm: f64) -> f64 {
+        bilinear(
+            &self.widths_mm,
+            &self.heights_mm,
+            &self.self_resistance_k_per_w,
+            width_mm,
+            height_mm,
+        )
+    }
+
+    /// Mutual thermal resistance at centre-to-centre distance `d` (mm), K/W.
+    ///
+    /// Values outside the characterised range are clamped to the table edge.
+    pub fn mutual_resistance(&self, distance_mm: f64) -> f64 {
+        linear(&self.distances_mm, &self.mutual_resistance_k_per_w, distance_mm)
+    }
+
+    /// Checks that a system matches the characterised interposer outline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::OutOfCharacterizedRange`] on mismatch.
+    pub fn check_system(&self, system: &ChipletSystem) -> Result<(), ThermalError> {
+        let tol = 1e-6;
+        if (system.interposer_width() - self.interposer_width_mm).abs() > tol
+            || (system.interposer_height() - self.interposer_height_mm).abs() > tol
+        {
+            return Err(ThermalError::OutOfCharacterizedRange {
+                query: format!(
+                    "system interposer {}x{} mm differs from characterised {}x{} mm",
+                    system.interposer_width(),
+                    system.interposer_height(),
+                    self.interposer_width_mm,
+                    self.interposer_height_mm
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Internal 2D point helper (avoids importing the full geometry type here).
+#[derive(Clone, Copy)]
+struct Point2 {
+    x: f64,
+    y: f64,
+}
+
+impl Point2 {
+    fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+}
+
+/// Piecewise-linear interpolation with clamping at the table edges.
+fn linear(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    if xs.is_empty() {
+        return 0.0;
+    }
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    let mut hi = 1;
+    while xs[hi] < x {
+        hi += 1;
+    }
+    let lo = hi - 1;
+    let t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+    ys[lo] + t * (ys[hi] - ys[lo])
+}
+
+/// Bilinear interpolation over a rectangular table with edge clamping.
+fn bilinear(xs: &[f64], ys: &[f64], table: &[f64], x: f64, y: f64) -> f64 {
+    debug_assert_eq!(table.len(), xs.len() * ys.len());
+    let column = |xi: usize| -> Vec<f64> {
+        (0..ys.len()).map(|yi| table[yi * xs.len() + xi]).collect()
+    };
+    // Interpolate along x for the two bracketing rows of y, then along y.
+    let x_clamped = x.clamp(xs[0], xs[xs.len() - 1]);
+    let y_clamped = y.clamp(ys[0], ys[ys.len() - 1]);
+    // Find bracketing x indices.
+    let (x_lo, x_hi) = bracket(xs, x_clamped);
+    let (y_lo, y_hi) = bracket(ys, y_clamped);
+    let tx = if xs[x_hi] > xs[x_lo] {
+        (x_clamped - xs[x_lo]) / (xs[x_hi] - xs[x_lo])
+    } else {
+        0.0
+    };
+    let ty = if ys[y_hi] > ys[y_lo] {
+        (y_clamped - ys[y_lo]) / (ys[y_hi] - ys[y_lo])
+    } else {
+        0.0
+    };
+    let col_lo = column(x_lo);
+    let col_hi = column(x_hi);
+    let v_lo = col_lo[y_lo] + tx * (col_hi[y_lo] - col_lo[y_lo]);
+    let v_hi = col_lo[y_hi] + tx * (col_hi[y_hi] - col_lo[y_hi]);
+    v_lo + ty * (v_hi - v_lo)
+}
+
+/// Returns the indices of the table entries bracketing `x` (equal when clamped).
+fn bracket(xs: &[f64], x: f64) -> (usize, usize) {
+    if x <= xs[0] {
+        return (0, 0);
+    }
+    if x >= xs[xs.len() - 1] {
+        return (xs.len() - 1, xs.len() - 1);
+    }
+    let mut hi = 1;
+    while xs[hi] < x {
+        hi += 1;
+    }
+    (hi - 1, hi)
+}
+
+impl ThermalAnalyzer for FastThermalModel {
+    fn chiplet_temperatures(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+    ) -> Result<Vec<f64>, ThermalError> {
+        self.check_system(system)?;
+        let placed: Vec<_> = system
+            .chiplet_ids()
+            .filter_map(|id| {
+                let rect = placement.rect_of(id, system)?;
+                Some((id, rect, system.chiplet(id).power()))
+            })
+            .collect();
+        let temps = system
+            .chiplet_ids()
+            .map(|id| {
+                let Some(rect) = placement.rect_of(id, system) else {
+                    return self.ambient_c;
+                };
+                let power = system.chiplet(id).power();
+                let mut t = self.ambient_c + self.self_resistance(rect.width, rect.height) * power;
+                let center = rect.center();
+                for (other_id, other_rect, other_power) in &placed {
+                    if *other_id == id {
+                        continue;
+                    }
+                    let d = center.euclidean_distance(other_rect.center());
+                    t += self.mutual_resistance(d) * other_power;
+                }
+                t
+            })
+            .collect();
+        Ok(temps)
+    }
+
+    fn name(&self) -> &str {
+        "fast-thermal-model"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThermalConfig;
+
+    fn quick_options() -> CharacterizationOptions {
+        CharacterizationOptions {
+            footprint_samples_mm: vec![4.0, 8.0, 16.0],
+            reference_power_w: 10.0,
+            distance_bins: 20,
+            mutual_source_size_mm: 4.0,
+        }
+    }
+
+    fn quick_model() -> FastThermalModel {
+        FastThermalModel::characterize(
+            &ThermalConfig::with_grid(16, 16),
+            30.0,
+            30.0,
+            &quick_options(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn interpolation_helpers_clamp_and_interpolate() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [10.0, 20.0, 40.0];
+        assert_eq!(linear(&xs, &ys, -1.0), 10.0);
+        assert_eq!(linear(&xs, &ys, 5.0), 40.0);
+        assert!((linear(&xs, &ys, 0.5) - 15.0).abs() < 1e-12);
+        assert!((linear(&xs, &ys, 1.5) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bilinear_reduces_to_table_values_at_nodes() {
+        let xs = [1.0, 2.0];
+        let ys = [10.0, 20.0];
+        let table = [1.0, 2.0, 3.0, 4.0]; // rows: y=10 -> [1,2]; y=20 -> [3,4]
+        assert_eq!(bilinear(&xs, &ys, &table, 1.0, 10.0), 1.0);
+        assert_eq!(bilinear(&xs, &ys, &table, 2.0, 10.0), 2.0);
+        assert_eq!(bilinear(&xs, &ys, &table, 1.0, 20.0), 3.0);
+        assert_eq!(bilinear(&xs, &ys, &table, 2.0, 20.0), 4.0);
+        assert!((bilinear(&xs, &ys, &table, 1.5, 15.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn characterization_produces_monotone_tables() {
+        let model = quick_model();
+        // Self resistance decreases as the die gets larger (same power spreads
+        // over more area).
+        let small = model.self_resistance(4.0, 4.0);
+        let large = model.self_resistance(16.0, 16.0);
+        assert!(small > large, "small {small} <= large {large}");
+        // Mutual resistance decays with distance.
+        let near = model.mutual_resistance(5.0);
+        let far = model.mutual_resistance(25.0);
+        assert!(near > far, "near {near} <= far {far}");
+        assert!(near > 0.0);
+    }
+
+    #[test]
+    fn fast_model_tracks_grid_solver_on_single_chiplet() {
+        let config = ThermalConfig::with_grid(16, 16);
+        let model = quick_model();
+        let solver = GridThermalSolver::new(config);
+
+        let mut sys = ChipletSystem::new("t", 30.0, 30.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 8.0, 8.0, 20.0));
+        let mut p = Placement::for_system(&sys);
+        p.place(a, Position::new(11.0, 11.0));
+
+        let t_fast = model.max_temperature(&sys, &p).unwrap();
+        let t_grid = solver.max_temperature(&sys, &p).unwrap();
+        let rise_fast = t_fast - 45.0;
+        let rise_grid = t_grid - 45.0;
+        let rel = (rise_fast - rise_grid).abs() / rise_grid;
+        assert!(rel < 0.15, "fast {t_fast} vs grid {t_grid}");
+    }
+
+    #[test]
+    fn fast_model_penalises_clustered_placements() {
+        let model = quick_model();
+        let mut sys = ChipletSystem::new("t", 30.0, 30.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 6.0, 6.0, 20.0));
+        let b = sys.add_chiplet(Chiplet::new("b", 6.0, 6.0, 20.0));
+
+        let mut close = Placement::for_system(&sys);
+        close.place(a, Position::new(8.0, 12.0));
+        close.place(b, Position::new(16.0, 12.0));
+        let mut far = Placement::for_system(&sys);
+        far.place(a, Position::new(1.0, 1.0));
+        far.place(b, Position::new(23.0, 23.0));
+
+        let t_close = model.max_temperature(&sys, &close).unwrap();
+        let t_far = model.max_temperature(&sys, &far).unwrap();
+        assert!(t_close > t_far);
+    }
+
+    #[test]
+    fn mismatched_interposer_is_rejected() {
+        let model = quick_model();
+        let mut sys = ChipletSystem::new("t", 50.0, 50.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 6.0, 6.0, 20.0));
+        let mut p = Placement::for_system(&sys);
+        p.place(a, Position::new(20.0, 20.0));
+        assert!(matches!(
+            model.chiplet_temperatures(&sys, &p),
+            Err(ThermalError::OutOfCharacterizedRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unplaced_chiplets_sit_at_ambient() {
+        let model = quick_model();
+        let mut sys = ChipletSystem::new("t", 30.0, 30.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 6.0, 6.0, 20.0));
+        sys.add_chiplet(Chiplet::new("b", 6.0, 6.0, 20.0));
+        let mut p = Placement::for_system(&sys);
+        p.place(a, Position::new(10.0, 10.0));
+        let temps = model.chiplet_temperatures(&sys, &p).unwrap();
+        assert!(temps[0] > model.ambient());
+        assert_eq!(temps[1], model.ambient());
+    }
+
+    #[test]
+    fn bad_characterization_options_are_rejected() {
+        let config = ThermalConfig::with_grid(8, 8);
+        let bad_samples = CharacterizationOptions {
+            footprint_samples_mm: vec![4.0],
+            ..quick_options()
+        };
+        assert!(FastThermalModel::characterize(&config, 30.0, 30.0, &bad_samples).is_err());
+        let bad_bins = CharacterizationOptions {
+            distance_bins: 1,
+            ..quick_options()
+        };
+        assert!(FastThermalModel::characterize(&config, 30.0, 30.0, &bad_bins).is_err());
+        let bad_power = CharacterizationOptions {
+            reference_power_w: 0.0,
+            ..quick_options()
+        };
+        assert!(FastThermalModel::characterize(&config, 30.0, 30.0, &bad_power).is_err());
+    }
+
+    #[test]
+    fn model_serde_round_trip() {
+        // JSON serialisation may drop the last bit of a float, so compare the
+        // lookups rather than requiring bit-exact equality.
+        let model = quick_model();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: FastThermalModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.ambient(), model.ambient());
+        assert_eq!(back.interposer(), model.interposer());
+        for &(w, h) in &[(4.0, 4.0), (10.0, 6.0), (16.0, 16.0)] {
+            assert!((back.self_resistance(w, h) - model.self_resistance(w, h)).abs() < 1e-9);
+        }
+        for &d in &[2.0, 10.0, 30.0] {
+            assert!((back.mutual_resistance(d) - model.mutual_resistance(d)).abs() < 1e-9);
+        }
+    }
+}

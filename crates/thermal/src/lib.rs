@@ -1,0 +1,121 @@
+//! Thermal analysis for 2.5D chiplet systems.
+//!
+//! Two analyzers share the [`ThermalAnalyzer`] trait:
+//!
+//! * [`GridThermalSolver`] — a HotSpot-style compact thermal model. The
+//!   package is discretised into a stack of uniform x-y grids (interposer,
+//!   die, TIM, heat spreader, heat sink), lateral and vertical thermal
+//!   conductances are assembled into a sparse SPD system `G·ΔT = P`, and the
+//!   steady-state temperature field is obtained with preconditioned
+//!   conjugate gradient. This plays the role of the open-source HotSpot
+//!   solver the paper compares against.
+//! * [`FastThermalModel`] — the paper's contribution: the thermal network is
+//!   treated as a linear, time-invariant system, so a chiplet's temperature
+//!   is the superposition of a *self-heating* term (2D table of self-thermal
+//!   resistance over die footprint) and *mutual-heating* terms (1D table of
+//!   mutual-thermal resistance versus distance). Both tables are
+//!   characterised once per package configuration by running the grid
+//!   solver on single-hot-chiplet configurations; evaluation afterwards is a
+//!   handful of table lookups, which is where the >100x speed-up comes from.
+//!
+//! [`metrics`] provides the MSE/RMSE/MAE/MAPE error metrics the paper's
+//! Table II reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use rlp_chiplet::{Chiplet, ChipletSystem, Placement, Position};
+//! use rlp_thermal::{GridThermalSolver, ThermalAnalyzer, ThermalConfig};
+//!
+//! let mut sys = ChipletSystem::new("demo", 30.0, 30.0);
+//! let cpu = sys.add_chiplet(Chiplet::new("cpu", 10.0, 10.0, 40.0));
+//! let mut placement = Placement::for_system(&sys);
+//! placement.place(cpu, Position::new(10.0, 10.0));
+//!
+//! let solver = GridThermalSolver::new(ThermalConfig::default());
+//! let t_max = solver.max_temperature(&sys, &placement).unwrap();
+//! assert!(t_max > ThermalConfig::default().ambient_c);
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod fast;
+pub mod grid;
+pub mod metrics;
+pub mod power;
+
+pub use config::{Layer, LayerStack, ThermalConfig};
+pub use error::ThermalError;
+pub use fast::{CharacterizationOptions, FastThermalModel};
+pub use grid::{GridThermalSolver, ThermalSolution};
+pub use metrics::ErrorMetrics;
+
+use rlp_chiplet::{ChipletSystem, Placement};
+
+/// Common interface of the slow (grid) and fast (LTI) thermal analyzers.
+///
+/// Both the SA baseline and the RL reward calculator are generic over this
+/// trait, which is exactly the swap the paper performs between
+/// "TAP-2.5D (HotSpot)" and "TAP-2.5D (fast thermal model)".
+pub trait ThermalAnalyzer {
+    /// Steady-state temperature of every chiplet in degrees Celsius, indexed
+    /// by chiplet id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ThermalError`] if the placement is incomplete or the
+    /// underlying solve fails.
+    fn chiplet_temperatures(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+    ) -> Result<Vec<f64>, ThermalError>;
+
+    /// Maximum chiplet temperature in degrees Celsius.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`ThermalAnalyzer::chiplet_temperatures`].
+    fn max_temperature(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+    ) -> Result<f64, ThermalError> {
+        let temps = self.chiplet_temperatures(system, placement)?;
+        Ok(temps.into_iter().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Short human-readable name used in benchmark reports.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(f64);
+    impl ThermalAnalyzer for Constant {
+        fn chiplet_temperatures(
+            &self,
+            system: &ChipletSystem,
+            _placement: &Placement,
+        ) -> Result<Vec<f64>, ThermalError> {
+            Ok(vec![self.0; system.chiplet_count()])
+        }
+        fn name(&self) -> &str {
+            "constant"
+        }
+    }
+
+    #[test]
+    fn max_temperature_default_takes_maximum() {
+        use rlp_chiplet::Chiplet;
+        let mut sys = ChipletSystem::new("t", 10.0, 10.0);
+        sys.add_chiplet(Chiplet::new("a", 1.0, 1.0, 1.0));
+        sys.add_chiplet(Chiplet::new("b", 1.0, 1.0, 1.0));
+        let p = Placement::for_system(&sys);
+        let analyzer = Constant(73.5);
+        assert_eq!(analyzer.max_temperature(&sys, &p).unwrap(), 73.5);
+        assert_eq!(analyzer.name(), "constant");
+    }
+}

@@ -1,0 +1,127 @@
+//! Floorplan the Multi-GPU benchmark and render the result.
+//!
+//! A domain-specific walk-through of the motivating workload from the
+//! paper's introduction: a four-GPU, four-HBM 2.5D system whose floorplan
+//! must trade interconnect length against thermal crowding. The example
+//! trains RLPlanner (RND) with the fast thermal model, prints the chosen
+//! chiplet coordinates and draws an ASCII map of the interposer.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example multi_gpu_floorplan
+//! ```
+//!
+//! Set `RLP_EPISODES` (default 100) to change the training budget.
+
+use rlp_benchmarks::multi_gpu_system;
+use rlp_chiplet::{ChipletSystem, Placement};
+use rlp_thermal::{CharacterizationOptions, FastThermalModel, ThermalConfig};
+use rlplanner::{RewardConfig, RlPlanner, RlPlannerConfig};
+
+fn episodes_from_env() -> usize {
+    std::env::var("RLP_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100)
+}
+
+/// Renders the placement as a coarse ASCII occupancy map, one character per
+/// 1/40th of the interposer, labelling each chiplet by the first letter of
+/// its name.
+fn render(system: &ChipletSystem, placement: &Placement) -> String {
+    let columns = 40usize;
+    let rows = 20usize;
+    let cell_w = system.interposer_width() / columns as f64;
+    let cell_h = system.interposer_height() / rows as f64;
+    let mut canvas = vec![vec!['.'; columns]; rows];
+    for (id, _, _) in placement.iter_placed() {
+        let Some(rect) = placement.rect_of(id, system) else {
+            continue;
+        };
+        let label = system
+            .chiplet(id)
+            .name()
+            .chars()
+            .next()
+            .unwrap_or('?')
+            .to_ascii_uppercase();
+        for (row, canvas_row) in canvas.iter_mut().enumerate() {
+            for (col, cell) in canvas_row.iter_mut().enumerate() {
+                let x = (col as f64 + 0.5) * cell_w;
+                let y = (row as f64 + 0.5) * cell_h;
+                if x >= rect.x && x <= rect.right() && y >= rect.y && y <= rect.top() {
+                    *cell = label;
+                }
+            }
+        }
+    }
+    // Draw with the y axis pointing up, like the coordinate system.
+    canvas
+        .iter()
+        .rev()
+        .map(|row| row.iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let system = multi_gpu_system();
+    let episodes = episodes_from_env();
+    println!("== Multi-GPU floorplanning with RLPlanner (RND) ==");
+    println!(
+        "{} chiplets, {} nets, {:.0} W on a {:.0}x{:.0} mm interposer; {episodes} training episodes",
+        system.chiplet_count(),
+        system.net_count(),
+        system.total_power(),
+        system.interposer_width(),
+        system.interposer_height()
+    );
+
+    let fast_model = FastThermalModel::characterize(
+        &ThermalConfig::with_grid(32, 32),
+        system.interposer_width(),
+        system.interposer_height(),
+        &CharacterizationOptions::default(),
+    )
+    .expect("characterisation failed");
+
+    let mut planner = RlPlanner::new(
+        system.clone(),
+        fast_model,
+        RewardConfig::default(),
+        RlPlannerConfig {
+            episodes,
+            use_rnd: true,
+            seed: 3,
+            ..RlPlannerConfig::default()
+        },
+    );
+    let result = planner.train();
+
+    println!(
+        "\nbest reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C | trained in {:.2?}",
+        result.best_breakdown.reward,
+        result.best_breakdown.wirelength_mm,
+        result.best_breakdown.max_temperature_c,
+        result.runtime
+    );
+
+    println!("\nchiplet placements (lower-left corner, mm):");
+    for (id, chiplet) in system.chiplets() {
+        if let Some(rect) = result.best_placement.rect_of(id, &system) {
+            println!(
+                "  {:<8} at ({:6.2}, {:6.2})  size {:4.1} x {:4.1}  power {:5.1} W",
+                chiplet.name(),
+                rect.x,
+                rect.y,
+                rect.width,
+                rect.height,
+                chiplet.power()
+            );
+        }
+    }
+
+    println!("\ninterposer map (G = GPU, H = HBM):\n");
+    println!("{}", render(&system, &result.best_placement));
+}

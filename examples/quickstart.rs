@@ -1,0 +1,112 @@
+//! Quickstart: floorplan a small chiplet system with RLPlanner.
+//!
+//! Builds a four-chiplet system, characterises the fast thermal model for
+//! its interposer, trains the RL agent for a short budget and compares the
+//! result against the TAP-2.5D simulated-annealing baseline using the same
+//! reward.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Set `RLP_EPISODES` (default 60) to change the RL training budget.
+
+use rlp_chiplet::{Chiplet, ChipletSystem, Net};
+use rlp_sa::SaConfig;
+use rlp_thermal::{CharacterizationOptions, FastThermalModel, ThermalConfig};
+use rlplanner::{RewardConfig, RlPlanner, RlPlannerConfig, Tap25dBaseline};
+
+fn episodes_from_env() -> usize {
+    std::env::var("RLP_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60)
+}
+
+fn build_system() -> ChipletSystem {
+    let mut system = ChipletSystem::new("quickstart", 40.0, 40.0);
+    let cpu = system.add_chiplet(Chiplet::new("cpu", 10.0, 10.0, 45.0));
+    let gpu = system.add_chiplet(Chiplet::new("gpu", 12.0, 12.0, 60.0));
+    let hbm = system.add_chiplet(Chiplet::new("hbm", 8.0, 12.0, 12.0));
+    let io = system.add_chiplet(Chiplet::new("io", 6.0, 6.0, 8.0));
+    system.add_net(Net::new(cpu, gpu, 256));
+    system.add_net(Net::new(gpu, hbm, 512));
+    system.add_net(Net::new(cpu, io, 64));
+    system
+}
+
+fn main() {
+    let system = build_system();
+    let episodes = episodes_from_env();
+    println!("== RLPlanner quickstart ==");
+    println!(
+        "system `{}`: {} chiplets, {} nets, {:.0} W total on a {:.0}x{:.0} mm interposer",
+        system.name(),
+        system.chiplet_count(),
+        system.net_count(),
+        system.total_power(),
+        system.interposer_width(),
+        system.interposer_height()
+    );
+
+    // 1. Characterise the fast thermal model for this interposer (offline step).
+    let thermal_config = ThermalConfig::with_grid(32, 32);
+    let start = std::time::Instant::now();
+    let fast_model = FastThermalModel::characterize(
+        &thermal_config,
+        system.interposer_width(),
+        system.interposer_height(),
+        &CharacterizationOptions::default(),
+    )
+    .expect("characterisation failed");
+    println!("fast thermal model characterised in {:.2?}", start.elapsed());
+
+    // 2. Train RLPlanner with the fast model in the reward loop.
+    let mut planner = RlPlanner::new(
+        system.clone(),
+        fast_model.clone(),
+        RewardConfig::default(),
+        RlPlannerConfig {
+            episodes,
+            use_rnd: true,
+            ..RlPlannerConfig::default()
+        },
+    );
+    let result = planner.train();
+    println!("\n-- RLPlanner (RND), {} episodes, {:.2?} --", result.episodes_run, result.runtime);
+    println!(
+        "best reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C",
+        result.best_breakdown.reward,
+        result.best_breakdown.wirelength_mm,
+        result.best_breakdown.max_temperature_c
+    );
+
+    // 3. TAP-2.5D baseline with the same reward and a comparable budget.
+    let baseline = Tap25dBaseline::new(
+        system.clone(),
+        fast_model,
+        RewardConfig::default(),
+        SaConfig {
+            max_evaluations: Some(episodes * 4),
+            ..SaConfig::default()
+        },
+    );
+    let sa = baseline.run().expect("SA baseline failed");
+    println!(
+        "\n-- TAP-2.5D (fast thermal model), {} evaluations, {:.2?} --",
+        sa.evaluations, sa.runtime
+    );
+    println!(
+        "best reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C",
+        sa.best_breakdown.reward, sa.best_breakdown.wirelength_mm, sa.best_breakdown.max_temperature_c
+    );
+
+    let improvement = (result.best_breakdown.reward - sa.best_breakdown.reward)
+        / sa.best_breakdown.reward.abs()
+        * 100.0;
+    println!(
+        "\nRLPlanner objective change vs the SA baseline: {improvement:+.2} % (positive = RL better)"
+    );
+}

@@ -1,0 +1,125 @@
+//! Table III — reward comparison on the five synthetic systems.
+//!
+//! Runs the same four methods as the Table I report on the five seeded
+//! synthetic cases (Case1–Case5) and prints the reward of each, mirroring
+//! the paper's Table III. As in the paper, the SA baselines receive the same
+//! wall-clock budget as the RLPlanner training run. Budgets are reduced; set
+//! `RLP_EPISODES` (default 120) to change them.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example table3_report
+//! ```
+
+use rlp_benchmarks::synthetic_cases;
+use rlp_sa::SaConfig;
+use rlp_thermal::{CharacterizationOptions, FastThermalModel, GridThermalSolver, ThermalConfig};
+use rlplanner::{RewardConfig, RlPlanner, RlPlannerConfig, Tap25dBaseline};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let episodes = env_usize("RLP_EPISODES", 120);
+    let thermal_config = ThermalConfig::with_grid(32, 32);
+    let reward_config = RewardConfig::default();
+    let methods = [
+        "RLPlanner",
+        "RLPlanner (RND)",
+        "TAP-2.5D (HotSpot)",
+        "TAP-2.5D (fast model)",
+    ];
+
+    println!("== Table III: reward on 5 synthetic systems ==");
+    println!(
+        "budget: {episodes} RL episodes per case; SA baselines get the RL run's wall-clock budget\n"
+    );
+
+    let cases = synthetic_cases();
+    // rows[method][case] = reward
+    let mut rewards = vec![vec![f64::NAN; cases.len()]; methods.len()];
+
+    for (case_index, system) in cases.iter().enumerate() {
+        let fast_model = FastThermalModel::characterize(
+            &thermal_config,
+            system.interposer_width(),
+            system.interposer_height(),
+            &CharacterizationOptions::default(),
+        )
+        .expect("characterisation failed");
+
+        let mut rl_runtime = std::time::Duration::from_secs(1);
+        for (method_index, use_rnd) in [(0usize, false), (1usize, true)] {
+            let mut planner = RlPlanner::new(
+                system.clone(),
+                fast_model.clone(),
+                reward_config.clone(),
+                RlPlannerConfig {
+                    episodes,
+                    use_rnd,
+                    seed: 13,
+                    ..RlPlannerConfig::default()
+                },
+            );
+            let result = planner.train();
+            rl_runtime = rl_runtime.max(result.runtime);
+            rewards[method_index][case_index] = result.best_breakdown.reward;
+        }
+
+        let sa_config = SaConfig {
+            time_budget: Some(rl_runtime),
+            final_temperature: 1e-6,
+            seed: 13,
+            ..SaConfig::default()
+        };
+        let hotspot = Tap25dBaseline::new(
+            system.clone(),
+            GridThermalSolver::new(thermal_config.clone()),
+            reward_config.clone(),
+            sa_config.clone(),
+        )
+        .run()
+        .expect("SA (HotSpot) failed");
+        rewards[2][case_index] = hotspot.best_breakdown.reward;
+
+        let fast = Tap25dBaseline::new(
+            system.clone(),
+            fast_model.clone(),
+            reward_config.clone(),
+            sa_config,
+        )
+        .run()
+        .expect("SA (fast model) failed");
+        rewards[3][case_index] = fast.best_breakdown.reward;
+        println!("finished {}", system.name());
+    }
+
+    println!("\n{:<24}{:>10}{:>10}{:>10}{:>10}{:>10}", "method", "Case1", "Case2", "Case3", "Case4", "Case5");
+    for (method, row) in methods.iter().zip(&rewards) {
+        print!("{method:<24}");
+        for reward in row {
+            print!("{reward:>10.4}");
+        }
+        println!();
+    }
+
+    // Average improvement of the best RL variant over SA with HotSpot,
+    // matching the headline statistic the paper reports over all 8 cases
+    // (positive = RL reaches a better, i.e. less negative, reward).
+    let mut improvements = Vec::new();
+    for case_index in 0..cases.len() {
+        let rl_best = rewards[0][case_index].max(rewards[1][case_index]);
+        let sa_hotspot = rewards[2][case_index];
+        improvements.push((rl_best - sa_hotspot) / sa_hotspot.abs() * 100.0);
+    }
+    let mean: f64 = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    println!(
+        "\nmean objective change of the best RLPlanner variant vs TAP-2.5D (HotSpot): {mean:+.2} % (positive = RL better)"
+    );
+    println!("paper reference (Tables I+III): ~20.3 % average improvement, ~9.3 % vs TAP-2.5D (fast model)");
+}

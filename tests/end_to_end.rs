@@ -1,0 +1,123 @@
+//! End-to-end integration tests: benchmark systems through the whole
+//! RLPlanner pipeline (characterisation → environment → PPO training →
+//! reward evaluation).
+
+use rlp_benchmarks::{synthetic_case, synthetic_cases};
+use rlp_thermal::{
+    CharacterizationOptions, FastThermalModel, GridThermalSolver, ThermalAnalyzer, ThermalConfig,
+};
+use rlplanner::{AgentConfig, EnvConfig, RewardConfig, RlPlanner, RlPlannerConfig};
+
+fn quick_characterization() -> CharacterizationOptions {
+    CharacterizationOptions {
+        footprint_samples_mm: vec![4.0, 8.0, 14.0],
+        distance_bins: 16,
+        ..CharacterizationOptions::default()
+    }
+}
+
+fn quick_planner_config(episodes: usize, use_rnd: bool) -> RlPlannerConfig {
+    RlPlannerConfig {
+        episodes,
+        episodes_per_update: 4,
+        use_rnd,
+        agent: AgentConfig {
+            conv_channels: (4, 8),
+            feature_dim: 64,
+            rnd_hidden_dim: 32,
+            rnd_embedding_dim: 8,
+            ..AgentConfig::default()
+        },
+        env: EnvConfig {
+            grid: (14, 14),
+            min_spacing_mm: 0.2,
+        },
+        seed: 5,
+        ..RlPlannerConfig::default()
+    }
+}
+
+#[test]
+fn rlplanner_trains_end_to_end_on_a_synthetic_case() {
+    let system = synthetic_case(1);
+    let thermal_config = ThermalConfig::with_grid(16, 16);
+    let fast_model = FastThermalModel::characterize(
+        &thermal_config,
+        system.interposer_width(),
+        system.interposer_height(),
+        &quick_characterization(),
+    )
+    .unwrap();
+
+    let mut planner = RlPlanner::new(
+        system.clone(),
+        fast_model,
+        RewardConfig::default(),
+        quick_planner_config(16, false),
+    );
+    let result = planner.train();
+
+    // The training loop must produce a complete, legal floorplan whose
+    // reward decomposes into wirelength and temperature terms.
+    assert!(result.best_placement.is_complete());
+    assert!(system
+        .validate_placement(&result.best_placement, 0.2)
+        .is_ok());
+    assert!(result.best_breakdown.reward < 0.0);
+    assert!(result.best_breakdown.reward > -100.0, "best episode hit the penalty");
+    assert!(result.best_breakdown.wirelength_mm > 0.0);
+    assert!(result.best_breakdown.max_temperature_c > 45.0);
+    assert_eq!(result.reward_history.len(), result.episodes_run);
+
+    // Cross-check the best placement against the slow reference solver: the
+    // temperature reported by the fast model should land within a few kelvin.
+    let reference = GridThermalSolver::new(thermal_config);
+    let reference_temp = reference
+        .max_temperature(&system, &result.best_placement)
+        .unwrap();
+    let error = (reference_temp - result.best_breakdown.max_temperature_c).abs();
+    assert!(
+        error < 5.0,
+        "fast-model temperature off by {error:.2} K (fast {:.2}, reference {reference_temp:.2})",
+        result.best_breakdown.max_temperature_c
+    );
+}
+
+#[test]
+fn rnd_variant_trains_on_a_synthetic_case() {
+    let system = synthetic_case(2);
+    let fast_model = FastThermalModel::characterize(
+        &ThermalConfig::with_grid(16, 16),
+        system.interposer_width(),
+        system.interposer_height(),
+        &quick_characterization(),
+    )
+    .unwrap();
+    let mut planner = RlPlanner::new(
+        system,
+        fast_model,
+        RewardConfig::default(),
+        quick_planner_config(12, true),
+    );
+    let result = planner.train();
+    assert!(result.best_placement.is_complete());
+    assert!(result.best_breakdown.reward > -100.0);
+}
+
+#[test]
+fn all_synthetic_cases_are_plannable_with_the_grid_solver_reward() {
+    // Use the slow solver directly in the loop (as "TAP-2.5D (HotSpot)" does)
+    // for a very short training run, to make sure the pipeline is backend
+    // agnostic end to end.
+    for system in synthetic_cases().into_iter().take(2) {
+        let solver = GridThermalSolver::new(ThermalConfig::with_grid(12, 12));
+        let mut planner = RlPlanner::new(
+            system.clone(),
+            solver,
+            RewardConfig::default(),
+            quick_planner_config(6, false),
+        );
+        let result = planner.train();
+        assert!(result.best_placement.is_complete(), "{}", system.name());
+    }
+}
