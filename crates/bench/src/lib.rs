@@ -54,8 +54,7 @@ pub fn random_legal_placement(system: &ChipletSystem, seed: u64) -> Placement {
     let grid = PlacementGrid::new(16, 16);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for _ in 0..64 {
-        if let Ok(placement) =
-            rlp_sa::moves::random_initial_placement(system, &grid, 0.2, &mut rng)
+        if let Ok(placement) = rlp_sa::moves::random_initial_placement(system, &grid, 0.2, &mut rng)
         {
             return placement;
         }

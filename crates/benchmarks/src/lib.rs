@@ -16,4 +16,4 @@ pub mod standard;
 pub mod synthetic;
 
 pub use standard::{ascend910_system, cpu_dram_system, multi_gpu_system, standard_benchmarks};
-pub use synthetic::{synthetic_case, synthetic_cases, SyntheticSystemGenerator, SyntheticConfig};
+pub use synthetic::{synthetic_case, synthetic_cases, SyntheticConfig, SyntheticSystemGenerator};

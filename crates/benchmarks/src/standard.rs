@@ -148,8 +148,7 @@ mod tests {
                     .unwrap()
             });
             for id in ids {
-                let mask =
-                    grid.feasibility_mask(&sys, &placement, id, Rotation::None, 0.2);
+                let mask = grid.feasibility_mask(&sys, &placement, id, Rotation::None, 0.2);
                 let cell = mask
                     .iter()
                     .position(|&ok| ok)

@@ -110,8 +110,12 @@ impl SyntheticSystemGenerator {
         let mut dies = Vec::with_capacity(count);
         let mut total_area = 0.0;
         for i in 0..count {
-            let w = self.rng.gen_range(self.config.side_mm.0..=self.config.side_mm.1);
-            let h = self.rng.gen_range(self.config.side_mm.0..=self.config.side_mm.1);
+            let w = self
+                .rng
+                .gen_range(self.config.side_mm.0..=self.config.side_mm.1);
+            let h = self
+                .rng
+                .gen_range(self.config.side_mm.0..=self.config.side_mm.1);
             let density = self
                 .rng
                 .gen_range(self.config.power_density_w_mm2.0..=self.config.power_density_w_mm2.1);
@@ -137,13 +141,17 @@ impl SyntheticSystemGenerator {
         // plus optional extra nets.
         for i in 1..ids.len() {
             let parent = self.rng.gen_range(0..i);
-            let wires = self.rng.gen_range(self.config.wires.0..=self.config.wires.1);
+            let wires = self
+                .rng
+                .gen_range(self.config.wires.0..=self.config.wires.1);
             sys.add_net(Net::new(ids[parent], ids[i], wires));
         }
         for i in 0..ids.len() {
             for j in (i + 1)..ids.len() {
                 if self.rng.gen::<f64>() < self.config.extra_net_probability {
-                    let wires = self.rng.gen_range(self.config.wires.0..=self.config.wires.1);
+                    let wires = self
+                        .rng
+                        .gen_range(self.config.wires.0..=self.config.wires.1);
                     sys.add_net(Net::new(ids[i], ids[j], wires));
                 }
             }
@@ -166,7 +174,10 @@ impl SyntheticSystemGenerator {
 ///
 /// Panics if `case` is not in `1..=5`.
 pub fn synthetic_case(case: usize) -> ChipletSystem {
-    assert!((1..=5).contains(&case), "synthetic cases are numbered 1..=5");
+    assert!(
+        (1..=5).contains(&case),
+        "synthetic cases are numbered 1..=5"
+    );
     let counts = [(4, 4), (5, 5), (6, 6), (7, 7), (8, 8)];
     let config = SyntheticConfig {
         chiplet_count: counts[case - 1],

@@ -244,8 +244,12 @@ mod tests {
         let config = BumpConfig::default();
         let (sys_near, p_near) = placed_pair(2.0);
         let (sys_far, p_far) = placed_pair(20.0);
-        let near = assign_bumps(&sys_near, &p_near, &config).unwrap().total_wirelength();
-        let far = assign_bumps(&sys_far, &p_far, &config).unwrap().total_wirelength();
+        let near = assign_bumps(&sys_near, &p_near, &config)
+            .unwrap()
+            .total_wirelength();
+        let far = assign_bumps(&sys_far, &p_far, &config)
+            .unwrap()
+            .total_wirelength();
         assert!(far > near, "far {far} should exceed near {near}");
     }
 

@@ -99,7 +99,10 @@ mod tests {
         assert!(msg.contains("chiplet#0"));
         assert!(msg.contains("0.5 mm"));
 
-        let e = PlacementError::CellOutOfRange { cell: 99, cells: 64 };
+        let e = PlacementError::CellOutOfRange {
+            cell: 99,
+            cells: 64,
+        };
         assert!(e.to_string().contains("99"));
     }
 

@@ -85,7 +85,12 @@ impl Rect {
 
     /// Creates a rectangle centred at `center` with the given size.
     pub fn from_center(center: Point, width: f64, height: f64) -> Self {
-        Self::new(center.x - width / 2.0, center.y - height / 2.0, width, height)
+        Self::new(
+            center.x - width / 2.0,
+            center.y - height / 2.0,
+            width,
+            height,
+        )
     }
 
     /// X coordinate of the right edge.

@@ -101,14 +101,15 @@ impl PlacementGrid {
     /// # Errors
     ///
     /// Returns [`PlacementError::CellOutOfRange`] if the index is out of range.
-    pub fn cell_center(&self, system: &ChipletSystem, cell: usize) -> Result<Point, PlacementError> {
+    pub fn cell_center(
+        &self,
+        system: &ChipletSystem,
+        cell: usize,
+    ) -> Result<Point, PlacementError> {
         let (col, row) = self.cell_coords(cell)?;
         let cw = self.cell_width(system);
         let ch = self.cell_height(system);
-        Ok(Point::new(
-            (col as f64 + 0.5) * cw,
-            (row as f64 + 0.5) * ch,
-        ))
+        Ok(Point::new((col as f64 + 0.5) * cw, (row as f64 + 0.5) * ch))
     }
 
     /// Lower-left position that centres a chiplet with the given footprint on
@@ -220,7 +221,7 @@ impl PlacementGrid {
             .filter_map(|(id, _, _)| placement.rect_of(id, system))
             .collect();
         let mut mask = vec![false; self.cell_count()];
-        for cell in 0..self.cell_count() {
+        for (cell, feasible) in mask.iter_mut().enumerate() {
             let rect = match self.rect_for(system, chiplet, rotation, cell) {
                 Ok(r) => r,
                 Err(_) => continue,
@@ -228,14 +229,13 @@ impl PlacementGrid {
             if !outline.contains_rect(&rect) {
                 continue;
             }
-            let clear = placed.iter().all(|other| {
+            *feasible = placed.iter().all(|other| {
                 if rect.overlaps(other) {
                     return false;
                 }
                 let (dx, dy) = rect.separation(other);
                 dx.max(dy) >= min_spacing_mm
             });
-            mask[cell] = clear;
         }
         mask
     }
@@ -285,10 +285,7 @@ mod tests {
         assert_eq!(grid.cell_coords(0).unwrap(), (0, 0));
         assert_eq!(grid.cell_coords(11).unwrap(), (1, 1));
         assert_eq!(grid.cell_index(1, 1), 11);
-        assert_eq!(
-            grid.cell_center(&sys, 0).unwrap(),
-            Point::new(1.0, 2.0)
-        );
+        assert_eq!(grid.cell_center(&sys, 0).unwrap(), Point::new(1.0, 2.0));
     }
 
     #[test]
@@ -297,12 +294,13 @@ mod tests {
         let grid = PlacementGrid::new(4, 4);
         assert!(matches!(
             grid.cell_coords(16),
-            Err(PlacementError::CellOutOfRange { cell: 16, cells: 16 })
+            Err(PlacementError::CellOutOfRange {
+                cell: 16,
+                cells: 16
+            })
         ));
         assert!(grid.cell_center(&sys, 100).is_err());
-        assert!(grid
-            .rect_for(&sys, a, Rotation::None, 100)
-            .is_err());
+        assert!(grid.rect_for(&sys, a, Rotation::None, 100).is_err());
     }
 
     #[test]
@@ -332,8 +330,14 @@ mod tests {
         let (sys, a, b) = system();
         let grid = PlacementGrid::new(10, 10);
         let mut placement = Placement::for_system(&sys);
-        grid.apply_action(&sys, &mut placement, a, Rotation::None, grid.cell_index(5, 5))
-            .unwrap();
+        grid.apply_action(
+            &sys,
+            &mut placement,
+            a,
+            Rotation::None,
+            grid.cell_index(5, 5),
+        )
+        .unwrap();
         let mask = grid.feasibility_mask(&sys, &placement, b, Rotation::None, 0.1);
         // Directly on top of a is not allowed.
         assert!(!mask[grid.cell_index(5, 5)]);
@@ -346,8 +350,14 @@ mod tests {
         let (sys, a, b) = system();
         let grid = PlacementGrid::new(20, 20);
         let mut placement = Placement::for_system(&sys);
-        grid.apply_action(&sys, &mut placement, a, Rotation::None, grid.cell_index(10, 10))
-            .unwrap();
+        grid.apply_action(
+            &sys,
+            &mut placement,
+            a,
+            Rotation::None,
+            grid.cell_index(10, 10),
+        )
+        .unwrap();
         let loose = grid.feasibility_mask(&sys, &placement, b, Rotation::None, 0.0);
         let tight = grid.feasibility_mask(&sys, &placement, b, Rotation::None, 2.0);
         let loose_count = loose.iter().filter(|&&m| m).count();
@@ -373,8 +383,14 @@ mod tests {
         let (sys, a, _) = system();
         let grid = PlacementGrid::new(20, 20);
         let mut placement = Placement::for_system(&sys);
-        grid.apply_action(&sys, &mut placement, a, Rotation::None, grid.cell_index(10, 10))
-            .unwrap();
+        grid.apply_action(
+            &sys,
+            &mut placement,
+            a,
+            Rotation::None,
+            grid.cell_index(10, 10),
+        )
+        .unwrap();
         let map = grid.occupancy_map(&sys, &placement);
         let cell_area = grid.cell_width(&sys) * grid.cell_height(&sys);
         let covered: f64 = map.iter().map(|&v| v as f64 * cell_area).sum();
@@ -386,10 +402,22 @@ mod tests {
         let (sys, a, b) = system();
         let grid = PlacementGrid::new(25, 25);
         let mut placement = Placement::for_system(&sys);
-        grid.apply_action(&sys, &mut placement, a, Rotation::None, grid.cell_index(6, 6))
-            .unwrap();
-        grid.apply_action(&sys, &mut placement, b, Rotation::None, grid.cell_index(18, 18))
-            .unwrap();
+        grid.apply_action(
+            &sys,
+            &mut placement,
+            a,
+            Rotation::None,
+            grid.cell_index(6, 6),
+        )
+        .unwrap();
+        grid.apply_action(
+            &sys,
+            &mut placement,
+            b,
+            Rotation::None,
+            grid.cell_index(18, 18),
+        )
+        .unwrap();
         let map = grid.power_map(&sys, &placement);
         let total: f64 = map.iter().map(|&v| v as f64).sum();
         assert!((total - 18.0).abs() < 1e-6, "total {total}");
@@ -400,7 +428,10 @@ mod tests {
         let (sys, _, _) = system();
         let grid = PlacementGrid::new(8, 8);
         let placement = Placement::for_system(&sys);
-        assert!(grid.occupancy_map(&sys, &placement).iter().all(|&v| v == 0.0));
+        assert!(grid
+            .occupancy_map(&sys, &placement)
+            .iter()
+            .all(|&v| v == 0.0));
         assert!(grid.power_map(&sys, &placement).iter().all(|&v| v == 0.0));
     }
 

@@ -10,7 +10,10 @@ use rlp_chiplet::{
 /// Strategy: a system of `n` chiplets with random sizes and powers on a
 /// generously sized interposer, connected in a chain.
 fn arb_system() -> impl Strategy<Value = ChipletSystem> {
-    (2usize..7, prop::collection::vec((2.0f64..10.0, 2.0f64..10.0, 0.0f64..50.0), 7))
+    (
+        2usize..7,
+        prop::collection::vec((2.0f64..10.0, 2.0f64..10.0, 0.0f64..50.0), 7),
+    )
         .prop_map(|(n, dims)| {
             let mut sys = ChipletSystem::new("prop", 60.0, 60.0);
             let mut prev = None;

@@ -34,13 +34,13 @@
 
 pub mod dense;
 pub mod error;
-pub mod sparse;
 pub mod solvers;
+pub mod sparse;
 
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
-pub use sparse::{CooMatrix, CsrMatrix};
 pub use solvers::{conjugate_gradient, gauss_seidel, CgOptions, CgSolution, SorOptions};
+pub use sparse::{CooMatrix, CsrMatrix};
 
 /// Computes the dot product of two equally sized slices.
 ///

@@ -126,7 +126,11 @@ pub fn conjugate_gradient(
     let mut ax = vec![0.0; n];
     a.matvec_into(&x, &mut ax);
     let mut r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, axi)| bi - axi).collect();
-    let mut z: Vec<f64> = r.iter().zip(inv_diag.iter()).map(|(ri, di)| ri * di).collect();
+    let mut z: Vec<f64> = r
+        .iter()
+        .zip(inv_diag.iter())
+        .map(|(ri, di)| ri * di)
+        .collect();
     let mut p = z.clone();
     let mut rz = dot(&r, &z);
     let mut residual = norm2(&r) / b_norm;

@@ -89,7 +89,7 @@ impl CooMatrix {
     /// duplicates and dropping explicit zeros that result from cancellation.
     pub fn to_csr(&self) -> CsrMatrix {
         let mut entries = self.entries.clone();
-        entries.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        entries.sort_unstable_by_key(|entry| (entry.0, entry.1));
 
         let mut row_ptr = Vec::with_capacity(self.rows + 1);
         let mut col_idx = Vec::with_capacity(entries.len());

@@ -37,16 +37,13 @@ impl Categorical {
         assert!(!logits.is_empty(), "categorical needs at least one action");
         if let Some(mask) = mask {
             assert_eq!(mask.len(), logits.len(), "mask length mismatch");
-            assert!(
-                mask.iter().any(|&m| m),
-                "action mask disables every action"
-            );
+            assert!(mask.iter().any(|&m| m), "action mask disables every action");
         }
         let masked: Vec<f32> = logits
             .iter()
             .enumerate()
             .map(|(i, &l)| {
-                if mask.map_or(true, |m| m[i]) {
+                if mask.is_none_or(|m| m[i]) {
                     l
                 } else {
                     f32::NEG_INFINITY
@@ -157,13 +154,7 @@ impl Categorical {
         let h = self.entropy();
         self.probs
             .iter()
-            .map(|&p| {
-                if p > 0.0 {
-                    -p * (p.ln() + h)
-                } else {
-                    0.0
-                }
-            })
+            .map(|&p| if p > 0.0 { -p * (p.ln() + h) } else { 0.0 })
             .collect()
     }
 }
@@ -200,7 +191,10 @@ mod tests {
 
     #[test]
     fn sampling_respects_the_mask() {
-        let d = Categorical::from_logits(&[0.0; 8], Some(&[false, false, true, false, true, false, false, false]));
+        let d = Categorical::from_logits(
+            &[0.0; 8],
+            Some(&[false, false, true, false, true, false, false, false]),
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         for _ in 0..200 {
             let a = d.sample(&mut rng);

@@ -5,7 +5,12 @@ use rand::Rng;
 
 /// Xavier/Glorot uniform initialisation for a weight tensor with the given
 /// fan-in and fan-out: samples from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
-pub fn xavier_uniform(shape: Vec<usize>, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+pub fn xavier_uniform(
+    shape: Vec<usize>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
     let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
     uniform(shape, -a, a, rng)
 }

@@ -29,7 +29,11 @@ impl Layer for ReLU {
             .mask
             .as_ref()
             .expect("backward called before forward(train=true)");
-        assert_eq!(mask.len(), grad_output.len(), "relu gradient shape mismatch");
+        assert_eq!(
+            mask.len(),
+            grad_output.len(),
+            "relu gradient shape mismatch"
+        );
         let data = grad_output
             .data()
             .iter()
@@ -114,9 +118,9 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let numeric =
-                (Tanh::new().forward(&xp, false).sum() - Tanh::new().forward(&xm, false).sum())
-                    / (2.0 * eps);
+            let numeric = (Tanh::new().forward(&xp, false).sum()
+                - Tanh::new().forward(&xm, false).sum())
+                / (2.0 * eps);
             assert!((grad.data()[i] - numeric).abs() < 1e-3);
         }
     }

@@ -132,8 +132,7 @@ impl Layer for Conv2d {
                                     if ix < 0 || ix >= w as isize {
                                         continue;
                                     }
-                                    let in_idx = ((b * self.in_channels + ic) * h
-                                        + iy as usize)
+                                    let in_idx = ((b * self.in_channels + ic) * h + iy as usize)
                                         * w
                                         + ix as usize;
                                     acc += in_data[in_idx] * self.weight_at(oc, ic, kh, kw);
@@ -191,15 +190,14 @@ impl Layer for Conv2d {
                                         continue;
                                     }
                                     for kw in 0..k {
-                                        let ix = (x * self.stride + kw) as isize
-                                            - self.padding as isize;
+                                        let ix =
+                                            (x * self.stride + kw) as isize - self.padding as isize;
                                         if ix < 0 || ix >= w as isize {
                                             continue;
                                         }
-                                        let in_idx = ((b * self.in_channels + ic) * h
-                                            + iy as usize)
-                                            * w
-                                            + ix as usize;
+                                        let in_idx =
+                                            ((b * self.in_channels + ic) * h + iy as usize) * w
+                                                + ix as usize;
                                         let w_idx =
                                             ((oc * self.in_channels + ic) * k + kh) * k + kw;
                                         gw[w_idx] += in_data[in_idx] * g;
@@ -260,7 +258,9 @@ mod tests {
     fn input_gradient_matches_finite_differences() {
         let mut conv = Conv2d::new(2, 3, 3, 1, 1, 11);
         let x = Tensor::from_vec(
-            (0..2 * 2 * 4 * 4).map(|v| (v as f32 * 0.17).sin()).collect(),
+            (0..2 * 2 * 4 * 4)
+                .map(|v| (v as f32 * 0.17).sin())
+                .collect(),
             vec![2, 2, 4, 4],
         );
         let y = conv.forward(&x, true);
@@ -289,7 +289,7 @@ mod tests {
     fn weight_gradient_matches_finite_differences() {
         let mut conv = Conv2d::new(1, 2, 3, 1, 1, 5);
         let x = Tensor::from_vec(
-            (0..1 * 1 * 5 * 5).map(|v| (v as f32 * 0.31).cos()).collect(),
+            (0..5 * 5).map(|v| (v as f32 * 0.31).cos()).collect(),
             vec![1, 1, 5, 5],
         );
         let y = conv.forward(&x, true);

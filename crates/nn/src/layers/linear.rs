@@ -37,7 +37,10 @@ impl Linear {
     ///
     /// Panics if either dimension is zero.
     pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
-        assert!(in_features > 0 && out_features > 0, "layer dimensions must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "layer dimensions must be positive"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let weight = xavier_uniform(
             vec![in_features, out_features],
@@ -92,7 +95,11 @@ impl Layer for Linear {
             .as_ref()
             .expect("backward called before forward(train=true)");
         assert_eq!(grad_output.shape()[0], input.shape()[0], "batch mismatch");
-        assert_eq!(grad_output.shape()[1], self.out_features, "grad feature mismatch");
+        assert_eq!(
+            grad_output.shape()[1],
+            self.out_features,
+            "grad feature mismatch"
+        );
         // dL/dW = x^T · dL/dy ; dL/db = sum_rows(dL/dy) ; dL/dx = dL/dy · W^T
         let grad_w = input.transpose().matmul(grad_output);
         self.weight.grad.add_assign(&grad_w);

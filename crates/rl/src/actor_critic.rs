@@ -33,7 +33,11 @@ impl ActorCritic {
         assert!(action_count > 0, "action count must be positive");
         Self {
             encoder,
-            policy_head: Linear::new(feature_dim, action_count, seed.wrapping_mul(31).wrapping_add(1)),
+            policy_head: Linear::new(
+                feature_dim,
+                action_count,
+                seed.wrapping_mul(31).wrapping_add(1),
+            ),
             value_head: Linear::new(feature_dim, 1, seed.wrapping_mul(31).wrapping_add(2)),
             action_count,
         }

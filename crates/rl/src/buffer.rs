@@ -294,6 +294,8 @@ mod tests {
         buf.push(transition(1.0, 0.0, true));
         buf.compute_gae(0.99, 0.95, 0.0);
         buf.push(transition(1.0, 0.0, true));
-        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| buf.advantages())).is_err());
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| buf.advantages())).is_err()
+        );
     }
 }

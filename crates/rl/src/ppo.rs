@@ -62,7 +62,10 @@ impl PpoConfig {
             return Err(format!("gamma must be in [0, 1], got {}", self.gamma));
         }
         if !(0.0..=1.0).contains(&self.gae_lambda) {
-            return Err(format!("gae_lambda must be in [0, 1], got {}", self.gae_lambda));
+            return Err(format!(
+                "gae_lambda must be in [0, 1], got {}",
+                self.gae_lambda
+            ));
         }
         if self.clip_epsilon <= 0.0 {
             return Err("clip_epsilon must be positive".to_string());
@@ -268,15 +271,21 @@ impl PpoAgent {
                     );
                     let new_log_prob = dist.log_prob(transition.action);
                     let ratio = (new_log_prob - transition.log_prob).exp();
-                    let clipped_ratio = ratio
-                        .clamp(1.0 - self.config.clip_epsilon, 1.0 + self.config.clip_epsilon);
+                    let clipped_ratio = ratio.clamp(
+                        1.0 - self.config.clip_epsilon,
+                        1.0 + self.config.clip_epsilon,
+                    );
                     let unclipped = ratio * advantage;
                     let clipped = clipped_ratio * advantage;
                     policy_loss += -unclipped.min(clipped);
 
                     // Gradient of -min(unclipped, clipped) wrt the new log-prob:
                     // zero when the clipped branch is active.
-                    let d_loss_d_logp = if unclipped <= clipped { -ratio * advantage } else { 0.0 };
+                    let d_loss_d_logp = if unclipped <= clipped {
+                        -ratio * advantage
+                    } else {
+                        0.0
+                    };
                     let logp_grad = dist.log_prob_grad_logits(transition.action);
                     let entropy_grad = dist.entropy_grad_logits();
                     for a in 0..actions {
@@ -402,7 +411,11 @@ mod tests {
             agent.update(&mut buffer);
         }
         let obs = env.reset();
-        assert_eq!(agent.greedy_action(&obs), 1, "agent failed to learn the best arm");
+        assert_eq!(
+            agent.greedy_action(&obs),
+            1,
+            "agent failed to learn the best arm"
+        );
     }
 
     #[test]

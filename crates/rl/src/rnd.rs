@@ -45,12 +45,20 @@ impl RandomNetworkDistillation {
         let mut target = Sequential::new();
         target.push(Linear::new(input_dim, hidden_dim, seed.wrapping_add(100)));
         target.push(ReLU::new());
-        target.push(Linear::new(hidden_dim, embedding_dim, seed.wrapping_add(101)));
+        target.push(Linear::new(
+            hidden_dim,
+            embedding_dim,
+            seed.wrapping_add(101),
+        ));
 
         let mut predictor = Sequential::new();
         predictor.push(Linear::new(input_dim, hidden_dim, seed.wrapping_add(200)));
         predictor.push(ReLU::new());
-        predictor.push(Linear::new(hidden_dim, embedding_dim, seed.wrapping_add(201)));
+        predictor.push(Linear::new(
+            hidden_dim,
+            embedding_dim,
+            seed.wrapping_add(201),
+        ));
 
         Self {
             target,
@@ -90,7 +98,11 @@ impl RandomNetworkDistillation {
 
         self.observations_seen += 1;
         // Exponential running mean keeps the normaliser adaptive.
-        let alpha = if self.observations_seen == 1 { 1.0 } else { 0.01 };
+        let alpha = if self.observations_seen == 1 {
+            1.0
+        } else {
+            0.01
+        };
         self.running_error = (1.0 - alpha) * self.running_error + alpha * error;
         let normaliser = self.running_error.max(1e-8);
         self.bonus_scale * error / normaliser

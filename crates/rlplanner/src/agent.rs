@@ -80,7 +80,11 @@ pub fn build_actor_critic(
     encoder.push(conv2);
     encoder.push(ReLU::new());
     encoder.push(Flatten::new());
-    encoder.push(Linear::new(flat_dim, config.feature_dim, config.seed.wrapping_add(3)));
+    encoder.push(Linear::new(
+        flat_dim,
+        config.feature_dim,
+        config.seed.wrapping_add(3),
+    ));
     encoder.push(ReLU::new());
 
     ActorCritic::new(encoder, config.feature_dim, action_count, config.seed)

@@ -69,14 +69,14 @@ impl<A: ThermalAnalyzer> Tap25dBaseline<A> {
     pub fn run(&self) -> Result<Tap25dResult, InitialPlacementError> {
         let planner = SaPlanner::new(self.reward.system().clone(), self.sa_config.clone());
         let sa_result = planner.run(&self.reward)?;
-        let best_breakdown = self
-            .reward
-            .evaluate(&sa_result.best_placement)
-            .unwrap_or(RewardBreakdown {
-                reward: sa_result.best_objective,
-                wirelength_mm: f64::NAN,
-                max_temperature_c: f64::NAN,
-            });
+        let best_breakdown =
+            self.reward
+                .evaluate(&sa_result.best_placement)
+                .unwrap_or(RewardBreakdown {
+                    reward: sa_result.best_objective,
+                    wirelength_mm: f64::NAN,
+                    max_temperature_c: f64::NAN,
+                });
         Ok(Tap25dResult {
             best_placement: sa_result.best_placement,
             best_breakdown,

@@ -36,16 +36,51 @@ fn load_system(name: &str) -> Option<ChipletSystem> {
     }
 }
 
-fn print_result(system: &ChipletSystem, breakdown: &RewardBreakdown, placement: &rlp_chiplet::Placement) {
+fn print_result(
+    system: &ChipletSystem,
+    breakdown: &RewardBreakdown,
+    placement: &rlp_chiplet::Placement,
+) {
     println!(
         "reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C",
         breakdown.reward, breakdown.wirelength_mm, breakdown.max_temperature_c
     );
-    match serde_json::to_string_pretty(placement) {
-        Ok(json) => println!("{json}"),
-        Err(err) => eprintln!("could not serialise the placement: {err}"),
+    println!("{}", placement_json(system, placement));
+}
+
+/// Renders the placement as pretty-printed JSON. Hand-rolled: the vendored
+/// `serde` has no serialisation backend (the build is offline), and the
+/// structure is a flat list of chiplet records.
+fn placement_json(system: &ChipletSystem, placement: &rlp_chiplet::Placement) -> String {
+    let mut out = String::from("{\n  \"chiplets\": [\n");
+    let mut first = true;
+    for (id, position, rotation) in placement.iter_placed() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let chiplet = system.chiplet(id);
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"x_mm\": {:.4}, \"y_mm\": {:.4}, \"rotation\": \"{:?}\" }}",
+            json_escape(chiplet.name()),
+            position.x,
+            position.y,
+            rotation
+        ));
     }
-    let _ = system;
+    out.push_str("\n  ]\n}");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -57,10 +92,7 @@ fn main() -> ExitCode {
         eprintln!("unknown system `{}`", args[1]);
         return usage();
     };
-    let budget: usize = args
-        .get(3)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100);
+    let budget: usize = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(100);
     let thermal_config = ThermalConfig::with_grid(32, 32);
     let reward_config = RewardConfig::default();
 

@@ -139,9 +139,13 @@ impl<A: ThermalAnalyzer> FloorplanEnv<A> {
     fn observe(&self) -> Option<Observation> {
         let chiplet = self.next_chiplet()?;
         let system = self.reward.system();
-        let mask =
-            self.grid
-                .feasibility_mask(system, &self.placement, chiplet, Rotation::None, self.config.min_spacing_mm);
+        let mask = self.grid.feasibility_mask(
+            system,
+            &self.placement,
+            chiplet,
+            Rotation::None,
+            self.config.min_spacing_mm,
+        );
         if !mask.iter().any(|&m| m) {
             return None;
         }
@@ -149,15 +153,20 @@ impl<A: ThermalAnalyzer> FloorplanEnv<A> {
         let occupancy = self.grid.occupancy_map(system, &self.placement);
         let power = self.grid.power_map(system, &self.placement);
         let next = system.chiplet(chiplet);
-        let next_descriptor = (next.area() / (system.interposer_width() * system.interposer_height())
-            + next.power() / system.total_power().max(f64::MIN_POSITIVE)) as f32
-            / 2.0;
+        let next_descriptor =
+            (next.area() / (system.interposer_width() * system.interposer_height())
+                + next.power() / system.total_power().max(f64::MIN_POSITIVE)) as f32
+                / 2.0;
 
         let mut data = Vec::with_capacity(4 * cells);
         data.extend(occupancy.iter().copied());
-        data.extend(power.iter().map(|&p| (f64::from(p) / self.max_cell_power) as f32));
+        data.extend(
+            power
+                .iter()
+                .map(|&p| (f64::from(p) / self.max_cell_power) as f32),
+        );
         data.extend(mask.iter().map(|&m| if m { 1.0f32 } else { 0.0 }));
-        data.extend(std::iter::repeat(next_descriptor).take(cells));
+        data.extend(std::iter::repeat_n(next_descriptor, cells));
         let state = Tensor::from_vec(data, vec![4, self.grid.rows(), self.grid.cols()]);
         Some(Observation::new(state, mask))
     }

@@ -186,9 +186,8 @@ impl<A: ThermalAnalyzer> RlPlanner<A> {
             }
         }
 
-        let (best_placement, best_breakdown) = best.expect(
-            "training never produced a complete placement; increase the grid resolution",
-        );
+        let (best_placement, best_breakdown) = best
+            .expect("training never produced a complete placement; increase the grid resolution");
         TrainingResult {
             best_placement,
             best_breakdown,
@@ -209,7 +208,9 @@ impl<A: ThermalAnalyzer> RlPlanner<A> {
             if step.done {
                 return self.env.last_breakdown();
             }
-            observation = step.observation.expect("non-terminal step has an observation");
+            observation = step
+                .observation
+                .expect("non-terminal step has an observation");
         }
     }
 }

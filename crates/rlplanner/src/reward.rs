@@ -132,7 +132,8 @@ impl<A: ThermalAnalyzer> RewardCalculator<A> {
         let wirelength_mm =
             bump_aware_wirelength(&self.system, placement, &self.config.bump_config)?;
         let max_temperature_c = self.analyzer.max_temperature(&self.system, placement)?;
-        let reward = -self.config.lambda * wirelength_mm - self.temperature_penalty(max_temperature_c);
+        let reward =
+            -self.config.lambda * wirelength_mm - self.temperature_penalty(max_temperature_c);
         Ok(RewardBreakdown {
             reward,
             wirelength_mm,
@@ -213,7 +214,10 @@ mod tests {
     fn temperature_penalty_is_zero_well_below_the_limit() {
         let calc = calculator();
         assert!(calc.temperature_penalty(60.0) < 1e-9);
-        assert_eq!(calc.temperature_penalty(calc.config().temperature_limit_c), 0.0);
+        assert_eq!(
+            calc.temperature_penalty(calc.config().temperature_limit_c),
+            0.0
+        );
         assert!(calc.temperature_penalty(100.0) > 1.0);
     }
 

@@ -315,9 +315,7 @@ mod tests {
         let planner = SaPlanner::new(sys.clone(), quick_config(5));
         let objective = |_: &Placement| 0.0; // flat objective: accept everything
         let result = planner.run(&objective).unwrap();
-        assert!(sys
-            .validate_placement(&result.best_placement, 0.2)
-            .is_ok());
+        assert!(sys.validate_placement(&result.best_placement, 0.2).is_ok());
     }
 
     #[test]

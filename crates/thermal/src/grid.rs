@@ -141,7 +141,8 @@ impl GridThermalSolver {
         system: &ChipletSystem,
         placement: &Placement,
     ) -> Result<ThermalSolution, ThermalError> {
-        let power = PowerMap::rasterize(system, placement, self.config.grid_nx, self.config.grid_ny);
+        let power =
+            PowerMap::rasterize(system, placement, self.config.grid_nx, self.config.grid_ny);
         self.solve_power_map(system, &power)
     }
 
@@ -337,7 +338,11 @@ mod tests {
         let (sys2, p2) = single_chiplet(40.0, Position::new(11.0, 11.0));
         let rise1 = solver.max_temperature(&sys1, &p1).unwrap() - ambient;
         let rise2 = solver.max_temperature(&sys2, &p2).unwrap() - ambient;
-        assert!((rise2 / rise1 - 2.0).abs() < 1e-3, "ratio {}", rise2 / rise1);
+        assert!(
+            (rise2 / rise1 - 2.0).abs() < 1e-3,
+            "ratio {}",
+            rise2 / rise1
+        );
     }
 
     #[test]

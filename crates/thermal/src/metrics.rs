@@ -29,11 +29,7 @@ impl ErrorMetrics {
     ///
     /// Panics if the slices have different lengths or are empty.
     pub fn compute(predicted: &[f64], reference: &[f64]) -> Self {
-        assert_eq!(
-            predicted.len(),
-            reference.len(),
-            "metrics: length mismatch"
-        );
+        assert_eq!(predicted.len(), reference.len(), "metrics: length mismatch");
         assert!(!predicted.is_empty(), "metrics: empty input");
         let n = predicted.len() as f64;
         let mut se = 0.0;

@@ -22,12 +22,7 @@ impl PowerMap {
     ///
     /// Unplaced chiplets contribute nothing, which lets the RL environment
     /// evaluate partial placements.
-    pub fn rasterize(
-        system: &ChipletSystem,
-        placement: &Placement,
-        nx: usize,
-        ny: usize,
-    ) -> Self {
+    pub fn rasterize(system: &ChipletSystem, placement: &Placement, nx: usize, ny: usize) -> Self {
         assert!(nx > 0 && ny > 0, "power map grid must be non-empty");
         let cell_width_mm = system.interposer_width() / nx as f64;
         let cell_height_mm = system.interposer_height() / ny as f64;
@@ -143,7 +138,7 @@ mod tests {
     fn power_lands_in_the_right_cells() {
         let (sys, p) = system();
         let map = PowerMap::rasterize(&sys, &p, 20, 20); // 1 mm cells
-        // Chiplet a covers x in [2,7), y in [2,7): cell (3,3) is fully inside.
+                                                         // Chiplet a covers x in [2,7), y in [2,7): cell (3,3) is fully inside.
         assert!(map.power_at(3, 3) > 0.0);
         // Far corner is empty.
         assert_eq!(map.power_at(19, 0), 0.0);

@@ -9,22 +9,31 @@ use rlp_thermal::{GridThermalSolver, ThermalAnalyzer, ThermalConfig};
 /// positions, all guaranteed to stay inside a 40×40 mm interposer (overlaps
 /// are allowed — the thermal model does not care about legality).
 fn arb_placed_system() -> impl Strategy<Value = (ChipletSystem, Placement)> {
-    prop::collection::vec((3.0f64..10.0, 3.0f64..10.0, 1.0f64..60.0, 0.0f64..1.0, 0.0f64..1.0), 1..4)
-        .prop_map(|chips| {
-            let mut sys = ChipletSystem::new("prop", 40.0, 40.0);
-            let mut placement_data = Vec::new();
-            for (i, (w, h, p, fx, fy)) in chips.into_iter().enumerate() {
-                let id = sys.add_chiplet(Chiplet::new(format!("c{i}"), w, h, p));
-                let x = fx * (40.0 - w);
-                let y = fy * (40.0 - h);
-                placement_data.push((id, Position::new(x, y)));
-            }
-            let mut placement = Placement::for_system(&sys);
-            for (id, pos) in placement_data {
-                placement.place(id, pos);
-            }
-            (sys, placement)
-        })
+    prop::collection::vec(
+        (
+            3.0f64..10.0,
+            3.0f64..10.0,
+            1.0f64..60.0,
+            0.0f64..1.0,
+            0.0f64..1.0,
+        ),
+        1..4,
+    )
+    .prop_map(|chips| {
+        let mut sys = ChipletSystem::new("prop", 40.0, 40.0);
+        let mut placement_data = Vec::new();
+        for (i, (w, h, p, fx, fy)) in chips.into_iter().enumerate() {
+            let id = sys.add_chiplet(Chiplet::new(format!("c{i}"), w, h, p));
+            let x = fx * (40.0 - w);
+            let y = fy * (40.0 - h);
+            placement_data.push((id, Position::new(x, y)));
+        }
+        let mut placement = Placement::for_system(&sys);
+        for (id, pos) in placement_data {
+            placement.place(id, pos);
+        }
+        (sys, placement)
+    })
 }
 
 proptest! {

@@ -13,14 +13,14 @@
 //! cargo run --release --example ablation_thermal_grid
 //! ```
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use rlp_benchmarks::multi_gpu_system;
+use rlp_chiplet::PlacementGrid;
 use rlp_sa::moves::random_initial_placement;
 use rlp_thermal::{
     CharacterizationOptions, FastThermalModel, GridThermalSolver, ThermalAnalyzer, ThermalConfig,
 };
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use rlp_chiplet::PlacementGrid;
 use std::time::Instant;
 
 fn main() {
@@ -30,7 +30,10 @@ fn main() {
     let placements: Vec<_> = (0..6)
         .filter_map(|_| random_initial_placement(&system, &placement_grid, 0.2, &mut rng).ok())
         .collect();
-    assert!(!placements.is_empty(), "no legal placements for the ablation");
+    assert!(
+        !placements.is_empty(),
+        "no legal placements for the ablation"
+    );
 
     println!("== Ablation 1: grid-solver resolution (multi-gpu system) ==");
     println!(
@@ -55,7 +58,12 @@ fn main() {
             .zip(&reference)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        println!("{:<12}{:>18.3?}{:>22.3}", format!("{n}x{n}"), elapsed, max_err);
+        println!(
+            "{:<12}{:>18.3?}{:>22.3}",
+            format!("{n}x{n}"),
+            elapsed,
+            max_err
+        );
     }
 
     println!("\n== Ablation 2: characterisation density of the fast model ==");

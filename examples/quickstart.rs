@@ -61,7 +61,10 @@ fn main() {
         &CharacterizationOptions::default(),
     )
     .expect("characterisation failed");
-    println!("fast thermal model characterised in {:.2?}", start.elapsed());
+    println!(
+        "fast thermal model characterised in {:.2?}",
+        start.elapsed()
+    );
 
     // 2. Train RLPlanner with the fast model in the reward loop.
     let mut planner = RlPlanner::new(
@@ -75,7 +78,10 @@ fn main() {
         },
     );
     let result = planner.train();
-    println!("\n-- RLPlanner (RND), {} episodes, {:.2?} --", result.episodes_run, result.runtime);
+    println!(
+        "\n-- RLPlanner (RND), {} episodes, {:.2?} --",
+        result.episodes_run, result.runtime
+    );
     println!(
         "best reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C",
         result.best_breakdown.reward,
@@ -100,7 +106,9 @@ fn main() {
     );
     println!(
         "best reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C",
-        sa.best_breakdown.reward, sa.best_breakdown.wirelength_mm, sa.best_breakdown.max_temperature_c
+        sa.best_breakdown.reward,
+        sa.best_breakdown.wirelength_mm,
+        sa.best_breakdown.max_temperature_c
     );
 
     let improvement = (result.best_breakdown.reward - sa.best_breakdown.reward)

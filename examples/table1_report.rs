@@ -169,5 +169,7 @@ fn main() {
             improvement
         );
     }
-    println!("paper reference (Table I): RLPlanner (RND) improves the objective by ~20.3 % on average");
+    println!(
+        "paper reference (Table I): RLPlanner (RND) improves the objective by ~20.3 % on average"
+    );
 }

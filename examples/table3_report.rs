@@ -99,7 +99,10 @@ fn main() {
         println!("finished {}", system.name());
     }
 
-    println!("\n{:<24}{:>10}{:>10}{:>10}{:>10}{:>10}", "method", "Case1", "Case2", "Case3", "Case4", "Case5");
+    println!(
+        "\n{:<24}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "method", "Case1", "Case2", "Case3", "Case4", "Case5"
+    );
     for (method, row) in methods.iter().zip(&rewards) {
         print!("{method:<24}");
         for reward in row {
@@ -112,9 +115,8 @@ fn main() {
     // matching the headline statistic the paper reports over all 8 cases
     // (positive = RL reaches a better, i.e. less negative, reward).
     let mut improvements = Vec::new();
-    for case_index in 0..cases.len() {
-        let rl_best = rewards[0][case_index].max(rewards[1][case_index]);
-        let sa_hotspot = rewards[2][case_index];
+    for ((&rl_plain, &rl_rnd), &sa_hotspot) in rewards[0].iter().zip(&rewards[1]).zip(&rewards[2]) {
+        let rl_best = rl_plain.max(rl_rnd);
         improvements.push((rl_best - sa_hotspot) / sa_hotspot.abs() * 100.0);
     }
     let mean: f64 = improvements.iter().sum::<f64>() / improvements.len() as f64;

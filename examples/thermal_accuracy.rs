@@ -14,15 +14,15 @@
 //! cargo run --release --example thermal_accuracy
 //! ```
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use rlp_benchmarks::{SyntheticConfig, SyntheticSystemGenerator};
+use rlp_chiplet::PlacementGrid;
 use rlp_sa::moves::random_initial_placement;
 use rlp_thermal::{
     CharacterizationOptions, ErrorMetrics, FastThermalModel, GridThermalSolver, ThermalAnalyzer,
     ThermalConfig,
 };
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use rlp_chiplet::PlacementGrid;
 use std::time::{Duration, Instant};
 
 fn dataset_size() -> usize {
@@ -97,8 +97,14 @@ fn main() {
     let fast_mean = fast_time.as_secs_f64() / evaluated as f64;
     let grid_mean = grid_time.as_secs_f64() / evaluated as f64;
 
-    println!("\n{:<28}{:>18}{:>18}", "metric", "fast thermal model", "grid solver");
-    println!("{:<28}{:>18.4}{:>18}", "MSE (K^2)", metrics.mse, "ground truth");
+    println!(
+        "\n{:<28}{:>18}{:>18}",
+        "metric", "fast thermal model", "grid solver"
+    );
+    println!(
+        "{:<28}{:>18.4}{:>18}",
+        "MSE (K^2)", metrics.mse, "ground truth"
+    );
     println!("{:<28}{:>18.4}{:>18}", "RMSE (K)", metrics.rmse, "-");
     println!("{:<28}{:>18.4}{:>18}", "MAE (K)", metrics.mae, "-");
     println!("{:<28}{:>17.4}%{:>18}", "MAPE", metrics.mape * 100.0, "-");
@@ -108,14 +114,18 @@ fn main() {
     );
     println!(
         "{:<28}{:>17.1}x{:>18}",
-        "speed-up", grid_mean / fast_mean.max(1e-12), "1x"
+        "speed-up",
+        grid_mean / fast_mean.max(1e-12),
+        "1x"
     );
     println!(
         "\ncharacterisation (offline): {:.3} s per interposer on average",
         characterization_time.as_secs_f64() / evaluated as f64
     );
     if skipped > 0 {
-        println!("note: {skipped} generated systems had no legal 16x16-grid placement and were skipped");
+        println!(
+            "note: {skipped} generated systems had no legal 16x16-grid placement and were skipped"
+        );
     }
     println!(
         "\npaper reference: MAE 0.2523 K, MAPE 0.0726 %, speed-up ~127x (HotSpot 12.9 s vs 0.10 s)"

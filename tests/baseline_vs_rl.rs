@@ -5,9 +5,7 @@
 use rlp_benchmarks::synthetic_case;
 use rlp_sa::SaConfig;
 use rlp_thermal::{CharacterizationOptions, FastThermalModel, ThermalConfig};
-use rlplanner::{
-    AgentConfig, EnvConfig, RewardConfig, RlPlanner, RlPlannerConfig, Tap25dBaseline,
-};
+use rlplanner::{AgentConfig, EnvConfig, RewardConfig, RlPlanner, RlPlannerConfig, Tap25dBaseline};
 
 fn fast_model_for(system: &rlp_chiplet::ChipletSystem) -> FastThermalModel {
     FastThermalModel::characterize(
@@ -96,6 +94,51 @@ fn both_optimisers_beat_a_single_random_placement() {
     assert!(
         (0.2..5.0).contains(&ratio),
         "RL ({}) and SA ({}) rewards diverge unreasonably",
+        rl_result.best_breakdown.reward,
+        sa_result.best_breakdown.reward
+    );
+}
+
+/// Full-budget SA vs RL comparison at a scale closer to the paper's tables.
+/// Ignored by default so `cargo test -q` stays CI-friendly; run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full optimisation budgets; run explicitly with -- --ignored"]
+fn full_budget_sa_and_rl_reach_comparable_quality() {
+    let system = synthetic_case(2);
+    let fast_model = fast_model_for(&system);
+    let reward_config = RewardConfig::default();
+
+    let baseline = Tap25dBaseline::new(
+        system.clone(),
+        fast_model.clone(),
+        reward_config.clone(),
+        SaConfig {
+            max_evaluations: Some(5_000),
+            seed: 7,
+            ..SaConfig::default()
+        },
+    );
+    let sa_result = baseline.run().unwrap();
+
+    let mut planner = RlPlanner::new(
+        system,
+        fast_model,
+        reward_config,
+        RlPlannerConfig {
+            episodes: 200,
+            seed: 7,
+            ..RlPlannerConfig::default()
+        },
+    );
+    let rl_result = planner.train();
+
+    assert!(sa_result.best_breakdown.reward > -100.0);
+    assert!(rl_result.best_breakdown.reward > -100.0);
+    let ratio = rl_result.best_breakdown.reward / sa_result.best_breakdown.reward;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "RL ({}) and SA ({}) diverge at full budget",
         rl_result.best_breakdown.reward,
         sa_result.best_breakdown.reward
     );

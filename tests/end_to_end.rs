@@ -64,7 +64,10 @@ fn rlplanner_trains_end_to_end_on_a_synthetic_case() {
         .validate_placement(&result.best_placement, 0.2)
         .is_ok());
     assert!(result.best_breakdown.reward < 0.0);
-    assert!(result.best_breakdown.reward > -100.0, "best episode hit the penalty");
+    assert!(
+        result.best_breakdown.reward > -100.0,
+        "best episode hit the penalty"
+    );
     assert!(result.best_breakdown.wirelength_mm > 0.0);
     assert!(result.best_breakdown.max_temperature_c > 45.0);
     assert_eq!(result.reward_history.len(), result.episodes_run);
@@ -102,6 +105,46 @@ fn rnd_variant_trains_on_a_synthetic_case() {
     let result = planner.train();
     assert!(result.best_placement.is_complete());
     assert!(result.best_breakdown.reward > -100.0);
+}
+
+/// Full-budget training run, closer to the paper's experimental scale.
+/// Ignored by default so `cargo test -q` stays CI-friendly; run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full training budget; run explicitly with -- --ignored"]
+fn rlplanner_full_budget_training_improves_over_early_episodes() {
+    let system = synthetic_case(1);
+    let fast_model = FastThermalModel::characterize(
+        &ThermalConfig::with_grid(32, 32),
+        system.interposer_width(),
+        system.interposer_height(),
+        &CharacterizationOptions::default(),
+    )
+    .unwrap();
+    let mut planner = RlPlanner::new(
+        system.clone(),
+        fast_model,
+        RewardConfig::default(),
+        RlPlannerConfig {
+            episodes: 300,
+            seed: 5,
+            ..RlPlannerConfig::default()
+        },
+    );
+    let result = planner.train();
+    assert!(result.best_placement.is_complete());
+    assert!(system
+        .validate_placement(&result.best_placement, 0.2)
+        .is_ok());
+    // Training signal: the best reward must beat the average of the first
+    // training episodes by a clear margin.
+    let early: f64 = result.reward_history.iter().take(20).sum::<f64>() / 20.0;
+    assert!(
+        result.best_breakdown.reward > early,
+        "no improvement over early episodes (best {}, early mean {})",
+        result.best_breakdown.reward,
+        early
+    );
 }
 
 #[test]

@@ -1,0 +1,82 @@
+//! Fast wiring smoke test: a 2-chiplet system through the whole stack —
+//! geometry, reward, thermal solve, environment, policy network, PPO episode
+//! — with budgets tiny enough to finish in a couple of seconds. CI runs this
+//! first to catch crate-wiring regressions without waiting for the full
+//! integration suite.
+
+use rlp_chiplet::{Chiplet, ChipletSystem, Net};
+use rlp_rl::{Environment, PpoAgent, PpoConfig, RolloutBuffer};
+use rlp_thermal::{GridThermalSolver, ThermalConfig};
+use rlplanner::{
+    agent::build_actor_critic, AgentConfig, EnvConfig, FloorplanEnv, RewardCalculator, RewardConfig,
+};
+
+fn two_chiplet_system() -> ChipletSystem {
+    let mut system = ChipletSystem::new("smoke", 20.0, 20.0);
+    let cpu = system.add_chiplet(Chiplet::new("cpu", 6.0, 6.0, 20.0));
+    let mem = system.add_chiplet(Chiplet::new("mem", 4.0, 4.0, 4.0));
+    system.add_net(Net::new(cpu, mem, 32));
+    system
+}
+
+fn tiny_env() -> FloorplanEnv<GridThermalSolver> {
+    let calculator = RewardCalculator::new(
+        two_chiplet_system(),
+        GridThermalSolver::new(ThermalConfig::with_grid(8, 8)),
+        RewardConfig::default(),
+    );
+    FloorplanEnv::new(
+        calculator,
+        EnvConfig {
+            grid: (8, 8),
+            min_spacing_mm: 0.2,
+        },
+    )
+}
+
+#[test]
+fn greedy_episode_completes_with_a_legal_placement() {
+    let mut env = tiny_env();
+    let mut observation = env.reset();
+    let mut steps = 0;
+    loop {
+        let action = observation
+            .action_mask
+            .iter()
+            .position(|&feasible| feasible)
+            .expect("at least one feasible action");
+        let result = env.step(action);
+        steps += 1;
+        assert!(steps <= 2, "a 2-chiplet episode must end in 2 steps");
+        assert!(result.reward.is_finite());
+        if result.done {
+            break;
+        }
+        observation = result
+            .observation
+            .expect("ongoing episode has an observation");
+    }
+    assert_eq!(steps, 2);
+    assert!(env.placement().is_complete());
+    let breakdown = env
+        .last_breakdown()
+        .expect("a complete episode reports a reward breakdown");
+    assert!(breakdown.wirelength_mm > 0.0);
+    assert!(breakdown.max_temperature_c > 0.0);
+}
+
+#[test]
+fn ppo_agent_collects_an_episode_through_the_policy_network() {
+    let mut env = tiny_env();
+    let agent_config = AgentConfig {
+        conv_channels: (2, 4),
+        feature_dim: 16,
+        ..AgentConfig::default()
+    };
+    let model = build_actor_critic(&env.observation_shape(), env.action_count(), &agent_config);
+    let mut agent = PpoAgent::new(model, PpoConfig::default(), 3);
+    let mut buffer = RolloutBuffer::new();
+    agent.collect_episode(&mut env, &mut buffer, None);
+    assert!(env.placement().is_complete());
+    assert_eq!(buffer.len(), 2, "one transition per chiplet");
+}

@@ -60,14 +60,8 @@ fn fast_model_tracks_grid_solver_on_synthetic_dataset() {
     }
 
     let metrics = ErrorMetrics::compute(&fast_temps, &reference_temps);
-    assert!(
-        metrics.mae < 3.0,
-        "fast model MAE too large: {metrics}"
-    );
-    assert!(
-        metrics.mape < 0.05,
-        "fast model MAPE too large: {metrics}"
-    );
+    assert!(metrics.mae < 3.0, "fast model MAE too large: {metrics}");
+    assert!(metrics.mape < 0.05, "fast model MAPE too large: {metrics}");
 }
 
 #[test]
@@ -90,7 +84,11 @@ fn fast_model_ranks_benchmark_placements_like_the_grid_solver() {
         let placements: Vec<_> = (0..4)
             .filter_map(|_| random_initial_placement(&system, &placement_grid, 0.2, &mut rng).ok())
             .collect();
-        assert!(placements.len() >= 2, "{}: not enough placements", system.name());
+        assert!(
+            placements.len() >= 2,
+            "{}: not enough placements",
+            system.name()
+        );
         let fast_temps: Vec<f64> = placements
             .iter()
             .map(|p| fast.max_temperature(&system, p).unwrap())

@@ -1,0 +1,196 @@
+//! Vendored property-testing harness.
+//!
+//! The build environment is offline, so this crate re-implements the slice
+//! of the `proptest` API the workspace's test suites use: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map`, range / tuple / `collection::vec`
+//! strategies, [`any`](arbitrary::any), `prop_assert!`/`prop_assert_eq!`,
+//! and [`ProptestConfig`](test_runner::ProptestConfig).
+//!
+//! Differences from crates.io `proptest`, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the panic
+//!   message) and the case number, but is not minimised.
+//! * **Deterministic cases.** Each test derives its RNG stream from the
+//!   test-function name and the case index, so runs are reproducible
+//!   without a persistence file.
+//!
+//! Both are acceptable for CI regression testing, which is what this
+//! workspace needs; swap in crates.io `proptest` for exploratory fuzzing.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` paths (`prop::collection::vec`, ...) used inside
+/// `proptest!` bodies.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything test files import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests.
+///
+/// Supports the classic form used by this workspace: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions whose
+/// parameters are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unreachable_code)]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    // Bind via `let` (not closure parameters) so each value
+                    // keeps the concrete type its strategy produced.
+                    let ($($pat,)+) = (
+                        $($crate::strategy::Strategy::sample_value(&($strat), &mut rng),)+
+                    );
+                    let result: $crate::test_runner::TestCaseResult = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(err) = result {
+                        panic!(
+                            "proptest case {}/{} failed: {}",
+                            case + 1,
+                            config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Fails the current property test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current property test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(*left == *right, $($fmt)*),
+        }
+    };
+}
+
+/// Fails the current property test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left != *right,
+                "assertion failed: `{:?}` == `{:?}`",
+                left,
+                right
+            ),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1usize..10, y in -2.0f64..2.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            (a, b) in (0u64..5, 0u64..5),
+            v in prop::collection::vec(0usize..100, 3..7),
+        ) {
+            prop_assert!(a < 5 && b < 5);
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn prop_map_applies(n in (1usize..4).prop_map(|k| k * 10)) {
+            prop_assert!(n == 10 || n == 20 || n == 30);
+        }
+
+        #[test]
+        fn early_return_ok_is_supported(flag in any::<bool>()) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(!flag);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,150 @@
+//! Vendored ChaCha8 random number generator.
+//!
+//! The workspace builds offline, so instead of the crates.io `rand_chacha`
+//! this crate implements the ChaCha8 stream cipher core (RFC 8439 block
+//! function with 8 rounds) behind the same `ChaCha8Rng` name and the
+//! `SeedableRng`/`RngCore` traits of the vendored `rand`. Streams are fully
+//! deterministic given a seed; they are not bit-compatible with crates.io
+//! `rand_chacha` (which nothing in this workspace relies on).
+
+use rand::{RngCore, SeedableRng};
+
+/// Number of ChaCha double-rounds; 8 rounds = 4 double-rounds.
+const DOUBLE_ROUNDS: usize = 4;
+
+/// A ChaCha stream cipher based RNG with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + counter + nonce state fed to the block function.
+    state: [u32; 16],
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next unread index into `block`; 16 means "exhausted".
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12/13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // "expand 32-byte k" constants.
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(12345);
+        let mut b = ChaCha8Rng::seed_from_u64(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same == 0, "streams from different seeds should not collide");
+    }
+
+    #[test]
+    fn output_is_roughly_uniform() {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+        let ones: u32 = (0..1000).map(|_| rng.next_u32().count_ones()).sum();
+        let bit_rate = ones as f64 / (1000.0 * 32.0);
+        assert!(
+            (bit_rate - 0.5).abs() < 0.02,
+            "bit rate {bit_rate} far from 0.5"
+        );
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,24 @@
+//! Vendored `serde` facade for offline builds.
+//!
+//! The workspace annotates its config and result types with
+//! `#[derive(Serialize, Deserialize)]` but never actually serialises them
+//! (there is no `serde_json` or similar in the dependency tree). This crate
+//! keeps those annotations compiling without network access: it exposes
+//! `Serialize`/`Deserialize` as plain marker traits and re-exports the no-op
+//! derive macros from the vendored `serde_derive`. Swapping in crates.io
+//! `serde` later requires no call-site changes.
+
+/// Marker trait mirroring `serde::Serialize`. No methods; the vendored
+/// derive emits no impl and nothing in the workspace bounds on it.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace builds offline and vendors a marker-trait `serde` (see
+//! `vendor/serde`); nothing in the codebase performs actual serialisation —
+//! the derives exist so config and result types are declared
+//! serialisation-ready, matching the upstream source. These macros therefore
+//! expand to nothing: the types compile exactly as if the derive were
+//! absent, and no impl is emitted. If real serialisation is ever needed,
+//! replace the vendored crates with crates.io `serde` — no call-site changes
+//! required.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any item `#[derive(Serialize)]` is placed on.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any item `#[derive(Deserialize)]` is placed on.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
