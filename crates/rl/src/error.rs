@@ -1,0 +1,151 @@
+//! Typed configuration errors.
+//!
+//! Validation across the optimisation stack ([`crate::PpoConfig`], the
+//! planner-level configs in the `rlplanner` crate) reports the first invalid
+//! field through [`ConfigError`] instead of a bare `String`, so callers can
+//! match on the failure mode and error chains compose with
+//! [`std::error::Error`].
+
+use std::error::Error;
+use std::fmt;
+
+/// A typed description of the first invalid field found while validating a
+/// configuration struct.
+///
+/// The enum is `#[non_exhaustive]`: new validation rules may add variants
+/// without a breaking release, so downstream `match`es need a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A field that must be strictly positive was zero or negative.
+    ExpectedPositive {
+        /// Dotted path of the offending field (e.g. `"ppo.learning_rate"`).
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A field that must not be negative was negative.
+    ExpectedNonNegative {
+        /// Dotted path of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A field that must be strictly negative (e.g. a penalty) was not.
+    ExpectedNegative {
+        /// Dotted path of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A field fell outside its allowed closed range.
+    OutOfRange {
+        /// Dotted path of the offending field.
+        field: &'static str,
+        /// Smallest allowed value.
+        min: f64,
+        /// Largest allowed value.
+        max: f64,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A field that must be finite was NaN or infinite.
+    NotFinite {
+        /// Dotted path of the offending field.
+        field: &'static str,
+    },
+    /// A field was rejected for a reason that does not fit the shapes above
+    /// (cross-field constraints, or validators bridged from other crates).
+    Invalid {
+        /// Dotted path of the offending field or subsystem.
+        field: &'static str,
+        /// Human-readable description of the constraint that failed.
+        reason: String,
+    },
+}
+
+impl ConfigError {
+    /// Dotted path of the field this error refers to.
+    pub fn field(&self) -> &'static str {
+        match self {
+            ConfigError::ExpectedPositive { field, .. }
+            | ConfigError::ExpectedNonNegative { field, .. }
+            | ConfigError::ExpectedNegative { field, .. }
+            | ConfigError::OutOfRange { field, .. }
+            | ConfigError::NotFinite { field }
+            | ConfigError::Invalid { field, .. } => field,
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ExpectedPositive { field, value } => {
+                write!(f, "`{field}` must be positive, got {value}")
+            }
+            ConfigError::ExpectedNonNegative { field, value } => {
+                write!(f, "`{field}` must not be negative, got {value}")
+            }
+            ConfigError::ExpectedNegative { field, value } => {
+                write!(f, "`{field}` must be negative, got {value}")
+            }
+            ConfigError::OutOfRange {
+                field,
+                min,
+                max,
+                value,
+            } => write!(f, "`{field}` must be in [{min}, {max}], got {value}"),
+            ConfigError::NotFinite { field } => write!(f, "`{field}` must be finite"),
+            ConfigError::Invalid { field, reason } => write!(f, "`{field}` is invalid: {reason}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field_and_value() {
+        let err = ConfigError::ExpectedPositive {
+            field: "learning_rate",
+            value: -1.0,
+        };
+        let text = err.to_string();
+        assert!(text.contains("learning_rate"));
+        assert!(text.contains("-1"));
+        assert_eq!(err.field(), "learning_rate");
+    }
+
+    #[test]
+    fn out_of_range_reports_the_bounds() {
+        let err = ConfigError::OutOfRange {
+            field: "gamma",
+            min: 0.0,
+            max: 1.0,
+            value: 1.5,
+        };
+        let text = err.to_string();
+        assert!(text.contains("[0, 1]"));
+        assert!(text.contains("1.5"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        let err: Box<dyn Error> = Box::new(ConfigError::NotFinite { field: "alpha" });
+        assert!(err.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn invalid_carries_a_free_form_reason() {
+        let err = ConfigError::Invalid {
+            field: "sa",
+            reason: "final temperature must not exceed the initial temperature".to_string(),
+        };
+        assert!(err.to_string().contains("final temperature"));
+        assert_eq!(err.field(), "sa");
+    }
+}

@@ -14,6 +14,10 @@
 //!   objective, entropy bonus, value loss and gradient clipping.
 //! * [`RandomNetworkDistillation`] — the RND exploration bonus used by the
 //!   "RLPlanner (RND)" variant.
+//! * [`TrainingObserver`] — streaming progress hook training loops report
+//!   episodes and updates through.
+//! * [`ConfigError`] — the typed validation error shared by the
+//!   configuration structs of this crate and its consumers.
 //!
 //! # Examples
 //!
@@ -32,11 +36,15 @@
 pub mod actor_critic;
 pub mod buffer;
 pub mod env;
+pub mod error;
 pub mod ppo;
+pub mod progress;
 pub mod rnd;
 
 pub use actor_critic::ActorCritic;
 pub use buffer::{RolloutBuffer, Transition};
 pub use env::{Environment, Observation, StepResult};
+pub use error::ConfigError;
 pub use ppo::{ActionSample, PpoAgent, PpoConfig, PpoStats};
+pub use progress::{NullTrainingObserver, TrainingObserver};
 pub use rnd::RandomNetworkDistillation;

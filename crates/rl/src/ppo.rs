@@ -3,6 +3,7 @@
 use crate::actor_critic::ActorCritic;
 use crate::buffer::{RolloutBuffer, Transition};
 use crate::env::{Environment, Observation};
+use crate::error::ConfigError;
 use crate::rnd::RandomNetworkDistillation;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -56,28 +57,53 @@ impl PpoConfig {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a typed [`ConfigError`] describing the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(0.0..=1.0).contains(&self.gamma) {
-            return Err(format!("gamma must be in [0, 1], got {}", self.gamma));
+            return Err(ConfigError::OutOfRange {
+                field: "ppo.gamma",
+                min: 0.0,
+                max: 1.0,
+                value: self.gamma,
+            });
         }
         if !(0.0..=1.0).contains(&self.gae_lambda) {
-            return Err(format!(
-                "gae_lambda must be in [0, 1], got {}",
-                self.gae_lambda
-            ));
+            return Err(ConfigError::OutOfRange {
+                field: "ppo.gae_lambda",
+                min: 0.0,
+                max: 1.0,
+                value: self.gae_lambda,
+            });
         }
         if self.clip_epsilon <= 0.0 {
-            return Err("clip_epsilon must be positive".to_string());
+            return Err(ConfigError::ExpectedPositive {
+                field: "ppo.clip_epsilon",
+                value: f64::from(self.clip_epsilon),
+            });
         }
         if self.learning_rate <= 0.0 {
-            return Err("learning_rate must be positive".to_string());
+            return Err(ConfigError::ExpectedPositive {
+                field: "ppo.learning_rate",
+                value: f64::from(self.learning_rate),
+            });
         }
-        if self.epochs == 0 || self.minibatch_size == 0 {
-            return Err("epochs and minibatch_size must be positive".to_string());
+        if self.epochs == 0 {
+            return Err(ConfigError::ExpectedPositive {
+                field: "ppo.epochs",
+                value: 0.0,
+            });
+        }
+        if self.minibatch_size == 0 {
+            return Err(ConfigError::ExpectedPositive {
+                field: "ppo.minibatch_size",
+                value: 0.0,
+            });
         }
         if self.max_grad_norm <= 0.0 {
-            return Err("max_grad_norm must be positive".to_string());
+            return Err(ConfigError::ExpectedPositive {
+                field: "ppo.max_grad_norm",
+                value: f64::from(self.max_grad_norm),
+            });
         }
         Ok(())
     }
@@ -484,19 +510,27 @@ mod tests {
     }
 
     #[test]
-    fn invalid_config_is_rejected() {
-        assert!(PpoConfig {
+    fn invalid_config_is_rejected_with_a_typed_error() {
+        let gamma_err = PpoConfig {
             gamma: 1.5,
             ..PpoConfig::default()
         }
         .validate()
-        .is_err());
-        assert!(PpoConfig {
+        .unwrap_err();
+        assert!(matches!(
+            gamma_err,
+            ConfigError::OutOfRange {
+                field: "ppo.gamma",
+                ..
+            }
+        ));
+        let epochs_err = PpoConfig {
             epochs: 0,
             ..PpoConfig::default()
         }
         .validate()
-        .is_err());
+        .unwrap_err();
+        assert_eq!(epochs_err.field(), "ppo.epochs");
         assert!(PpoConfig::default().validate().is_ok());
     }
 }

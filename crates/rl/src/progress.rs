@@ -1,0 +1,71 @@
+//! Streaming progress hooks for training loops.
+//!
+//! A training loop (such as the PPO loop in the `rlplanner` crate) accepts a
+//! [`TrainingObserver`] and reports every finished episode and every policy
+//! update to it. This is how a caller streams uniform telemetry out of a run
+//! without the loop committing to a particular storage format.
+
+use crate::ppo::PpoStats;
+
+/// Receives progress events from a training loop.
+///
+/// Every method has a no-op default, so an observer only implements the
+/// events it cares about.
+pub trait TrainingObserver {
+    /// Called after each finished episode with its 0-based index, the total
+    /// extrinsic episode reward, and the best episode reward seen so far in
+    /// this run.
+    fn on_episode(&mut self, index: usize, reward: f64, best_reward: f64) {
+        let _ = (index, reward, best_reward);
+    }
+
+    /// Called after each PPO update with the update's aggregate statistics.
+    fn on_update(&mut self, stats: &PpoStats) {
+        let _ = stats;
+    }
+}
+
+/// An observer that ignores every event; the default when a caller does not
+/// need telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTrainingObserver;
+
+impl TrainingObserver for NullTrainingObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        episodes: Vec<(usize, f64, f64)>,
+        updates: usize,
+    }
+
+    impl TrainingObserver for Recorder {
+        fn on_episode(&mut self, index: usize, reward: f64, best_reward: f64) {
+            self.episodes.push((index, reward, best_reward));
+        }
+        fn on_update(&mut self, _stats: &PpoStats) {
+            self.updates += 1;
+        }
+    }
+
+    #[test]
+    fn default_methods_are_no_ops() {
+        let mut observer = NullTrainingObserver;
+        observer.on_episode(0, -1.0, -1.0);
+        observer.on_update(&PpoStats::default());
+    }
+
+    #[test]
+    fn custom_observer_receives_events() {
+        let mut recorder = Recorder::default();
+        recorder.on_episode(0, -2.0, -2.0);
+        recorder.on_episode(1, -1.0, -1.0);
+        recorder.on_update(&PpoStats::default());
+        assert_eq!(recorder.episodes.len(), 2);
+        assert_eq!(recorder.episodes[1], (1, -1.0, -1.0));
+        assert_eq!(recorder.updates, 1);
+    }
+}

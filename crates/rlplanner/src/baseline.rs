@@ -7,9 +7,19 @@
 
 use crate::reward::{RewardBreakdown, RewardCalculator, RewardConfig};
 use rlp_chiplet::{ChipletSystem, Placement};
-use rlp_sa::{InitialPlacementError, SaConfig, SaPlanner};
+use rlp_rl::ConfigError;
+use rlp_sa::{AnnealObserver, InitialPlacementError, NullAnnealObserver, SaConfig, SaPlanner};
 use rlp_thermal::ThermalAnalyzer;
 use std::time::Duration;
+
+/// Maps a stringly-typed [`SaConfig::validate`] failure into the workspace's
+/// typed [`ConfigError`].
+pub(crate) fn sa_config_error(reason: String) -> ConfigError {
+    ConfigError::Invalid {
+        field: "sa",
+        reason,
+    }
+}
 
 /// Outcome of a baseline run.
 #[derive(Debug, Clone)]
@@ -34,20 +44,22 @@ pub struct Tap25dBaseline<A> {
 impl<A: ThermalAnalyzer> Tap25dBaseline<A> {
     /// Creates a baseline for a system, thermal backend and reward weights.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either configuration is invalid.
+    /// Returns a [`ConfigError`] if the annealing or reward configuration is
+    /// invalid.
     pub fn new(
         system: ChipletSystem,
         analyzer: A,
         reward_config: RewardConfig,
         sa_config: SaConfig,
-    ) -> Self {
-        sa_config.validate().expect("invalid SA configuration");
-        Self {
+    ) -> Result<Self, ConfigError> {
+        sa_config.validate().map_err(sa_config_error)?;
+        reward_config.validate()?;
+        Ok(Self {
             reward: RewardCalculator::new(system, analyzer, reward_config),
             sa_config,
-        }
+        })
     }
 
     /// The reward calculator (shared objective with RLPlanner).
@@ -67,8 +79,22 @@ impl<A: ThermalAnalyzer> Tap25dBaseline<A> {
     /// Returns [`InitialPlacementError`] if no legal starting placement
     /// exists on the configured grid.
     pub fn run(&self) -> Result<Tap25dResult, InitialPlacementError> {
+        self.run_observed(&mut NullAnnealObserver)
+    }
+
+    /// Runs the anneal like [`Tap25dBaseline::run`], reporting every
+    /// objective evaluation to `observer` as it happens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InitialPlacementError`] if no legal starting placement
+    /// exists on the configured grid.
+    pub fn run_observed(
+        &self,
+        observer: &mut dyn AnnealObserver,
+    ) -> Result<Tap25dResult, InitialPlacementError> {
         let planner = SaPlanner::new(self.reward.system().clone(), self.sa_config.clone());
-        let sa_result = planner.run(&self.reward)?;
+        let sa_result = planner.run_observed(&self.reward, observer)?;
         let best_breakdown =
             self.reward
                 .evaluate(&sa_result.best_placement)
@@ -129,7 +155,8 @@ mod tests {
             },
         )
         .unwrap();
-        let baseline = Tap25dBaseline::new(system(), model, RewardConfig::default(), quick_sa(0));
+        let baseline =
+            Tap25dBaseline::new(system(), model, RewardConfig::default(), quick_sa(0)).unwrap();
         let result = baseline.run().unwrap();
         assert!(result.best_placement.is_complete());
         assert!(result.best_breakdown.reward < 0.0);
@@ -147,7 +174,7 @@ mod tests {
             max_evaluations: Some(30),
             ..quick_sa(1)
         };
-        let baseline = Tap25dBaseline::new(system(), solver, RewardConfig::default(), sa);
+        let baseline = Tap25dBaseline::new(system(), solver, RewardConfig::default(), sa).unwrap();
         let result = baseline.run().unwrap();
         assert!(result.best_placement.is_complete());
         assert!(result.evaluations <= 30);

@@ -1,25 +1,37 @@
-//! `rlplanner-cli` — run any benchmark system through any of the four
-//! methods from the command line.
+//! `rlplanner_cli` — run any benchmark system through any of the four
+//! methods from the command line, via the unified [`FloorplanRequest`]
+//! facade.
 //!
 //! ```text
-//! rlplanner_cli <system> <method> [episodes-or-evals]
+//! rlplanner_cli <system> <method> [budget] [--json]
 //!
 //!   <system>   multi-gpu | cpu-dram | ascend910 | case1..case5
 //!   <method>   rl | rl-rnd | sa-hotspot | sa-fast
-//!   [budget]   RL training episodes or SA objective evaluations (default 100)
+//!   [budget]   candidate floorplans to evaluate: RL training episodes or
+//!              SA objective evaluations (default 100); must be a positive
+//!              integer — anything else is a usage error
+//!   --json     print the full outcome document (placement, reward
+//!              breakdown, telemetry, reproducibility manifest) as JSON
+//!              instead of the human-readable summary
 //! ```
 //!
-//! Prints the reward breakdown and the final placement as JSON on stdout.
+//! Without `--json`, prints the reward breakdown on stdout followed by the
+//! placement as JSON (the `rlplanner::report` placement document). Exit
+//! codes: 0 on success, 2 on usage errors, 1 when the solve fails.
 
 use rlp_benchmarks::{ascend910_system, cpu_dram_system, multi_gpu_system, synthetic_case};
 use rlp_chiplet::ChipletSystem;
 use rlp_sa::SaConfig;
-use rlp_thermal::{CharacterizationOptions, FastThermalModel, GridThermalSolver, ThermalConfig};
-use rlplanner::{RewardBreakdown, RewardConfig, RlPlanner, RlPlannerConfig, Tap25dBaseline};
+use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
+use rlplanner::report::{outcome_json, placement_json};
+use rlplanner::{Budget, FloorplanRequest, Method};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rlplanner_cli <multi-gpu|cpu-dram|ascend910|case1..case5> <rl|rl-rnd|sa-hotspot|sa-fast> [budget]");
+    eprintln!(
+        "usage: rlplanner_cli <multi-gpu|cpu-dram|ascend910|case1..case5> \
+         <rl|rl-rnd|sa-hotspot|sa-fast> [budget] [--json]"
+    );
     ExitCode::from(2)
 }
 
@@ -36,130 +48,109 @@ fn load_system(name: &str) -> Option<ChipletSystem> {
     }
 }
 
-fn print_result(
-    system: &ChipletSystem,
-    breakdown: &RewardBreakdown,
-    placement: &rlp_chiplet::Placement,
-) {
-    println!(
-        "reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C",
-        breakdown.reward, breakdown.wirelength_mm, breakdown.max_temperature_c
-    );
-    println!("{}", placement_json(system, placement));
-}
-
-/// Renders the placement as pretty-printed JSON. Hand-rolled: the vendored
-/// `serde` has no serialisation backend (the build is offline), and the
-/// structure is a flat list of chiplet records.
-fn placement_json(system: &ChipletSystem, placement: &rlp_chiplet::Placement) -> String {
-    let mut out = String::from("{\n  \"chiplets\": [\n");
-    let mut first = true;
-    for (id, position, rotation) in placement.iter_placed() {
-        if !first {
-            out.push_str(",\n");
-        }
-        first = false;
-        let chiplet = system.chiplet(id);
-        out.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"x_mm\": {:.4}, \"y_mm\": {:.4}, \"rotation\": \"{:?}\" }}",
-            json_escape(chiplet.name()),
-            position.x,
-            position.y,
-            rotation
-        ));
+/// Maps a CLI method name to the request's method and thermal backend.
+fn load_method(name: &str) -> Option<(Method, ThermalBackend)> {
+    let thermal_config = ThermalConfig::with_grid(32, 32);
+    let fast = ThermalBackend::Fast {
+        config: thermal_config.clone(),
+        characterization: CharacterizationOptions::default(),
+    };
+    let sa = Method::Sa {
+        config: SaConfig {
+            final_temperature: 1e-6,
+            ..SaConfig::default()
+        },
+    };
+    match name {
+        "rl" => Some((Method::rl(), fast)),
+        "rl-rnd" => Some((Method::rl_rnd(), fast)),
+        "sa-fast" => Some((sa, fast)),
+        "sa-hotspot" => Some((
+            sa,
+            ThermalBackend::Grid {
+                config: thermal_config,
+            },
+        )),
+        _ => None,
     }
-    out.push_str("\n  ]\n}");
-    out
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    if args.len() < 3 {
-        return usage();
-    }
-    let Some(system) = load_system(&args[1]) else {
-        eprintln!("unknown system `{}`", args[1]);
-        return usage();
-    };
-    let budget: usize = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(100);
-    let thermal_config = ThermalConfig::with_grid(32, 32);
-    let reward_config = RewardConfig::default();
+    let (flags, positional): (Vec<&String>, Vec<&String>) =
+        args.iter().skip(1).partition(|a| a.starts_with("--"));
 
-    let characterize = || {
-        FastThermalModel::characterize(
-            &thermal_config,
-            system.interposer_width(),
-            system.interposer_height(),
-            &CharacterizationOptions::default(),
-        )
-        .expect("fast-model characterisation failed")
-    };
-
-    match args[2].as_str() {
-        "rl" | "rl-rnd" => {
-            let mut planner = RlPlanner::new(
-                system.clone(),
-                characterize(),
-                reward_config,
-                RlPlannerConfig {
-                    episodes: budget,
-                    use_rnd: args[2] == "rl-rnd",
-                    ..RlPlannerConfig::default()
-                },
-            );
-            let result = planner.train();
-            eprintln!(
-                "trained {} episodes in {:.2?}",
-                result.episodes_run, result.runtime
-            );
-            print_result(&system, &result.best_breakdown, &result.best_placement);
-        }
-        "sa-hotspot" | "sa-fast" => {
-            let sa_config = SaConfig {
-                max_evaluations: Some(budget),
-                final_temperature: 1e-6,
-                ..SaConfig::default()
-            };
-            let result = if args[2] == "sa-hotspot" {
-                Tap25dBaseline::new(
-                    system.clone(),
-                    GridThermalSolver::new(thermal_config.clone()),
-                    reward_config,
-                    sa_config,
-                )
-                .run()
-            } else {
-                Tap25dBaseline::new(system.clone(), characterize(), reward_config, sa_config).run()
-            };
-            match result {
-                Ok(result) => {
-                    eprintln!(
-                        "annealed with {} evaluations in {:.2?}",
-                        result.evaluations, result.runtime
-                    );
-                    print_result(&system, &result.best_breakdown, &result.best_placement);
-                }
-                Err(err) => {
-                    eprintln!("annealing failed: {err}");
-                    return ExitCode::FAILURE;
-                }
+    let mut json = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return usage();
             }
         }
-        other => {
-            eprintln!("unknown method `{other}`");
-            return usage();
+    }
+    if !(2..=3).contains(&positional.len()) {
+        return usage();
+    }
+
+    let Some(system) = load_system(positional[0]) else {
+        eprintln!("unknown system `{}`", positional[0]);
+        return usage();
+    };
+    let Some((method, thermal)) = load_method(positional[1]) else {
+        eprintln!("unknown method `{}`", positional[1]);
+        return usage();
+    };
+    let budget = match positional.get(2) {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("invalid budget `{raw}`: expected a positive integer");
+                return usage();
+            }
+        },
+        None => 100,
+    };
+
+    let request = match FloorplanRequest::builder()
+        .system(system)
+        .method(method)
+        .thermal(thermal)
+        .budget(Budget::Evaluations(budget))
+        .build()
+    {
+        Ok(request) => request,
+        Err(err) => {
+            eprintln!("invalid request: {err}");
+            return ExitCode::from(2);
         }
+    };
+
+    let outcome = match request.solve() {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("solve failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        println!("{}", outcome_json(request.system(), &outcome));
+    } else {
+        eprintln!(
+            "{}: {} candidate floorplans in {:.2?}",
+            request.method().display_name(),
+            outcome.evaluations,
+            outcome.runtime
+        );
+        println!(
+            "reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C",
+            outcome.breakdown.reward,
+            outcome.breakdown.wirelength_mm,
+            outcome.breakdown.max_temperature_c
+        );
+        println!("{}", placement_json(request.system(), &outcome.placement));
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,268 @@
+//! The unified planner facade.
+//!
+//! [`Planner`] is the one interface every optimisation method implements:
+//! it consumes a [`FloorplanRequest`] and produces a [`FloorplanOutcome`],
+//! regardless of whether a PPO agent ([`PpoPlanner`]) or the
+//! simulated-annealing baseline ([`SaBaselinePlanner`]) does the work.
+//! [`planner_for`] picks the implementation matching a request's
+//! [`Method`], which is what [`FloorplanRequest::solve`] uses; new methods
+//! plug in by implementing the trait, not by adding `match` arms to every
+//! caller.
+
+use crate::baseline::Tap25dBaseline;
+use crate::outcome::{FloorplanOutcome, RunManifest, TelemetrySample};
+use crate::planner::RlPlanner;
+use crate::request::{FloorplanRequest, Method};
+use rlp_rl::{ConfigError, PpoStats, TrainingObserver};
+use rlp_sa::{AnnealObserver, InitialPlacementError};
+use rlp_thermal::ThermalError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while solving a [`FloorplanRequest`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// A configuration was invalid (normally caught earlier, when the
+    /// request is built).
+    Config(ConfigError),
+    /// The thermal backend could not be built (characterisation or solver
+    /// setup failed).
+    Thermal(ThermalError),
+    /// No legal initial placement exists on the configured grid (SA).
+    InitialPlacement(InitialPlacementError),
+    /// The run finished without producing a single complete placement (RL
+    /// with a grid too coarse for the system).
+    Incomplete,
+    /// The planner does not implement the request's method; use
+    /// [`planner_for`] or [`FloorplanRequest::solve`] to dispatch.
+    UnsupportedMethod {
+        /// Name of the planner that rejected the request.
+        planner: &'static str,
+        /// Label of the request's method.
+        method: &'static str,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Config(e) => write!(f, "invalid configuration: {e}"),
+            PlanError::Thermal(e) => write!(f, "thermal backend failed: {e}"),
+            PlanError::InitialPlacement(e) => write!(f, "{e}"),
+            PlanError::Incomplete => write!(
+                f,
+                "the run never produced a complete placement; enlarge the grid or the interposer"
+            ),
+            PlanError::UnsupportedMethod { planner, method } => {
+                write!(
+                    f,
+                    "planner `{planner}` does not implement method `{method}`"
+                )
+            }
+        }
+    }
+}
+
+impl Error for PlanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlanError::Config(e) => Some(e),
+            PlanError::Thermal(e) => Some(e),
+            PlanError::InitialPlacement(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for PlanError {
+    fn from(err: ConfigError) -> Self {
+        PlanError::Config(err)
+    }
+}
+
+impl From<ThermalError> for PlanError {
+    fn from(err: ThermalError) -> Self {
+        PlanError::Thermal(err)
+    }
+}
+
+impl From<InitialPlacementError> for PlanError {
+    fn from(err: InitialPlacementError) -> Self {
+        PlanError::InitialPlacement(err)
+    }
+}
+
+/// A floorplanning method behind the unified request/outcome API.
+pub trait Planner {
+    /// Human-readable name of the planner implementation.
+    fn name(&self) -> &'static str;
+
+    /// Solves a request end to end: builds the thermal backend, runs the
+    /// optimisation and packages the best placement, telemetry and
+    /// reproducibility manifest into a [`FloorplanOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] if the backend cannot be built, the method
+    /// does not match this planner, or the run produces no complete
+    /// placement.
+    fn solve(&self, request: &FloorplanRequest) -> Result<FloorplanOutcome, PlanError>;
+}
+
+/// Returns the planner implementing a method.
+pub fn planner_for(method: &Method) -> Box<dyn Planner> {
+    match method {
+        Method::Rl { .. } | Method::RlRnd { .. } => Box::new(PpoPlanner),
+        Method::Sa { .. } => Box::new(SaBaselinePlanner),
+    }
+}
+
+fn manifest_for(request: &FloorplanRequest, resolved: Method) -> RunManifest {
+    RunManifest {
+        system_name: request.system().name().to_string(),
+        chiplet_count: request.system().chiplet_count(),
+        method: resolved,
+        thermal: request.thermal().clone(),
+        reward: request.reward().clone(),
+        seed: request.resolved_seed(),
+    }
+}
+
+/// Collects per-candidate telemetry from either optimiser's observer hook.
+#[derive(Default)]
+struct TelemetryCollector {
+    samples: Vec<TelemetrySample>,
+}
+
+impl TelemetryCollector {
+    fn push(&mut self, index: usize, reward: f64, best_reward: f64) {
+        self.samples.push(TelemetrySample {
+            index,
+            reward,
+            best_reward,
+        });
+    }
+}
+
+impl TrainingObserver for TelemetryCollector {
+    fn on_episode(&mut self, index: usize, reward: f64, best_reward: f64) {
+        self.push(index, reward, best_reward);
+    }
+
+    fn on_update(&mut self, _stats: &PpoStats) {}
+}
+
+impl AnnealObserver for TelemetryCollector {
+    fn on_evaluation(
+        &mut self,
+        index: usize,
+        objective: f64,
+        best_objective: f64,
+        _accepted: bool,
+    ) {
+        self.push(index, objective, best_objective);
+    }
+}
+
+/// The PPO trainer behind the facade — "RLPlanner" and "RLPlanner (RND)".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PpoPlanner;
+
+impl Planner for PpoPlanner {
+    fn name(&self) -> &'static str {
+        "ppo"
+    }
+
+    fn solve(&self, request: &FloorplanRequest) -> Result<FloorplanOutcome, PlanError> {
+        let resolved = request.resolved_method();
+        let (Method::Rl { config } | Method::RlRnd { config }) = &resolved else {
+            return Err(PlanError::UnsupportedMethod {
+                planner: self.name(),
+                method: request.method().label(),
+            });
+        };
+        let analyzer = request.thermal().build_for(request.system())?;
+        let mut planner = RlPlanner::new(
+            request.system().clone(),
+            analyzer,
+            request.reward().clone(),
+            config.clone(),
+        )?;
+        let mut telemetry = TelemetryCollector::default();
+        let result = planner
+            .train_observed(&mut telemetry)
+            .map_err(|_| PlanError::Incomplete)?;
+        Ok(FloorplanOutcome {
+            placement: result.best_placement,
+            breakdown: result.best_breakdown,
+            telemetry: telemetry.samples,
+            evaluations: result.episodes_run,
+            runtime: result.runtime,
+            manifest: manifest_for(request, resolved),
+        })
+    }
+}
+
+/// The simulated-annealing baseline behind the facade — "TAP-2.5D".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SaBaselinePlanner;
+
+impl Planner for SaBaselinePlanner {
+    fn name(&self) -> &'static str {
+        "sa-baseline"
+    }
+
+    fn solve(&self, request: &FloorplanRequest) -> Result<FloorplanOutcome, PlanError> {
+        let resolved = request.resolved_method();
+        let Method::Sa { config } = &resolved else {
+            return Err(PlanError::UnsupportedMethod {
+                planner: self.name(),
+                method: request.method().label(),
+            });
+        };
+        let analyzer = request.thermal().build_for(request.system())?;
+        let baseline = Tap25dBaseline::new(
+            request.system().clone(),
+            analyzer,
+            request.reward().clone(),
+            config.clone(),
+        )?;
+        let mut telemetry = TelemetryCollector::default();
+        let result = baseline.run_observed(&mut telemetry)?;
+        Ok(FloorplanOutcome {
+            placement: result.best_placement,
+            breakdown: result.best_breakdown,
+            telemetry: telemetry.samples,
+            evaluations: result.evaluations,
+            runtime: result.runtime,
+            manifest: manifest_for(request, resolved),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_for_dispatches_on_the_method() {
+        assert_eq!(planner_for(&Method::rl()).name(), "ppo");
+        assert_eq!(planner_for(&Method::rl_rnd()).name(), "ppo");
+        assert_eq!(planner_for(&Method::sa()).name(), "sa-baseline");
+    }
+
+    #[test]
+    fn plan_error_display_and_source() {
+        let err = PlanError::Config(ConfigError::NotFinite { field: "x" });
+        assert!(err.to_string().contains("x"));
+        assert!(err.source().is_some());
+        assert!(PlanError::Incomplete.source().is_none());
+        let err = PlanError::UnsupportedMethod {
+            planner: "ppo",
+            method: "sa",
+        };
+        assert!(err.to_string().contains("ppo"));
+        assert!(err.to_string().contains("sa"));
+    }
+}

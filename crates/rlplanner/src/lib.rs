@@ -1,13 +1,69 @@
 //! RLPlanner: reinforcement-learning chiplet floorplanning with fast thermal
 //! analysis — a Rust reproduction of the DATE 2024 paper.
 //!
-//! The crate assembles the substrates of this workspace into the paper's
+//! # The unified facade
+//!
+//! Every run of the paper's comparison matrix — RLPlanner, RLPlanner (RND)
+//! and the TAP-2.5D simulated-annealing baseline, each over either thermal
+//! backend — goes through one API:
+//!
+//! * [`FloorplanRequest`] describes the run as data: the system, the
+//!   [`Method`], the [`rlp_thermal::ThermalBackend`], the reward weights,
+//!   an optional [`Budget`] and seed. The builder validates everything and
+//!   returns a typed [`ConfigError`] instead of panicking.
+//! * [`Planner::solve`] executes it — [`PpoPlanner`] for the RL variants,
+//!   [`SaBaselinePlanner`] for the baseline; [`FloorplanRequest::solve`]
+//!   dispatches automatically.
+//! * [`FloorplanOutcome`] is the common result: best placement, reward
+//!   breakdown, per-candidate [`telemetry`](FloorplanOutcome::telemetry),
+//!   runtime and a [`RunManifest`] that reproduces the run
+//!   ([`FloorplanRequest::from_manifest`]).
+//! * [`report`] renders placements and whole outcomes as JSON documents
+//!   with a documented, stable schema.
+//!
+//! # Example
+//!
+//! Solving a two-chiplet system with a tiny training budget (the paper
+//! trains for 600 episodes; this runs in seconds):
+//!
+//! ```
+//! use rlp_chiplet::{Chiplet, ChipletSystem, Net};
+//! use rlp_thermal::{ThermalBackend, ThermalConfig};
+//! use rlplanner::{Budget, FloorplanRequest, Method};
+//!
+//! let mut system = ChipletSystem::new("demo", 30.0, 30.0);
+//! let a = system.add_chiplet(Chiplet::new("a", 8.0, 8.0, 25.0));
+//! let b = system.add_chiplet(Chiplet::new("b", 6.0, 6.0, 10.0));
+//! system.add_net(Net::new(a, b, 64));
+//!
+//! let request = FloorplanRequest::builder()
+//!     .system(system)
+//!     .method(Method::sa())
+//!     .thermal(ThermalBackend::Grid {
+//!         config: ThermalConfig::with_grid(8, 8),
+//!     })
+//!     .budget(Budget::Evaluations(20))
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid request");
+//! let outcome = request.solve().expect("solvable system");
+//! assert!(outcome.placement.is_complete());
+//! assert_eq!(outcome.manifest.seed, 7);
+//! println!("best reward {:.3}", outcome.breakdown.reward);
+//! ```
+//!
+//! Swapping `.method(Method::rl_rnd())` (and, say,
+//! `ThermalBackend::fast()`) re-runs the same request through PPO with the
+//! RND bonus and the fast LTI thermal model — no other code changes.
+//!
+//! # Underneath the facade
+//!
+//! The facade assembles the substrates of this workspace into the paper's
 //! tool (Fig. 1 of the paper):
 //!
 //! * [`RewardCalculator`] — the thermal-aware reward
 //!   `R = −λ·W − µ·(max(T−T₀, 0))^α / (1 + e^−(T−T₀))` evaluated after
-//!   microbump assignment, with either thermal backend (the HotSpot-style
-//!   grid solver or the fast LTI model) plugged in through
+//!   microbump assignment, with either thermal backend plugged in through
 //!   [`rlp_thermal::ThermalAnalyzer`].
 //! * [`FloorplanEnv`] — the chiplet floorplanning environment: chiplets are
 //!   placed sequentially on a grid, the state tensor carries occupancy,
@@ -18,41 +74,33 @@
 //! * [`RlPlanner`] — the PPO training loop (with optional RND bonus) that
 //!   produces the best floorplan found during training.
 //! * [`Tap25dBaseline`] — the simulated-annealing baseline (TAP-2.5D) run on
-//!   the same reward, used for the paper's Table I / Table III comparisons.
+//!   the same reward.
 //!
-//! # Examples
-//!
-//! Training a tiny planner on a two-chiplet system with the fast thermal
-//! model (reduced budgets so the example runs quickly):
-//!
-//! ```no_run
-//! use rlp_chiplet::{Chiplet, ChipletSystem, Net};
-//! use rlp_thermal::{CharacterizationOptions, FastThermalModel, ThermalConfig};
-//! use rlplanner::{RewardConfig, RlPlanner, RlPlannerConfig};
-//!
-//! let mut system = ChipletSystem::new("demo", 30.0, 30.0);
-//! let a = system.add_chiplet(Chiplet::new("a", 8.0, 8.0, 25.0));
-//! let b = system.add_chiplet(Chiplet::new("b", 6.0, 6.0, 10.0));
-//! system.add_net(Net::new(a, b, 64));
-//!
-//! let thermal = FastThermalModel::characterize(
-//!     &ThermalConfig::with_grid(16, 16), 30.0, 30.0,
-//!     &CharacterizationOptions::default()).unwrap();
-//! let mut planner = RlPlanner::new(
-//!     system, thermal, RewardConfig::default(),
-//!     RlPlannerConfig { episodes: 50, ..RlPlannerConfig::default() });
-//! let result = planner.train();
-//! println!("best reward {:.3}", result.best_breakdown.reward);
-//! ```
+//! [`RlPlanner::train`] and [`Tap25dBaseline::run`] remain available as
+//! **deprecated entry points** for code that needs direct access to a
+//! specific optimiser (they keep the generic thermal fast path); new code
+//! should construct runs through [`FloorplanRequest`] instead, which is the
+//! only API the CLI, the examples and the integration suite use.
 
 pub mod agent;
 pub mod baseline;
 pub mod env;
+pub mod facade;
+pub mod outcome;
 pub mod planner;
+pub mod report;
+pub mod request;
 pub mod reward;
 
 pub use agent::AgentConfig;
 pub use baseline::{Tap25dBaseline, Tap25dResult};
 pub use env::{EnvConfig, FloorplanEnv};
-pub use planner::{RlPlanner, RlPlannerConfig, TrainingResult};
+pub use facade::{planner_for, PlanError, Planner, PpoPlanner, SaBaselinePlanner};
+pub use outcome::{FloorplanOutcome, RunManifest, TelemetrySample};
+pub use planner::{RlPlanner, RlPlannerConfig, TrainingResult, TrainingStalled};
+pub use request::{Budget, FloorplanRequest, FloorplanRequestBuilder, Method};
 pub use reward::{RewardBreakdown, RewardCalculator, RewardConfig};
+
+// Re-exported so facade users can match on configuration errors without
+// depending on `rlp_rl` directly.
+pub use rlp_rl::ConfigError;

@@ -4,7 +4,10 @@ use crate::agent::{build_actor_critic, build_rnd, AgentConfig};
 use crate::env::{EnvConfig, FloorplanEnv};
 use crate::reward::{RewardBreakdown, RewardCalculator, RewardConfig};
 use rlp_chiplet::{ChipletSystem, Placement};
-use rlp_rl::{Environment, PpoAgent, PpoConfig, RandomNetworkDistillation, RolloutBuffer};
+use rlp_rl::{
+    ConfigError, Environment, NullTrainingObserver, PpoAgent, PpoConfig, RandomNetworkDistillation,
+    RolloutBuffer, TrainingObserver,
+};
 use rlp_thermal::ThermalAnalyzer;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -55,14 +58,40 @@ impl RlPlannerConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.episodes == 0 || self.episodes_per_update == 0 {
-            return Err("episode counts must be positive".to_string());
+    /// Returns a typed [`ConfigError`] describing the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.episodes == 0 {
+            return Err(ConfigError::ExpectedPositive {
+                field: "episodes",
+                value: 0.0,
+            });
+        }
+        if self.episodes_per_update == 0 {
+            return Err(ConfigError::ExpectedPositive {
+                field: "episodes_per_update",
+                value: 0.0,
+            });
         }
         self.ppo.validate()
     }
 }
+
+/// Error returned when a training run finishes without ever completing a
+/// placement, which means the grid is too coarse for the system — enlarge
+/// the grid or the interposer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainingStalled;
+
+impl std::fmt::Display for TrainingStalled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "training never produced a complete placement; increase the grid resolution"
+        )
+    }
+}
+
+impl std::error::Error for TrainingStalled {}
 
 /// Outcome of a training run.
 #[derive(Debug, Clone)]
@@ -81,13 +110,11 @@ pub struct TrainingResult {
 }
 
 impl TrainingResult {
-    /// Mean reward over the last `window` episodes (or all of them if fewer).
+    /// Mean reward over the last `window` episodes (or all of them if
+    /// fewer). Returns negative infinity when there is nothing to average
+    /// (no episodes or a zero window).
     pub fn recent_mean_reward(&self, window: usize) -> f64 {
-        if self.reward_history.is_empty() {
-            return f64::NEG_INFINITY;
-        }
-        let tail = &self.reward_history[self.reward_history.len().saturating_sub(window)..];
-        tail.iter().sum::<f64>() / tail.len() as f64
+        crate::outcome::tail_mean(&self.reward_history, window, |&r| r)
     }
 }
 
@@ -102,16 +129,18 @@ pub struct RlPlanner<A> {
 impl<A: ThermalAnalyzer> RlPlanner<A> {
     /// Builds a planner for a system with the given thermal backend.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any configuration is invalid.
+    /// Returns a [`ConfigError`] if the training or reward configuration is
+    /// invalid.
     pub fn new(
         system: ChipletSystem,
         analyzer: A,
         reward_config: RewardConfig,
         config: RlPlannerConfig,
-    ) -> Self {
-        config.validate().expect("invalid RLPlanner configuration");
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        reward_config.validate()?;
         let reward = RewardCalculator::new(system, analyzer, reward_config);
         let env = FloorplanEnv::new(reward, config.env);
         let observation_shape = env.observation_shape();
@@ -123,12 +152,12 @@ impl<A: ThermalAnalyzer> RlPlanner<A> {
         } else {
             None
         };
-        Self {
+        Ok(Self {
             env,
             agent,
             rnd,
             config,
-        }
+        })
     }
 
     /// The training configuration.
@@ -147,11 +176,28 @@ impl<A: ThermalAnalyzer> RlPlanner<A> {
     ///
     /// Panics if training never produces a complete placement (which would
     /// mean the grid is too coarse for the system — enlarge the grid or the
-    /// interposer).
+    /// interposer). Use [`RlPlanner::train_observed`] for the non-panicking
+    /// variant.
     pub fn train(&mut self) -> TrainingResult {
+        self.train_observed(&mut NullTrainingObserver)
+            .expect("training never produced a complete placement; increase the grid resolution")
+    }
+
+    /// Runs the training loop like [`RlPlanner::train`], reporting every
+    /// finished episode and every PPO update to `observer` as it happens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainingStalled`] if training never produces a complete
+    /// placement.
+    pub fn train_observed(
+        &mut self,
+        observer: &mut dyn TrainingObserver,
+    ) -> Result<TrainingResult, TrainingStalled> {
         let start = Instant::now();
         let mut reward_history = Vec::with_capacity(self.config.episodes);
         let mut best: Option<(Placement, RewardBreakdown)> = None;
+        let mut best_episode_reward = f64::NEG_INFINITY;
         let mut buffer = RolloutBuffer::new();
         let mut episodes_run = 0usize;
 
@@ -171,6 +217,8 @@ impl<A: ThermalAnalyzer> RlPlanner<A> {
                         .collect_episode(&mut self.env, &mut buffer, self.rnd.as_mut());
                 episodes_run += 1;
                 reward_history.push(episode_reward);
+                best_episode_reward = best_episode_reward.max(episode_reward);
+                observer.on_episode(episodes_run - 1, episode_reward, best_episode_reward);
                 if let Some(breakdown) = self.env.last_breakdown() {
                     let is_better = best
                         .as_ref()
@@ -182,19 +230,19 @@ impl<A: ThermalAnalyzer> RlPlanner<A> {
                 }
             }
             if !buffer.is_empty() {
-                self.agent.update(&mut buffer);
+                let stats = self.agent.update(&mut buffer);
+                observer.on_update(&stats);
             }
         }
 
-        let (best_placement, best_breakdown) = best
-            .expect("training never produced a complete placement; increase the grid resolution");
-        TrainingResult {
+        let (best_placement, best_breakdown) = best.ok_or(TrainingStalled)?;
+        Ok(TrainingResult {
             best_placement,
             best_breakdown,
             reward_history,
             episodes_run,
             runtime: start.elapsed(),
-        }
+        })
     }
 
     /// Runs one greedy (argmax) episode with the current policy and returns
@@ -281,7 +329,8 @@ mod tests {
             fast_model(36.0),
             RewardConfig::default(),
             quick_config(12, false),
-        );
+        )
+        .unwrap();
         let result = planner.train();
         assert_eq!(result.episodes_run, 12);
         assert_eq!(result.reward_history.len(), 12);
@@ -302,7 +351,8 @@ mod tests {
             fast_model(36.0),
             RewardConfig::default(),
             quick_config(8, true),
-        );
+        )
+        .unwrap();
         let result = planner.train();
         assert!(result.best_placement.is_complete());
     }
@@ -315,7 +365,8 @@ mod tests {
             fast_model(36.0),
             RewardConfig::default(),
             quick_config(8, false),
-        );
+        )
+        .unwrap();
         planner.train();
         let breakdown = planner.evaluate_greedy();
         assert!(breakdown.is_some());
@@ -332,19 +383,80 @@ mod tests {
                 time_budget: Some(Duration::from_millis(1)),
                 ..quick_config(1000, false)
             },
-        );
+        )
+        .unwrap();
         let result = planner.train();
         assert!(result.episodes_run < 1000);
     }
 
     #[test]
-    fn invalid_config_is_rejected() {
-        assert!(RlPlannerConfig {
-            episodes: 0,
-            ..RlPlannerConfig::default()
-        }
-        .validate()
-        .is_err());
+    fn invalid_config_is_rejected_by_the_constructor() {
+        assert!(matches!(
+            RlPlannerConfig {
+                episodes: 0,
+                ..RlPlannerConfig::default()
+            }
+            .validate(),
+            Err(ConfigError::ExpectedPositive {
+                field: "episodes",
+                ..
+            })
+        ));
         assert!(RlPlannerConfig::default().validate().is_ok());
+        // The constructor surfaces the same error instead of panicking.
+        let err = RlPlanner::new(
+            small_system(),
+            fast_model(36.0),
+            RewardConfig::default(),
+            RlPlannerConfig {
+                episodes: 0,
+                ..quick_config(1, false)
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.field(), "episodes");
+    }
+
+    #[test]
+    fn observer_sees_every_episode_and_update() {
+        struct Recorder {
+            episodes: Vec<(usize, f64, f64)>,
+            updates: usize,
+        }
+        impl TrainingObserver for Recorder {
+            fn on_episode(&mut self, index: usize, reward: f64, best_reward: f64) {
+                assert_eq!(index, self.episodes.len(), "episode indices must be dense");
+                self.episodes.push((index, reward, best_reward));
+            }
+            fn on_update(&mut self, _stats: &rlp_rl::PpoStats) {
+                self.updates += 1;
+            }
+        }
+
+        let system = small_system();
+        let mut planner = RlPlanner::new(
+            system,
+            fast_model(36.0),
+            RewardConfig::default(),
+            quick_config(8, false),
+        )
+        .unwrap();
+        let mut recorder = Recorder {
+            episodes: Vec::new(),
+            updates: 0,
+        };
+        let result = planner.train_observed(&mut recorder).unwrap();
+        assert_eq!(recorder.episodes.len(), result.episodes_run);
+        // 8 episodes at 4 per update -> 2 updates.
+        assert_eq!(recorder.updates, 2);
+        // The streamed rewards match the recorded history, and the
+        // best-so-far series is monotone non-decreasing.
+        for (i, &(_, reward, _)) in recorder.episodes.iter().enumerate() {
+            assert_eq!(reward, result.reward_history[i]);
+        }
+        assert!(recorder
+            .episodes
+            .windows(2)
+            .all(|w| w[1].2 >= w[0].2 - f64::EPSILON));
     }
 }

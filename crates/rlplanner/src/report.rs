@@ -1,0 +1,484 @@
+//! JSON reports for placements and run outcomes.
+//!
+//! The workspace builds offline against a no-op vendored `serde`, so the
+//! documents here are rendered by hand. In exchange the schema is explicit,
+//! the field order is stable (fields always appear exactly in the order
+//! documented below), and strings are escaped per RFC 8259. Non-finite
+//! numbers (`NaN`, `±inf`) are emitted as `null`, since JSON has no
+//! representation for them.
+//!
+//! # Placement document ([`placement_json`])
+//!
+//! ```json
+//! {
+//!   "chiplets": [
+//!     { "name": "cpu", "x_mm": 4.0000, "y_mm": 16.0000, "rotation": "None" }
+//!   ]
+//! }
+//! ```
+//!
+//! One record per *placed* chiplet, in placement-slot order. `x_mm`/`y_mm`
+//! are the lower-left corner in millimetres with four decimals; `rotation`
+//! is `"None"` or `"Quarter"`.
+//!
+//! # Outcome document ([`outcome_json`])
+//!
+//! ```json
+//! {
+//!   "schema": "rlplanner.outcome/v1",
+//!   "system": { "name": "...", "chiplets": 4, "interposer_mm": [40, 40] },
+//!   "breakdown": { "reward": -1.9, "wirelength_mm": 6200, "max_temperature_c": 78.4 },
+//!   "evaluations": 600,
+//!   "runtime_s": 12.5,
+//!   "placement": { "chiplets": [ ... ] },
+//!   "telemetry": [ { "index": 0, "reward": -2.5, "best_reward": -2.5 } ],
+//!   "manifest": {
+//!     "seed": 7,
+//!     "method": { "kind": "rl" | "rl-rnd" | "sa", ... },
+//!     "thermal": { "kind": "grid" | "fast", ... },
+//!     "reward": { "lambda": 0.0003, ... }
+//!   }
+//! }
+//! ```
+//!
+//! `schema` identifies this exact layout ([`OUTCOME_SCHEMA`]); consumers
+//! should check it before parsing. The `manifest` object carries the
+//! fully-resolved configuration of the run — every hyper-parameter after
+//! request-level overrides — so a run can be reproduced from its report
+//! alone (`method.kind` selects which method fields follow, mirroring
+//! [`crate::Method`]; `thermal.kind` mirrors
+//! [`rlp_thermal::ThermalBackend`]).
+
+use crate::outcome::{FloorplanOutcome, RunManifest};
+use crate::planner::RlPlannerConfig;
+use crate::request::Method;
+use crate::reward::RewardConfig;
+use rlp_chiplet::{ChipletSystem, Placement};
+use rlp_sa::SaConfig;
+use rlp_thermal::{ThermalBackend, ThermalConfig};
+use std::time::Duration;
+
+/// Identifier of the outcome-document layout produced by [`outcome_json`].
+pub const OUTCOME_SCHEMA: &str = "rlplanner.outcome/v1";
+
+/// Escapes a string for embedding in a JSON string literal: quotes,
+/// backslashes and control characters (RFC 8259 §7).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if c.is_control() => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite number with full (shortest round-trip) precision, or
+/// `null` for NaN and infinities.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn opt_usize(v: Option<usize>) -> String {
+    v.map_or("null".to_string(), |n| n.to_string())
+}
+
+fn opt_duration_s(v: Option<Duration>) -> String {
+    v.map_or("null".to_string(), |d| num(d.as_secs_f64()))
+}
+
+/// Renders a placement as the documented placement document.
+pub fn placement_json(system: &ChipletSystem, placement: &Placement) -> String {
+    let mut out = String::from("{\n  \"chiplets\": [");
+    let mut first = true;
+    for (id, position, rotation) in placement.iter_placed() {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        let chiplet = system.chiplet(id);
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"x_mm\": {:.4}, \"y_mm\": {:.4}, \"rotation\": \"{:?}\" }}",
+            json_escape(chiplet.name()),
+            position.x,
+            position.y,
+            rotation
+        ));
+    }
+    if first {
+        out.push_str("]\n}");
+    } else {
+        out.push_str("\n  ]\n}");
+    }
+    out
+}
+
+fn indent(block: &str, spaces: usize) -> String {
+    let pad = " ".repeat(spaces);
+    block
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            if i == 0 {
+                line.to_string()
+            } else {
+                format!("{pad}{line}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn thermal_config_fields(config: &ThermalConfig) -> String {
+    let layers = config
+        .stack
+        .layers()
+        .iter()
+        .map(|layer| {
+            format!(
+                "{{ \"name\": \"{}\", \"thickness_mm\": {}, \"conductivity_w_mk\": {} }}",
+                json_escape(&layer.name),
+                num(layer.thickness_mm),
+                num(layer.conductivity_w_mk)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "\"grid\": [{}, {}],\n\"ambient_c\": {},\n\"convection_resistance_k_per_w\": {},\n\"power_layer\": {},\n\"layers\": [{}]",
+        config.grid_nx,
+        config.grid_ny,
+        num(config.ambient_c),
+        num(config.convection_resistance_k_per_w),
+        config.stack.power_layer(),
+        layers
+    )
+}
+
+fn thermal_json(thermal: &ThermalBackend) -> String {
+    let mut fields = format!("\"kind\": \"{}\"", thermal.label());
+    fields.push_str(",\n");
+    fields.push_str(&thermal_config_fields(thermal.config()));
+    if let ThermalBackend::Fast {
+        characterization, ..
+    } = thermal
+    {
+        let footprints = characterization
+            .footprint_samples_mm
+            .iter()
+            .map(|&v| num(v))
+            .collect::<Vec<_>>()
+            .join(", ");
+        fields.push_str(&format!(
+            ",\n\"characterization\": {{ \"footprint_samples_mm\": [{}], \"reference_power_w\": {}, \"distance_bins\": {}, \"mutual_source_size_mm\": {} }}",
+            footprints,
+            num(characterization.reference_power_w),
+            characterization.distance_bins,
+            num(characterization.mutual_source_size_mm)
+        ));
+    }
+    format!("{{\n  {}\n}}", indent(&fields, 2))
+}
+
+fn rl_method_json(kind: &str, config: &RlPlannerConfig) -> String {
+    let ppo = &config.ppo;
+    let agent = &config.agent;
+    let fields = format!(
+        "\"kind\": \"{kind}\",\n\
+         \"episodes\": {},\n\
+         \"episodes_per_update\": {},\n\
+         \"use_rnd\": {},\n\
+         \"seed\": {},\n\
+         \"time_budget_s\": {},\n\
+         \"ppo\": {{ \"gamma\": {}, \"gae_lambda\": {}, \"clip_epsilon\": {}, \"entropy_coef\": {}, \"value_coef\": {}, \"learning_rate\": {}, \"epochs\": {}, \"minibatch_size\": {}, \"max_grad_norm\": {} }},\n\
+         \"agent\": {{ \"conv_channels\": [{}, {}], \"feature_dim\": {}, \"rnd_hidden_dim\": {}, \"rnd_embedding_dim\": {}, \"rnd_bonus_scale\": {}, \"seed\": {} }},\n\
+         \"env\": {{ \"grid\": [{}, {}], \"min_spacing_mm\": {} }}",
+        config.episodes,
+        config.episodes_per_update,
+        config.use_rnd,
+        config.seed,
+        opt_duration_s(config.time_budget),
+        num(ppo.gamma),
+        num(ppo.gae_lambda),
+        num(f64::from(ppo.clip_epsilon)),
+        num(f64::from(ppo.entropy_coef)),
+        num(f64::from(ppo.value_coef)),
+        num(f64::from(ppo.learning_rate)),
+        ppo.epochs,
+        ppo.minibatch_size,
+        num(f64::from(ppo.max_grad_norm)),
+        agent.conv_channels.0,
+        agent.conv_channels.1,
+        agent.feature_dim,
+        agent.rnd_hidden_dim,
+        agent.rnd_embedding_dim,
+        num(agent.rnd_bonus_scale),
+        agent.seed,
+        config.env.grid.0,
+        config.env.grid.1,
+        num(config.env.min_spacing_mm),
+    );
+    format!("{{\n  {}\n}}", indent(&fields, 2))
+}
+
+fn sa_method_json(config: &SaConfig) -> String {
+    let fields = format!(
+        "\"kind\": \"sa\",\n\
+         \"initial_temperature\": {},\n\
+         \"final_temperature\": {},\n\
+         \"cooling_rate\": {},\n\
+         \"moves_per_temperature\": {},\n\
+         \"min_spacing_mm\": {},\n\
+         \"grid\": [{}, {}],\n\
+         \"seed\": {},\n\
+         \"time_budget_s\": {},\n\
+         \"max_evaluations\": {}",
+        num(config.initial_temperature),
+        num(config.final_temperature),
+        num(config.cooling_rate),
+        config.moves_per_temperature,
+        num(config.min_spacing_mm),
+        config.grid.0,
+        config.grid.1,
+        config.seed,
+        opt_duration_s(config.time_budget),
+        opt_usize(config.max_evaluations),
+    );
+    format!("{{\n  {}\n}}", indent(&fields, 2))
+}
+
+fn method_json(method: &Method) -> String {
+    match method {
+        Method::Rl { config } => rl_method_json("rl", config),
+        Method::RlRnd { config } => rl_method_json("rl-rnd", config),
+        Method::Sa { config } => sa_method_json(config),
+    }
+}
+
+fn reward_json(reward: &RewardConfig) -> String {
+    format!(
+        "{{ \"lambda\": {}, \"mu\": {}, \"temperature_limit_c\": {}, \"alpha\": {}, \"bump_pitch_mm\": {}, \"bump_edge_margin_mm\": {}, \"infeasible_penalty\": {} }}",
+        num(reward.lambda),
+        num(reward.mu),
+        num(reward.temperature_limit_c),
+        num(reward.alpha),
+        num(reward.bump_config.pitch_mm),
+        num(reward.bump_config.edge_margin_mm),
+        num(reward.infeasible_penalty),
+    )
+}
+
+fn manifest_json(manifest: &RunManifest) -> String {
+    let fields = format!(
+        "\"seed\": {},\n\"method\": {},\n\"thermal\": {},\n\"reward\": {}",
+        manifest.seed,
+        method_json(&manifest.method),
+        thermal_json(&manifest.thermal),
+        reward_json(&manifest.reward),
+    );
+    format!("{{\n  {}\n}}", indent(&fields, 2))
+}
+
+/// Renders a full run outcome as the documented outcome document.
+pub fn outcome_json(system: &ChipletSystem, outcome: &FloorplanOutcome) -> String {
+    let telemetry = outcome
+        .telemetry
+        .iter()
+        .map(|s| {
+            format!(
+                "{{ \"index\": {}, \"reward\": {}, \"best_reward\": {} }}",
+                s.index,
+                num(s.reward),
+                num(s.best_reward)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let telemetry = if telemetry.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n  {}\n]", indent(&telemetry, 2))
+    };
+    let fields = format!(
+        "\"schema\": \"{}\",\n\
+         \"system\": {{ \"name\": \"{}\", \"chiplets\": {}, \"interposer_mm\": [{}, {}] }},\n\
+         \"breakdown\": {{ \"reward\": {}, \"wirelength_mm\": {}, \"max_temperature_c\": {} }},\n\
+         \"evaluations\": {},\n\
+         \"runtime_s\": {},\n\
+         \"placement\": {},\n\
+         \"telemetry\": {},\n\
+         \"manifest\": {}",
+        OUTCOME_SCHEMA,
+        json_escape(system.name()),
+        system.chiplet_count(),
+        num(system.interposer_width()),
+        num(system.interposer_height()),
+        num(outcome.breakdown.reward),
+        num(outcome.breakdown.wirelength_mm),
+        num(outcome.breakdown.max_temperature_c),
+        outcome.evaluations,
+        num(outcome.runtime.as_secs_f64()),
+        indent(&placement_json(system, &outcome.placement), 0),
+        telemetry,
+        manifest_json(&outcome.manifest),
+    );
+    format!("{{\n  {}\n}}", indent(&fields, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::TelemetrySample;
+    use crate::reward::RewardBreakdown;
+    use rlp_chiplet::{Chiplet, Position};
+
+    fn system_with(names: &[&str]) -> (ChipletSystem, Placement) {
+        let mut sys = ChipletSystem::new("report-test", 30.0, 30.0);
+        let ids: Vec<_> = names
+            .iter()
+            .map(|name| sys.add_chiplet(Chiplet::new(*name, 5.0, 5.0, 10.0)))
+            .collect();
+        let mut placement = Placement::for_system(&sys);
+        for (i, id) in ids.iter().enumerate() {
+            placement.place(*id, Position::new(2.0 + 7.0 * i as f64, 3.0));
+        }
+        (sys, placement)
+    }
+
+    fn outcome_for(system: &ChipletSystem, placement: Placement) -> FloorplanOutcome {
+        FloorplanOutcome {
+            placement,
+            breakdown: RewardBreakdown {
+                reward: -1.5,
+                wirelength_mm: 120.0,
+                max_temperature_c: 63.25,
+            },
+            telemetry: vec![
+                TelemetrySample {
+                    index: 0,
+                    reward: -2.0,
+                    best_reward: -2.0,
+                },
+                TelemetrySample {
+                    index: 1,
+                    reward: -1.5,
+                    best_reward: -1.5,
+                },
+            ],
+            evaluations: 2,
+            runtime: Duration::from_millis(250),
+            manifest: RunManifest {
+                system_name: system.name().to_string(),
+                chiplet_count: system.chiplet_count(),
+                method: Method::rl_rnd(),
+                thermal: ThermalBackend::fast(),
+                reward: RewardConfig::default(),
+                seed: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn placement_json_lists_every_placed_chiplet() {
+        let (sys, placement) = system_with(&["cpu", "gpu"]);
+        let json = placement_json(&sys, &placement);
+        assert!(json.contains("\"name\": \"cpu\""));
+        assert!(json.contains("\"name\": \"gpu\""));
+        assert!(json.contains("\"rotation\": \"None\""));
+        assert_eq!(json.matches("\"x_mm\"").count(), 2);
+    }
+
+    #[test]
+    fn empty_placement_renders_an_empty_array() {
+        let (sys, _) = system_with(&["cpu"]);
+        let json = placement_json(&sys, &Placement::for_system(&sys));
+        assert_eq!(json, "{\n  \"chiplets\": []\n}");
+    }
+
+    #[test]
+    fn quotes_backslashes_and_control_characters_are_escaped() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{7}"), "\\u0007");
+        // A chiplet name full of hostile characters stays inside its string
+        // literal.
+        let (sys, placement) = system_with(&["die\"0\\\n"]);
+        let json = placement_json(&sys, &placement);
+        assert!(json.contains("\"name\": \"die\\\"0\\\\\\n\""));
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(-1.25), "-1.25");
+        let (sys, placement) = system_with(&["cpu"]);
+        let mut outcome = outcome_for(&sys, placement);
+        outcome.breakdown.wirelength_mm = f64::NAN;
+        let json = outcome_json(&sys, &outcome);
+        assert!(json.contains("\"wirelength_mm\": null"));
+    }
+
+    #[test]
+    fn outcome_document_has_the_documented_shape_and_order() {
+        let (sys, placement) = system_with(&["cpu", "gpu"]);
+        let outcome = outcome_for(&sys, placement);
+        let json = outcome_json(&sys, &outcome);
+
+        // Every documented top-level field is present...
+        let keys = [
+            "\"schema\"",
+            "\"system\"",
+            "\"breakdown\"",
+            "\"evaluations\"",
+            "\"runtime_s\"",
+            "\"placement\"",
+            "\"telemetry\"",
+            "\"manifest\"",
+        ];
+        // ...exactly in the documented order.
+        let positions: Vec<usize> = keys
+            .iter()
+            .map(|k| json.find(k).unwrap_or_else(|| panic!("missing key {k}")))
+            .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "top-level keys out of order"
+        );
+
+        assert!(json.starts_with(&format!("{{\n  \"schema\": \"{OUTCOME_SCHEMA}\"")));
+        assert!(json.contains("\"kind\": \"rl-rnd\""));
+        assert!(json.contains("\"kind\": \"fast\""));
+        assert!(json.contains("\"seed\": 7"));
+        assert!(json.contains("\"index\": 1"));
+        // The manifest records the full PPO and agent hyper-parameters.
+        assert!(json.contains("\"gamma\": 0.99"));
+        assert!(json.contains("\"conv_channels\": [8, 16]"));
+        assert!(json.contains("\"lambda\": 0.0003"));
+    }
+
+    #[test]
+    fn field_order_is_deterministic_across_renders() {
+        let (sys, placement) = system_with(&["cpu"]);
+        let outcome = outcome_for(&sys, placement.clone());
+        assert_eq!(outcome_json(&sys, &outcome), outcome_json(&sys, &outcome));
+        // An SA manifest renders its own stable shape.
+        let mut sa_outcome = outcome_for(&sys, placement);
+        sa_outcome.manifest.method = Method::sa();
+        let json = outcome_json(&sys, &sa_outcome);
+        let kind = json.find("\"kind\": \"sa\"").unwrap();
+        let cooling = json.find("\"cooling_rate\"").unwrap();
+        let max_evals = json.find("\"max_evaluations\"").unwrap();
+        assert!(kind < cooling && cooling < max_evals);
+    }
+}

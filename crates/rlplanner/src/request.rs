@@ -1,0 +1,480 @@
+//! The unified floorplanning request.
+//!
+//! A [`FloorplanRequest`] describes one run of the paper's comparison matrix
+//! as plain data: *which system* to floorplan, *which method* to use
+//! ([`Method`]), *which thermal backend* to put in the loop
+//! ([`rlp_thermal::ThermalBackend`]), the reward weights, an optional
+//! [`Budget`] and an optional seed override. Requests are built through
+//! [`FloorplanRequest::builder`], which validates every nested
+//! configuration and returns a typed [`ConfigError`] instead of panicking,
+//! and solved through [`crate::Planner::solve`] (or the
+//! [`FloorplanRequest::solve`] convenience, which picks the right planner).
+
+use crate::facade::{planner_for, PlanError};
+use crate::outcome::{FloorplanOutcome, RunManifest};
+use crate::planner::RlPlannerConfig;
+use crate::reward::RewardConfig;
+use rlp_chiplet::ChipletSystem;
+use rlp_rl::ConfigError;
+use rlp_sa::SaConfig;
+use rlp_thermal::ThermalBackend;
+use std::time::Duration;
+
+/// The optimisation method of a request — one row of the paper's tables.
+///
+/// The enum is `#[non_exhaustive]`: related work (multi-agent RL,
+/// surrogate-assisted placement, ...) may add methods without a breaking
+/// release, so downstream `match`es need a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Method {
+    /// PPO training — the paper's "RLPlanner".
+    Rl {
+        /// Full training configuration (`use_rnd` is forced off).
+        config: RlPlannerConfig,
+    },
+    /// PPO training with the RND exploration bonus — "RLPlanner (RND)".
+    RlRnd {
+        /// Full training configuration (`use_rnd` is forced on).
+        config: RlPlannerConfig,
+    },
+    /// The TAP-2.5D simulated-annealing baseline.
+    Sa {
+        /// Full annealing configuration.
+        config: SaConfig,
+    },
+}
+
+impl Method {
+    /// PPO training with the default configuration.
+    pub fn rl() -> Self {
+        Method::Rl {
+            config: RlPlannerConfig::default(),
+        }
+    }
+
+    /// PPO + RND with the default configuration.
+    pub fn rl_rnd() -> Self {
+        Method::RlRnd {
+            config: RlPlannerConfig::default(),
+        }
+    }
+
+    /// Simulated annealing with the default configuration.
+    pub fn sa() -> Self {
+        Method::Sa {
+            config: SaConfig::default(),
+        }
+    }
+
+    /// Stable machine-readable label (`"rl"`, `"rl-rnd"` or `"sa"`), used
+    /// in manifests and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Rl { .. } => "rl",
+            Method::RlRnd { .. } => "rl-rnd",
+            Method::Sa { .. } => "sa",
+        }
+    }
+
+    /// The name the paper's tables use for this method.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            Method::Rl { .. } => "RLPlanner",
+            Method::RlRnd { .. } => "RLPlanner (RND)",
+            Method::Sa { .. } => "TAP-2.5D",
+        }
+    }
+
+    /// Validates the method's nested configuration.
+    fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            Method::Rl { config } | Method::RlRnd { config } => config.validate(),
+            Method::Sa { config } => config.validate().map_err(crate::baseline::sa_config_error),
+        }
+    }
+}
+
+/// How much work a run may spend, in method-agnostic terms.
+///
+/// Both methods consume their budget one *complete floorplan* at a time —
+/// an RL training episode and an SA objective evaluation each correspond to
+/// one candidate floorplan — so [`Budget::Evaluations`] is directly
+/// comparable across methods (the paper's Table I protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Budget {
+    /// Number of candidate floorplans: RL training episodes, or SA objective
+    /// evaluations.
+    Evaluations(usize),
+    /// Wall-clock limit; the run stops early once it is exceeded.
+    TimeLimit(Duration),
+}
+
+/// A fully-described floorplanning run; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct FloorplanRequest {
+    system: ChipletSystem,
+    method: Method,
+    thermal: ThermalBackend,
+    reward: RewardConfig,
+    budget: Option<Budget>,
+    seed: Option<u64>,
+}
+
+impl FloorplanRequest {
+    /// Starts building a request.
+    pub fn builder() -> FloorplanRequestBuilder {
+        FloorplanRequestBuilder::default()
+    }
+
+    /// Rebuilds the request a manifest describes, for reproducing a run.
+    ///
+    /// The manifest stores the fully-resolved method, backend, reward and
+    /// seed, so solving the rebuilt request with the same `system` replays
+    /// the same configuration. Replay is bit-for-bit reproducible when the
+    /// original run was bounded by [`Budget::Evaluations`] (or its method
+    /// config's own evaluation counts); a run bounded by wall clock
+    /// ([`Budget::TimeLimit`]) replays the same schedule but may stop after
+    /// a different number of candidates on a differently-loaded machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the manifest's configuration is invalid
+    /// or `system` does not match the manifest's system name and size.
+    pub fn from_manifest(
+        system: ChipletSystem,
+        manifest: &RunManifest,
+    ) -> Result<Self, ConfigError> {
+        if system.name() != manifest.system_name || system.chiplet_count() != manifest.chiplet_count
+        {
+            return Err(ConfigError::Invalid {
+                field: "system",
+                reason: format!(
+                    "manifest was recorded for `{}` with {} chiplets, got `{}` with {}",
+                    manifest.system_name,
+                    manifest.chiplet_count,
+                    system.name(),
+                    system.chiplet_count()
+                ),
+            });
+        }
+        Self::builder()
+            .system(system)
+            .method(manifest.method.clone())
+            .thermal(manifest.thermal.clone())
+            .reward(manifest.reward.clone())
+            .seed(manifest.seed)
+            .build()
+    }
+
+    /// The system to floorplan.
+    pub fn system(&self) -> &ChipletSystem {
+        &self.system
+    }
+
+    /// The optimisation method.
+    pub fn method(&self) -> &Method {
+        &self.method
+    }
+
+    /// The thermal backend run inside the optimisation loop.
+    pub fn thermal(&self) -> &ThermalBackend {
+        &self.thermal
+    }
+
+    /// The reward weights shared by all methods.
+    pub fn reward(&self) -> &RewardConfig {
+        &self.reward
+    }
+
+    /// The budget override, if any.
+    pub fn budget(&self) -> Option<Budget> {
+        self.budget
+    }
+
+    /// The seed override, if any.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Solves the request with the planner matching its method.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] if the thermal backend cannot be built, no
+    /// legal placement exists, or the run produces no complete floorplan.
+    pub fn solve(&self) -> Result<FloorplanOutcome, PlanError> {
+        planner_for(&self.method).solve(self)
+    }
+
+    /// The method with the request-level budget and seed overrides folded
+    /// into its configuration — what a run actually executes and what the
+    /// outcome manifest records.
+    pub fn resolved_method(&self) -> Method {
+        match &self.method {
+            Method::Rl { config } | Method::RlRnd { config } => {
+                let mut config = config.clone();
+                config.use_rnd = matches!(self.method, Method::RlRnd { .. });
+                match self.budget {
+                    Some(Budget::Evaluations(n)) => config.episodes = n,
+                    Some(Budget::TimeLimit(limit)) => config.time_budget = Some(limit),
+                    None => {}
+                }
+                if let Some(seed) = self.seed {
+                    config.seed = seed;
+                }
+                if config.use_rnd {
+                    Method::RlRnd { config }
+                } else {
+                    Method::Rl { config }
+                }
+            }
+            Method::Sa { config } => {
+                let mut config = config.clone();
+                match self.budget {
+                    Some(Budget::Evaluations(n)) => config.max_evaluations = Some(n),
+                    Some(Budget::TimeLimit(limit)) => config.time_budget = Some(limit),
+                    None => {}
+                }
+                if let Some(seed) = self.seed {
+                    config.seed = seed;
+                }
+                Method::Sa { config }
+            }
+        }
+    }
+
+    /// The seed the run actually uses (override, or the method config's).
+    pub fn resolved_seed(&self) -> u64 {
+        self.seed.unwrap_or(match &self.method {
+            Method::Rl { config } | Method::RlRnd { config } => config.seed,
+            Method::Sa { config } => config.seed,
+        })
+    }
+}
+
+/// Builder for [`FloorplanRequest`]; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct FloorplanRequestBuilder {
+    system: Option<ChipletSystem>,
+    method: Method,
+    thermal: ThermalBackend,
+    reward: RewardConfig,
+    budget: Option<Budget>,
+    seed: Option<u64>,
+}
+
+impl Default for FloorplanRequestBuilder {
+    fn default() -> Self {
+        Self {
+            system: None,
+            method: Method::rl(),
+            thermal: ThermalBackend::fast(),
+            reward: RewardConfig::default(),
+            budget: None,
+            seed: None,
+        }
+    }
+}
+
+impl FloorplanRequestBuilder {
+    /// The system to floorplan (required).
+    #[must_use]
+    pub fn system(mut self, system: ChipletSystem) -> Self {
+        self.system = Some(system);
+        self
+    }
+
+    /// The optimisation method (default: [`Method::rl`]).
+    #[must_use]
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// The thermal backend (default: [`ThermalBackend::fast`]).
+    #[must_use]
+    pub fn thermal(mut self, thermal: ThermalBackend) -> Self {
+        self.thermal = thermal;
+        self
+    }
+
+    /// The reward weights (default: [`RewardConfig::default`]).
+    #[must_use]
+    pub fn reward(mut self, reward: RewardConfig) -> Self {
+        self.reward = reward;
+        self
+    }
+
+    /// Budget override applied on top of the method configuration.
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Seed override applied on top of the method configuration.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Validates every nested configuration and builds the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ConfigError`] describing the first invalid field —
+    /// a missing or empty system, an invalid method/reward/thermal
+    /// configuration, or a zero budget.
+    pub fn build(self) -> Result<FloorplanRequest, ConfigError> {
+        let system = self.system.ok_or(ConfigError::Invalid {
+            field: "system",
+            reason: "a request needs a system; call `.system(...)`".to_string(),
+        })?;
+        if system.chiplet_count() == 0 {
+            return Err(ConfigError::Invalid {
+                field: "system",
+                reason: "the system must contain at least one chiplet".to_string(),
+            });
+        }
+        self.method.validate()?;
+        self.reward.validate()?;
+        self.thermal
+            .config()
+            .validate()
+            .map_err(|reason| ConfigError::Invalid {
+                field: "thermal",
+                reason,
+            })?;
+        if let Some(Budget::Evaluations(0)) = self.budget {
+            return Err(ConfigError::ExpectedPositive {
+                field: "budget.evaluations",
+                value: 0.0,
+            });
+        }
+        Ok(FloorplanRequest {
+            system,
+            method: self.method,
+            thermal: self.thermal,
+            reward: self.reward,
+            budget: self.budget,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlp_chiplet::Chiplet;
+    use rlp_thermal::ThermalConfig;
+
+    fn tiny_system() -> ChipletSystem {
+        let mut sys = ChipletSystem::new("t", 20.0, 20.0);
+        sys.add_chiplet(Chiplet::new("a", 5.0, 5.0, 10.0));
+        sys
+    }
+
+    #[test]
+    fn builder_defaults_are_rl_with_the_fast_backend() {
+        let request = FloorplanRequest::builder()
+            .system(tiny_system())
+            .build()
+            .unwrap();
+        assert_eq!(request.method().label(), "rl");
+        assert_eq!(request.thermal().label(), "fast");
+        assert!(request.budget().is_none());
+        assert!(request.seed().is_none());
+    }
+
+    #[test]
+    fn missing_system_is_a_typed_error() {
+        let err = FloorplanRequest::builder().build().unwrap_err();
+        assert_eq!(err.field(), "system");
+    }
+
+    #[test]
+    fn invalid_nested_configs_are_rejected() {
+        let err = FloorplanRequest::builder()
+            .system(tiny_system())
+            .method(Method::Rl {
+                config: RlPlannerConfig {
+                    episodes: 0,
+                    ..RlPlannerConfig::default()
+                },
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "episodes");
+
+        let err = FloorplanRequest::builder()
+            .system(tiny_system())
+            .method(Method::Sa {
+                config: SaConfig {
+                    cooling_rate: 2.0,
+                    ..SaConfig::default()
+                },
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "sa");
+
+        let err = FloorplanRequest::builder()
+            .system(tiny_system())
+            .thermal(ThermalBackend::Grid {
+                config: ThermalConfig::with_grid(1, 1),
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "thermal");
+
+        let err = FloorplanRequest::builder()
+            .system(tiny_system())
+            .budget(Budget::Evaluations(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "budget.evaluations");
+    }
+
+    #[test]
+    fn resolved_method_folds_budget_seed_and_rnd_flag() {
+        let request = FloorplanRequest::builder()
+            .system(tiny_system())
+            .method(Method::rl_rnd())
+            .budget(Budget::Evaluations(25))
+            .seed(9)
+            .build()
+            .unwrap();
+        let Method::RlRnd { config } = request.resolved_method() else {
+            panic!("method variant must be preserved");
+        };
+        assert!(config.use_rnd);
+        assert_eq!(config.episodes, 25);
+        assert_eq!(config.seed, 9);
+        assert_eq!(request.resolved_seed(), 9);
+
+        let request = FloorplanRequest::builder()
+            .system(tiny_system())
+            .method(Method::sa())
+            .budget(Budget::TimeLimit(Duration::from_millis(5)))
+            .build()
+            .unwrap();
+        let Method::Sa { config } = request.resolved_method() else {
+            panic!("method variant must be preserved");
+        };
+        assert_eq!(config.time_budget, Some(Duration::from_millis(5)));
+        assert_eq!(request.resolved_seed(), SaConfig::default().seed);
+    }
+
+    #[test]
+    fn method_labels_and_names_are_stable() {
+        assert_eq!(Method::rl().label(), "rl");
+        assert_eq!(Method::rl_rnd().label(), "rl-rnd");
+        assert_eq!(Method::sa().label(), "sa");
+        assert_eq!(Method::rl().display_name(), "RLPlanner");
+        assert_eq!(Method::rl_rnd().display_name(), "RLPlanner (RND)");
+        assert_eq!(Method::sa().display_name(), "TAP-2.5D");
+    }
+}

@@ -3,6 +3,7 @@
 use rlp_chiplet::bumps::BumpConfig;
 use rlp_chiplet::wirelength::bump_aware_wirelength;
 use rlp_chiplet::{ChipletSystem, Placement};
+use rlp_rl::ConfigError;
 use rlp_sa::Objective;
 use rlp_thermal::{ThermalAnalyzer, ThermalError};
 use serde::{Deserialize, Serialize};
@@ -44,19 +45,36 @@ impl RewardConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.lambda < 0.0 || self.mu < 0.0 {
-            return Err("lambda and mu must be non-negative".to_string());
+    /// Returns a typed [`ConfigError`] describing the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.lambda < 0.0 {
+            return Err(ConfigError::ExpectedNonNegative {
+                field: "reward.lambda",
+                value: self.lambda,
+            });
+        }
+        if self.mu < 0.0 {
+            return Err(ConfigError::ExpectedNonNegative {
+                field: "reward.mu",
+                value: self.mu,
+            });
         }
         if self.alpha <= 0.0 {
-            return Err("alpha must be positive".to_string());
+            return Err(ConfigError::ExpectedPositive {
+                field: "reward.alpha",
+                value: self.alpha,
+            });
         }
         if !self.temperature_limit_c.is_finite() {
-            return Err("temperature limit must be finite".to_string());
+            return Err(ConfigError::NotFinite {
+                field: "reward.temperature_limit_c",
+            });
         }
         if self.infeasible_penalty >= 0.0 {
-            return Err("the infeasible penalty must be negative".to_string());
+            return Err(ConfigError::ExpectedNegative {
+                field: "reward.infeasible_penalty",
+                value: self.infeasible_penalty,
+            });
         }
         Ok(())
     }
@@ -249,25 +267,37 @@ mod tests {
     }
 
     #[test]
-    fn invalid_configs_are_rejected() {
-        assert!(RewardConfig {
-            lambda: -1.0,
-            ..RewardConfig::default()
-        }
-        .validate()
-        .is_err());
-        assert!(RewardConfig {
-            alpha: 0.0,
-            ..RewardConfig::default()
-        }
-        .validate()
-        .is_err());
-        assert!(RewardConfig {
-            infeasible_penalty: 1.0,
-            ..RewardConfig::default()
-        }
-        .validate()
-        .is_err());
+    fn invalid_configs_are_rejected_with_typed_errors() {
+        assert!(matches!(
+            RewardConfig {
+                lambda: -1.0,
+                ..RewardConfig::default()
+            }
+            .validate(),
+            Err(ConfigError::ExpectedNonNegative {
+                field: "reward.lambda",
+                ..
+            })
+        ));
+        assert!(matches!(
+            RewardConfig {
+                alpha: 0.0,
+                ..RewardConfig::default()
+            }
+            .validate(),
+            Err(ConfigError::ExpectedPositive {
+                field: "reward.alpha",
+                ..
+            })
+        ));
+        assert!(matches!(
+            RewardConfig {
+                infeasible_penalty: 1.0,
+                ..RewardConfig::default()
+            }
+            .validate(),
+            Err(ConfigError::ExpectedNegative { .. })
+        ));
         assert!(RewardConfig::default().validate().is_ok());
     }
 }

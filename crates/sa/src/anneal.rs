@@ -2,6 +2,7 @@
 
 use crate::moves::{apply_move, propose_move, random_initial_placement, InitialPlacementError};
 use crate::objective::Objective;
+use crate::progress::{AnnealObserver, NullAnnealObserver};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -128,6 +129,21 @@ impl SaPlanner {
     /// Returns [`InitialPlacementError`] if no legal initial placement exists
     /// on the configured grid.
     pub fn run(&self, objective: &dyn Objective) -> Result<SaResult, InitialPlacementError> {
+        self.run_observed(objective, &mut NullAnnealObserver)
+    }
+
+    /// Runs the anneal like [`SaPlanner::run`], reporting every objective
+    /// evaluation to `observer` as it happens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InitialPlacementError`] if no legal initial placement exists
+    /// on the configured grid.
+    pub fn run_observed(
+        &self,
+        objective: &dyn Objective,
+        observer: &mut dyn AnnealObserver,
+    ) -> Result<SaResult, InitialPlacementError> {
         let start = Instant::now();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let grid = PlacementGrid::new(self.config.grid.0, self.config.grid.1);
@@ -161,6 +177,7 @@ impl SaPlanner {
         let mut best_objective = current_objective;
         let mut evaluations = 1usize;
         let mut accepted_moves = 0usize;
+        observer.on_evaluation(0, current_objective, best_objective, true);
 
         let mut temperature = self.config.initial_temperature;
         'outer: while temperature > self.config.final_temperature {
@@ -198,6 +215,12 @@ impl SaPlanner {
                         best = current.clone();
                     }
                 }
+                observer.on_evaluation(
+                    evaluations - 1,
+                    candidate_objective,
+                    best_objective,
+                    accept,
+                );
             }
             temperature *= self.config.cooling_rate;
         }
@@ -340,6 +363,44 @@ mod tests {
         .validate()
         .is_err());
         assert!(SaConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn observer_sees_every_evaluation_in_order() {
+        struct Recorder {
+            count: usize,
+            best: Vec<f64>,
+        }
+        impl AnnealObserver for Recorder {
+            fn on_evaluation(
+                &mut self,
+                index: usize,
+                _objective: f64,
+                best_objective: f64,
+                _accepted: bool,
+            ) {
+                assert_eq!(index, self.count, "evaluation indices must be dense");
+                self.count += 1;
+                self.best.push(best_objective);
+            }
+        }
+
+        let sys = connected_system();
+        let planner = SaPlanner::new(sys.clone(), quick_config(6));
+        let objective = {
+            let sys = sys.clone();
+            move |p: &Placement| -total_wirelength(&sys, p)
+        };
+        let mut recorder = Recorder {
+            count: 0,
+            best: Vec::new(),
+        };
+        let result = planner.run_observed(&objective, &mut recorder).unwrap();
+        assert_eq!(recorder.count, result.evaluations);
+        // The best-so-far series is monotone non-decreasing and ends at the
+        // reported best objective.
+        assert!(recorder.best.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(*recorder.best.last().unwrap(), result.best_objective);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 pub mod anneal;
 pub mod moves;
 pub mod objective;
+pub mod progress;
 
 pub use anneal::{SaConfig, SaPlanner, SaResult};
 pub use moves::{InitialPlacementError, Move};
 pub use objective::Objective;
+pub use progress::{AnnealObserver, NullAnnealObserver};

@@ -1,0 +1,61 @@
+//! Streaming progress hooks for the annealing loop.
+//!
+//! [`crate::SaPlanner::run_observed`] reports every objective evaluation to
+//! an [`AnnealObserver`], which is how callers stream per-candidate
+//! telemetry out of a run (e.g. to compare convergence against an RL
+//! training curve) without the annealer committing to a storage format.
+
+/// Receives progress events from an annealing run.
+///
+/// Every method has a no-op default, so an observer only implements the
+/// events it cares about.
+pub trait AnnealObserver {
+    /// Called after every objective evaluation with its 0-based index (index
+    /// 0 is the initial placement), the candidate's objective value, the
+    /// best objective seen so far, and whether the candidate was accepted as
+    /// the current state.
+    fn on_evaluation(&mut self, index: usize, objective: f64, best_objective: f64, accepted: bool) {
+        let _ = (index, objective, best_objective, accepted);
+    }
+}
+
+/// An observer that ignores every event; the default when a caller does not
+/// need telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullAnnealObserver;
+
+impl AnnealObserver for NullAnnealObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder(Vec<(usize, f64, f64, bool)>);
+
+    impl AnnealObserver for Recorder {
+        fn on_evaluation(
+            &mut self,
+            index: usize,
+            objective: f64,
+            best_objective: f64,
+            accepted: bool,
+        ) {
+            self.0.push((index, objective, best_objective, accepted));
+        }
+    }
+
+    #[test]
+    fn default_method_is_a_no_op() {
+        NullAnnealObserver.on_evaluation(0, -1.0, -1.0, true);
+    }
+
+    #[test]
+    fn custom_observer_receives_events() {
+        let mut recorder = Recorder::default();
+        recorder.on_evaluation(0, -3.0, -3.0, true);
+        recorder.on_evaluation(1, -2.0, -2.0, true);
+        assert_eq!(recorder.0.len(), 2);
+        assert_eq!(recorder.0[1], (1, -2.0, -2.0, true));
+    }
+}

@@ -1,0 +1,232 @@
+//! Data-driven thermal backend selection.
+//!
+//! The reward calculator and both optimisers are generic over
+//! [`crate::ThermalAnalyzer`], which keeps the hot paths monomorphised. At
+//! an API boundary, however, the backend choice should be *data* — a request
+//! says "grid" or "fast" and a factory builds the matching analyzer. This
+//! module provides exactly that: [`ThermalBackend`] is the plain-data
+//! description of a backend and [`AnyThermalAnalyzer`] the runtime-dispatched
+//! analyzer it builds into.
+
+use crate::config::ThermalConfig;
+use crate::error::ThermalError;
+use crate::fast::{CharacterizationOptions, FastThermalModel};
+use crate::grid::GridThermalSolver;
+use crate::ThermalAnalyzer;
+use rlp_chiplet::{ChipletSystem, Placement};
+use serde::{Deserialize, Serialize};
+
+/// Which thermal analyzer to run inside an optimisation loop, expressed as
+/// plain data so it can travel in requests, manifests and reports.
+///
+/// The enum is `#[non_exhaustive]`: future backends (e.g. a learned
+/// surrogate) may be added without a breaking release.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ThermalBackend {
+    /// The HotSpot-style grid solver in the loop — reference accuracy, slow
+    /// (the paper's "TAP-2.5D (HotSpot)" configuration).
+    Grid {
+        /// Solver grid resolution and package stack-up.
+        config: ThermalConfig,
+    },
+    /// The fast LTI model, characterised once per interposer before the run
+    /// (the paper's contribution; >100x faster per evaluation).
+    Fast {
+        /// Configuration of the grid solver used during characterisation.
+        config: ThermalConfig,
+        /// Density of the characterisation sweep.
+        characterization: CharacterizationOptions,
+    },
+}
+
+impl ThermalBackend {
+    /// Grid-solver backend with the default package configuration.
+    pub fn grid() -> Self {
+        ThermalBackend::Grid {
+            config: ThermalConfig::default(),
+        }
+    }
+
+    /// Fast-model backend with the default package configuration and
+    /// characterisation sweep.
+    pub fn fast() -> Self {
+        ThermalBackend::Fast {
+            config: ThermalConfig::default(),
+            characterization: CharacterizationOptions::default(),
+        }
+    }
+
+    /// Stable machine-readable label of the backend kind (`"grid"` or
+    /// `"fast"`), used in manifests and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ThermalBackend::Grid { .. } => "grid",
+            ThermalBackend::Fast { .. } => "fast",
+        }
+    }
+
+    /// The thermal configuration (solver grid and package stack-up) this
+    /// backend runs or characterises with.
+    pub fn config(&self) -> &ThermalConfig {
+        match self {
+            ThermalBackend::Grid { config } | ThermalBackend::Fast { config, .. } => config,
+        }
+    }
+
+    /// Builds the analyzer for an interposer of the given size.
+    ///
+    /// For [`ThermalBackend::Fast`] this runs the characterisation sweep —
+    /// the per-package offline step the paper performs before optimisation —
+    /// so it can take noticeably longer than the `Grid` arm.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ThermalError`] if the configuration is invalid or the
+    /// characterisation solves fail.
+    pub fn build(
+        &self,
+        interposer_width_mm: f64,
+        interposer_height_mm: f64,
+    ) -> Result<AnyThermalAnalyzer, ThermalError> {
+        match self {
+            ThermalBackend::Grid { config } => Ok(AnyThermalAnalyzer::Grid(
+                GridThermalSolver::try_new(config.clone())?,
+            )),
+            ThermalBackend::Fast {
+                config,
+                characterization,
+            } => Ok(AnyThermalAnalyzer::Fast(FastThermalModel::characterize(
+                config,
+                interposer_width_mm,
+                interposer_height_mm,
+                characterization,
+            )?)),
+        }
+    }
+
+    /// Builds the analyzer for a system's interposer; see
+    /// [`ThermalBackend::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ThermalError`] if the configuration is invalid or the
+    /// characterisation solves fail.
+    pub fn build_for(&self, system: &ChipletSystem) -> Result<AnyThermalAnalyzer, ThermalError> {
+        self.build(system.interposer_width(), system.interposer_height())
+    }
+}
+
+/// A thermal analyzer whose backend was chosen at runtime: enum dispatch
+/// over the grid solver and the fast model.
+///
+/// Hot loops that know their backend statically should stay generic over
+/// [`ThermalAnalyzer`] instead; this type exists for API boundaries where
+/// the backend arrives as data (see [`ThermalBackend::build`]).
+#[derive(Debug, Clone)]
+pub enum AnyThermalAnalyzer {
+    /// A built grid solver.
+    Grid(GridThermalSolver),
+    /// A characterised fast model.
+    Fast(FastThermalModel),
+}
+
+impl ThermalAnalyzer for AnyThermalAnalyzer {
+    fn chiplet_temperatures(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+    ) -> Result<Vec<f64>, ThermalError> {
+        match self {
+            AnyThermalAnalyzer::Grid(solver) => solver.chiplet_temperatures(system, placement),
+            AnyThermalAnalyzer::Fast(model) => model.chiplet_temperatures(system, placement),
+        }
+    }
+
+    fn max_temperature(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+    ) -> Result<f64, ThermalError> {
+        match self {
+            AnyThermalAnalyzer::Grid(solver) => solver.max_temperature(system, placement),
+            AnyThermalAnalyzer::Fast(model) => model.max_temperature(system, placement),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            AnyThermalAnalyzer::Grid(solver) => solver.name(),
+            AnyThermalAnalyzer::Fast(model) => model.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlp_chiplet::{Chiplet, Position};
+
+    fn one_chiplet_case() -> (ChipletSystem, Placement) {
+        let mut sys = ChipletSystem::new("t", 24.0, 24.0);
+        let cpu = sys.add_chiplet(Chiplet::new("cpu", 8.0, 8.0, 25.0));
+        let mut placement = Placement::for_system(&sys);
+        placement.place(cpu, Position::new(8.0, 8.0));
+        (sys, placement)
+    }
+
+    #[test]
+    fn labels_and_configs_are_exposed() {
+        let grid = ThermalBackend::Grid {
+            config: ThermalConfig::with_grid(12, 12),
+        };
+        assert_eq!(grid.label(), "grid");
+        assert_eq!(grid.config().grid_nx, 12);
+        assert_eq!(ThermalBackend::fast().label(), "fast");
+    }
+
+    #[test]
+    fn grid_backend_builds_and_matches_the_direct_solver() {
+        let (sys, placement) = one_chiplet_case();
+        let config = ThermalConfig::with_grid(12, 12);
+        let built = ThermalBackend::Grid {
+            config: config.clone(),
+        }
+        .build_for(&sys)
+        .unwrap();
+        let direct = GridThermalSolver::new(config);
+        assert_eq!(
+            built.max_temperature(&sys, &placement).unwrap(),
+            direct.max_temperature(&sys, &placement).unwrap()
+        );
+        assert!(built.chiplet_temperatures(&sys, &placement).unwrap()[0] > 45.0);
+    }
+
+    #[test]
+    fn fast_backend_characterises_on_build() {
+        let (sys, placement) = one_chiplet_case();
+        let backend = ThermalBackend::Fast {
+            config: ThermalConfig::with_grid(12, 12),
+            characterization: CharacterizationOptions {
+                footprint_samples_mm: vec![4.0, 8.0, 12.0],
+                distance_bins: 8,
+                ..CharacterizationOptions::default()
+            },
+        };
+        let built = backend.build_for(&sys).unwrap();
+        assert!(matches!(built, AnyThermalAnalyzer::Fast(_)));
+        let t = built.max_temperature(&sys, &placement).unwrap();
+        assert!(t.is_finite() && t > 45.0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_build_time() {
+        let backend = ThermalBackend::Grid {
+            config: ThermalConfig::with_grid(1, 1),
+        };
+        assert!(matches!(
+            backend.build(20.0, 20.0),
+            Err(ThermalError::InvalidConfig { .. })
+        ));
+    }
+}

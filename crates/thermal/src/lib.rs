@@ -18,6 +18,10 @@
 //!   solver on single-hot-chiplet configurations; evaluation afterwards is a
 //!   handful of table lookups, which is where the >100x speed-up comes from.
 //!
+//! [`ThermalBackend`] describes either analyzer as plain data and builds it
+//! on demand ([`AnyThermalAnalyzer`]), which is how request-level APIs pick
+//! a backend at runtime while the hot paths above stay generic.
+//!
 //! [`metrics`] provides the MSE/RMSE/MAE/MAPE error metrics the paper's
 //! Table II reports.
 //!
@@ -37,6 +41,7 @@
 //! assert!(t_max > ThermalConfig::default().ambient_c);
 //! ```
 
+pub mod backend;
 pub mod config;
 pub mod error;
 pub mod fast;
@@ -44,6 +49,7 @@ pub mod grid;
 pub mod metrics;
 pub mod power;
 
+pub use backend::{AnyThermalAnalyzer, ThermalBackend};
 pub use config::{Layer, LayerStack, ThermalConfig};
 pub use error::ThermalError;
 pub use fast::{CharacterizationOptions, FastThermalModel};

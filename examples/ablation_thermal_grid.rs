@@ -19,7 +19,7 @@ use rlp_benchmarks::multi_gpu_system;
 use rlp_chiplet::PlacementGrid;
 use rlp_sa::moves::random_initial_placement;
 use rlp_thermal::{
-    CharacterizationOptions, FastThermalModel, GridThermalSolver, ThermalAnalyzer, ThermalConfig,
+    CharacterizationOptions, GridThermalSolver, ThermalAnalyzer, ThermalBackend, ThermalConfig,
 };
 use std::time::Instant;
 
@@ -76,19 +76,16 @@ fn main() {
         let footprints: Vec<f64> = (0..samples)
             .map(|i| 4.0 + (26.0 - 4.0) * i as f64 / (samples - 1) as f64)
             .collect();
-        let options = CharacterizationOptions {
-            footprint_samples_mm: footprints,
-            distance_bins: bins,
-            ..CharacterizationOptions::default()
+        let backend = ThermalBackend::Fast {
+            config: config.clone(),
+            characterization: CharacterizationOptions {
+                footprint_samples_mm: footprints,
+                distance_bins: bins,
+                ..CharacterizationOptions::default()
+            },
         };
         let start = Instant::now();
-        let model = FastThermalModel::characterize(
-            &config,
-            system.interposer_width(),
-            system.interposer_height(),
-            &options,
-        )
-        .expect("characterisation failed");
+        let model = backend.build_for(&system).expect("characterisation failed");
         let characterise_time = start.elapsed();
         let max_err = placements
             .iter()

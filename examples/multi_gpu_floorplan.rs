@@ -3,8 +3,9 @@
 //! A domain-specific walk-through of the motivating workload from the
 //! paper's introduction: a four-GPU, four-HBM 2.5D system whose floorplan
 //! must trade interconnect length against thermal crowding. The example
-//! trains RLPlanner (RND) with the fast thermal model, prints the chosen
-//! chiplet coordinates and draws an ASCII map of the interposer.
+//! solves one [`FloorplanRequest`] — RLPlanner (RND) over the fast thermal
+//! model — prints the chosen chiplet coordinates and draws an ASCII map of
+//! the interposer.
 //!
 //! Run with:
 //!
@@ -16,8 +17,8 @@
 
 use rlp_benchmarks::multi_gpu_system;
 use rlp_chiplet::{ChipletSystem, Placement};
-use rlp_thermal::{CharacterizationOptions, FastThermalModel, ThermalConfig};
-use rlplanner::{RewardConfig, RlPlanner, RlPlannerConfig};
+use rlp_thermal::ThermalBackend;
+use rlplanner::{Budget, FloorplanRequest, Method};
 
 fn episodes_from_env() -> usize {
     std::env::var("RLP_EPISODES")
@@ -78,38 +79,27 @@ fn main() {
         system.interposer_height()
     );
 
-    let fast_model = FastThermalModel::characterize(
-        &ThermalConfig::with_grid(32, 32),
-        system.interposer_width(),
-        system.interposer_height(),
-        &CharacterizationOptions::default(),
-    )
-    .expect("characterisation failed");
-
-    let mut planner = RlPlanner::new(
-        system.clone(),
-        fast_model,
-        RewardConfig::default(),
-        RlPlannerConfig {
-            episodes,
-            use_rnd: true,
-            seed: 3,
-            ..RlPlannerConfig::default()
-        },
-    );
-    let result = planner.train();
+    let request = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(Method::rl_rnd())
+        .thermal(ThermalBackend::fast())
+        .budget(Budget::Evaluations(episodes))
+        .seed(3)
+        .build()
+        .expect("valid request");
+    let outcome = request.solve().expect("solve failed");
 
     println!(
         "\nbest reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C | trained in {:.2?}",
-        result.best_breakdown.reward,
-        result.best_breakdown.wirelength_mm,
-        result.best_breakdown.max_temperature_c,
-        result.runtime
+        outcome.breakdown.reward,
+        outcome.breakdown.wirelength_mm,
+        outcome.breakdown.max_temperature_c,
+        outcome.runtime
     );
 
     println!("\nchiplet placements (lower-left corner, mm):");
     for (id, chiplet) in system.chiplets() {
-        if let Some(rect) = result.best_placement.rect_of(id, &system) {
+        if let Some(rect) = outcome.placement.rect_of(id, &system) {
             println!(
                 "  {:<8} at ({:6.2}, {:6.2})  size {:4.1} x {:4.1}  power {:5.1} W",
                 chiplet.name(),
@@ -123,5 +113,5 @@ fn main() {
     }
 
     println!("\ninterposer map (G = GPU, H = HBM):\n");
-    println!("{}", render(&system, &result.best_placement));
+    println!("{}", render(&system, &outcome.placement));
 }

@@ -1,9 +1,9 @@
-//! Quickstart: floorplan a small chiplet system with RLPlanner.
+//! Quickstart: floorplan a small chiplet system through the unified facade.
 //!
-//! Builds a four-chiplet system, characterises the fast thermal model for
-//! its interposer, trains the RL agent for a short budget and compares the
-//! result against the TAP-2.5D simulated-annealing baseline using the same
-//! reward.
+//! Builds a four-chiplet system, then solves the same [`FloorplanRequest`]
+//! twice — once with RLPlanner (RND) and once with the TAP-2.5D
+//! simulated-annealing baseline — both over the fast thermal model and the
+//! same reward, and compares the outcomes.
 //!
 //! Run with:
 //!
@@ -14,9 +14,8 @@
 //! Set `RLP_EPISODES` (default 60) to change the RL training budget.
 
 use rlp_chiplet::{Chiplet, ChipletSystem, Net};
-use rlp_sa::SaConfig;
-use rlp_thermal::{CharacterizationOptions, FastThermalModel, ThermalConfig};
-use rlplanner::{RewardConfig, RlPlanner, RlPlannerConfig, Tap25dBaseline};
+use rlp_thermal::ThermalBackend;
+use rlplanner::{Budget, FloorplanOutcome, FloorplanRequest, Method};
 
 fn episodes_from_env() -> usize {
     std::env::var("RLP_EPISODES")
@@ -37,6 +36,15 @@ fn build_system() -> ChipletSystem {
     system
 }
 
+fn print_outcome(outcome: &FloorplanOutcome) {
+    println!(
+        "best reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C",
+        outcome.breakdown.reward,
+        outcome.breakdown.wirelength_mm,
+        outcome.breakdown.max_temperature_c
+    );
+}
+
 fn main() {
     let system = build_system();
     let episodes = episodes_from_env();
@@ -51,69 +59,43 @@ fn main() {
         system.interposer_height()
     );
 
-    // 1. Characterise the fast thermal model for this interposer (offline step).
-    let thermal_config = ThermalConfig::with_grid(32, 32);
-    let start = std::time::Instant::now();
-    let fast_model = FastThermalModel::characterize(
-        &thermal_config,
-        system.interposer_width(),
-        system.interposer_height(),
-        &CharacterizationOptions::default(),
-    )
-    .expect("characterisation failed");
-    println!(
-        "fast thermal model characterised in {:.2?}",
-        start.elapsed()
-    );
-
-    // 2. Train RLPlanner with the fast model in the reward loop.
-    let mut planner = RlPlanner::new(
-        system.clone(),
-        fast_model.clone(),
-        RewardConfig::default(),
-        RlPlannerConfig {
-            episodes,
-            use_rnd: true,
-            ..RlPlannerConfig::default()
-        },
-    );
-    let result = planner.train();
+    // 1. RLPlanner (RND) with the fast thermal model in the reward loop.
+    //    The facade characterises the fast model for this interposer (the
+    //    offline step) before training starts.
+    let rl_request = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(Method::rl_rnd())
+        .thermal(ThermalBackend::fast())
+        .budget(Budget::Evaluations(episodes))
+        .seed(0)
+        .build()
+        .expect("valid request");
+    let rl = rl_request.solve().expect("RL solve failed");
     println!(
         "\n-- RLPlanner (RND), {} episodes, {:.2?} --",
-        result.episodes_run, result.runtime
+        rl.evaluations, rl.runtime
     );
-    println!(
-        "best reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C",
-        result.best_breakdown.reward,
-        result.best_breakdown.wirelength_mm,
-        result.best_breakdown.max_temperature_c
-    );
+    print_outcome(&rl);
 
-    // 3. TAP-2.5D baseline with the same reward and a comparable budget.
-    let baseline = Tap25dBaseline::new(
-        system.clone(),
-        fast_model,
-        RewardConfig::default(),
-        SaConfig {
-            max_evaluations: Some(episodes * 4),
-            ..SaConfig::default()
-        },
-    );
-    let sa = baseline.run().expect("SA baseline failed");
+    // 2. TAP-2.5D baseline: same system, same reward, same backend — only
+    //    the method changes, with a comparable candidate budget.
+    let sa_request = FloorplanRequest::builder()
+        .system(system)
+        .method(Method::sa())
+        .thermal(ThermalBackend::fast())
+        .budget(Budget::Evaluations(episodes * 4))
+        .seed(0)
+        .build()
+        .expect("valid request");
+    let sa = sa_request.solve().expect("SA baseline failed");
     println!(
         "\n-- TAP-2.5D (fast thermal model), {} evaluations, {:.2?} --",
         sa.evaluations, sa.runtime
     );
-    println!(
-        "best reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C",
-        sa.best_breakdown.reward,
-        sa.best_breakdown.wirelength_mm,
-        sa.best_breakdown.max_temperature_c
-    );
+    print_outcome(&sa);
 
-    let improvement = (result.best_breakdown.reward - sa.best_breakdown.reward)
-        / sa.best_breakdown.reward.abs()
-        * 100.0;
+    let improvement =
+        (rl.breakdown.reward - sa.breakdown.reward) / sa.breakdown.reward.abs() * 100.0;
     println!(
         "\nRLPlanner objective change vs the SA baseline: {improvement:+.2} % (positive = RL better)"
     );

@@ -9,16 +9,18 @@
 //! * TAP-2.5D (fast)      — simulated annealing with the fast thermal model
 //!
 //! and prints reward, wirelength, peak temperature and runtime per method,
-//! the same columns the paper reports. The paper's protocol is followed:
-//! the SA baselines are given the same wall-clock budget as an RLPlanner
-//! training run ("TAP-2.5D* takes a similar amount of time as training
-//! RLPlanner for 600 epochs"). Budgets are scaled down so the report
-//! finishes in minutes rather than the paper's hours; set `RLP_EPISODES`
-//! (default 150) to change the training budget. At these reduced budgets
-//! the RL agent is still early in training, so the SA baseline can remain
-//! competitive on the smaller systems; the speed-up of the fast thermal
-//! model (how many more placements SA can evaluate per unit time) is
-//! budget-independent and always visible.
+//! the same columns the paper reports. Every run goes through the unified
+//! [`FloorplanRequest`] facade — one request per (method, backend) cell.
+//! The paper's protocol is followed: the SA baselines are given the same
+//! wall-clock budget as an RLPlanner training run ("TAP-2.5D* takes a
+//! similar amount of time as training RLPlanner for 600 epochs"). Budgets
+//! are scaled down so the report finishes in minutes rather than the
+//! paper's hours; set `RLP_EPISODES` (default 150) to change the training
+//! budget. At these reduced budgets the RL agent is still early in
+//! training, so the SA baseline can remain competitive on the smaller
+//! systems; the speed-up of the fast thermal model (how many more
+//! placements SA can evaluate per unit time) is budget-independent and
+//! always visible.
 //!
 //! Run with:
 //!
@@ -28,8 +30,8 @@
 
 use rlp_benchmarks::standard_benchmarks;
 use rlp_sa::SaConfig;
-use rlp_thermal::{CharacterizationOptions, FastThermalModel, GridThermalSolver, ThermalConfig};
-use rlplanner::{RewardConfig, RlPlanner, RlPlannerConfig, Tap25dBaseline};
+use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
+use rlplanner::{Budget, FloorplanRequest, Method};
 use std::time::Duration;
 
 struct Row {
@@ -38,7 +40,7 @@ struct Row {
     wirelength: f64,
     temperature: f64,
     runtime: Duration,
-    evaluations: Option<usize>,
+    evaluations: usize,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -51,7 +53,13 @@ fn env_usize(name: &str, default: usize) -> usize {
 fn main() {
     let episodes = env_usize("RLP_EPISODES", 150);
     let thermal_config = ThermalConfig::with_grid(32, 32);
-    let reward_config = RewardConfig::default();
+    let fast_backend = ThermalBackend::Fast {
+        config: thermal_config.clone(),
+        characterization: CharacterizationOptions::default(),
+    };
+    let grid_backend = ThermalBackend::Grid {
+        config: thermal_config,
+    };
 
     println!("== Table I: comparisons against baselines on benchmark systems ==");
     println!(
@@ -66,80 +74,66 @@ fn main() {
             system.chiplet_count(),
             system.total_power()
         );
-        let fast_model = FastThermalModel::characterize(
-            &thermal_config,
-            system.interposer_width(),
-            system.interposer_height(),
-            &CharacterizationOptions::default(),
-        )
-        .expect("characterisation failed");
 
         let mut rows = Vec::new();
         let mut rl_runtime = Duration::from_secs(1);
 
-        for (method, use_rnd) in [("RLPlanner", false), ("RLPlanner (RND)", true)] {
-            let mut planner = RlPlanner::new(
-                system.clone(),
-                fast_model.clone(),
-                reward_config.clone(),
-                RlPlannerConfig {
-                    episodes,
-                    use_rnd,
-                    seed: 7,
-                    ..RlPlannerConfig::default()
-                },
-            );
-            let result = planner.train();
-            rl_runtime = rl_runtime.max(result.runtime);
+        for (label, method) in [
+            ("RLPlanner", Method::rl()),
+            ("RLPlanner (RND)", Method::rl_rnd()),
+        ] {
+            let outcome = FloorplanRequest::builder()
+                .system(system.clone())
+                .method(method)
+                .thermal(fast_backend.clone())
+                .budget(Budget::Evaluations(episodes))
+                .seed(7)
+                .build()
+                .expect("valid request")
+                .solve()
+                .expect("RL solve failed");
+            rl_runtime = rl_runtime.max(outcome.runtime);
             rows.push(Row {
-                method,
-                reward: result.best_breakdown.reward,
-                wirelength: result.best_breakdown.wirelength_mm,
-                temperature: result.best_breakdown.max_temperature_c,
-                runtime: result.runtime,
-                evaluations: Some(result.episodes_run),
+                method: label,
+                reward: outcome.breakdown.reward,
+                wirelength: outcome.breakdown.wirelength_mm,
+                temperature: outcome.breakdown.max_temperature_c,
+                runtime: outcome.runtime,
+                evaluations: outcome.evaluations,
             });
         }
 
         // SA baselines receive the same wall-clock budget as the RL run
         // (the paper's comparison protocol).
-        let sa_config = SaConfig {
-            time_budget: Some(rl_runtime),
-            final_temperature: 1e-6,
-            seed: 7,
-            ..SaConfig::default()
+        let sa_method = Method::Sa {
+            config: SaConfig {
+                final_temperature: 1e-6,
+                ..SaConfig::default()
+            },
         };
-        let hotspot_baseline = Tap25dBaseline::new(
-            system.clone(),
-            GridThermalSolver::new(thermal_config.clone()),
-            reward_config.clone(),
-            sa_config.clone(),
-        );
-        let hotspot = hotspot_baseline.run().expect("SA (HotSpot) failed");
-        rows.push(Row {
-            method: "TAP-2.5D (HotSpot)",
-            reward: hotspot.best_breakdown.reward,
-            wirelength: hotspot.best_breakdown.wirelength_mm,
-            temperature: hotspot.best_breakdown.max_temperature_c,
-            runtime: hotspot.runtime,
-            evaluations: Some(hotspot.evaluations),
-        });
-
-        let fast_baseline = Tap25dBaseline::new(
-            system.clone(),
-            fast_model.clone(),
-            reward_config.clone(),
-            sa_config,
-        );
-        let fast = fast_baseline.run().expect("SA (fast model) failed");
-        rows.push(Row {
-            method: "TAP-2.5D (fast model)",
-            reward: fast.best_breakdown.reward,
-            wirelength: fast.best_breakdown.wirelength_mm,
-            temperature: fast.best_breakdown.max_temperature_c,
-            runtime: fast.runtime,
-            evaluations: Some(fast.evaluations),
-        });
+        for (label, backend) in [
+            ("TAP-2.5D (HotSpot)", grid_backend.clone()),
+            ("TAP-2.5D (fast model)", fast_backend.clone()),
+        ] {
+            let outcome = FloorplanRequest::builder()
+                .system(system.clone())
+                .method(sa_method.clone())
+                .thermal(backend)
+                .budget(Budget::TimeLimit(rl_runtime))
+                .seed(7)
+                .build()
+                .expect("valid request")
+                .solve()
+                .expect("SA solve failed");
+            rows.push(Row {
+                method: label,
+                reward: outcome.breakdown.reward,
+                wirelength: outcome.breakdown.wirelength_mm,
+                temperature: outcome.breakdown.max_temperature_c,
+                runtime: outcome.runtime,
+                evaluations: outcome.evaluations,
+            });
+        }
 
         println!(
             "{:<24}{:>12}{:>18}{:>18}{:>12}{:>16}",
@@ -153,7 +147,7 @@ fn main() {
                 row.wirelength,
                 row.temperature,
                 row.runtime,
-                row.evaluations.map_or(String::from("-"), |e| e.to_string())
+                row.evaluations
             );
         }
 

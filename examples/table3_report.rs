@@ -2,9 +2,10 @@
 //!
 //! Runs the same four methods as the Table I report on the five seeded
 //! synthetic cases (Case1–Case5) and prints the reward of each, mirroring
-//! the paper's Table III. As in the paper, the SA baselines receive the same
-//! wall-clock budget as the RLPlanner training run. Budgets are reduced; set
-//! `RLP_EPISODES` (default 120) to change them.
+//! the paper's Table III. Every run is one [`FloorplanRequest`] through the
+//! unified facade. As in the paper, the SA baselines receive the same
+//! wall-clock budget as the RLPlanner training run. Budgets are reduced;
+//! set `RLP_EPISODES` (default 120) to change them.
 //!
 //! Run with:
 //!
@@ -14,8 +15,8 @@
 
 use rlp_benchmarks::synthetic_cases;
 use rlp_sa::SaConfig;
-use rlp_thermal::{CharacterizationOptions, FastThermalModel, GridThermalSolver, ThermalConfig};
-use rlplanner::{RewardConfig, RlPlanner, RlPlannerConfig, Tap25dBaseline};
+use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
+use rlplanner::{Budget, FloorplanRequest, Method};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -27,7 +28,19 @@ fn env_usize(name: &str, default: usize) -> usize {
 fn main() {
     let episodes = env_usize("RLP_EPISODES", 120);
     let thermal_config = ThermalConfig::with_grid(32, 32);
-    let reward_config = RewardConfig::default();
+    let fast_backend = ThermalBackend::Fast {
+        config: thermal_config.clone(),
+        characterization: CharacterizationOptions::default(),
+    };
+    let grid_backend = ThermalBackend::Grid {
+        config: thermal_config,
+    };
+    let sa_method = Method::Sa {
+        config: SaConfig {
+            final_temperature: 1e-6,
+            ..SaConfig::default()
+        },
+    };
     let methods = [
         "RLPlanner",
         "RLPlanner (RND)",
@@ -41,61 +54,42 @@ fn main() {
     );
 
     let cases = synthetic_cases();
-    // rows[method][case] = reward
+    // rewards[method][case] = reward
     let mut rewards = vec![vec![f64::NAN; cases.len()]; methods.len()];
 
     for (case_index, system) in cases.iter().enumerate() {
-        let fast_model = FastThermalModel::characterize(
-            &thermal_config,
-            system.interposer_width(),
-            system.interposer_height(),
-            &CharacterizationOptions::default(),
-        )
-        .expect("characterisation failed");
-
         let mut rl_runtime = std::time::Duration::from_secs(1);
-        for (method_index, use_rnd) in [(0usize, false), (1usize, true)] {
-            let mut planner = RlPlanner::new(
-                system.clone(),
-                fast_model.clone(),
-                reward_config.clone(),
-                RlPlannerConfig {
-                    episodes,
-                    use_rnd,
-                    seed: 13,
-                    ..RlPlannerConfig::default()
-                },
-            );
-            let result = planner.train();
-            rl_runtime = rl_runtime.max(result.runtime);
-            rewards[method_index][case_index] = result.best_breakdown.reward;
+        for (method_index, method) in [(0usize, Method::rl()), (1usize, Method::rl_rnd())] {
+            let outcome = FloorplanRequest::builder()
+                .system(system.clone())
+                .method(method)
+                .thermal(fast_backend.clone())
+                .budget(Budget::Evaluations(episodes))
+                .seed(13)
+                .build()
+                .expect("valid request")
+                .solve()
+                .expect("RL solve failed");
+            rl_runtime = rl_runtime.max(outcome.runtime);
+            rewards[method_index][case_index] = outcome.breakdown.reward;
         }
 
-        let sa_config = SaConfig {
-            time_budget: Some(rl_runtime),
-            final_temperature: 1e-6,
-            seed: 13,
-            ..SaConfig::default()
-        };
-        let hotspot = Tap25dBaseline::new(
-            system.clone(),
-            GridThermalSolver::new(thermal_config.clone()),
-            reward_config.clone(),
-            sa_config.clone(),
-        )
-        .run()
-        .expect("SA (HotSpot) failed");
-        rewards[2][case_index] = hotspot.best_breakdown.reward;
-
-        let fast = Tap25dBaseline::new(
-            system.clone(),
-            fast_model.clone(),
-            reward_config.clone(),
-            sa_config,
-        )
-        .run()
-        .expect("SA (fast model) failed");
-        rewards[3][case_index] = fast.best_breakdown.reward;
+        for (method_index, backend) in [
+            (2usize, grid_backend.clone()),
+            (3usize, fast_backend.clone()),
+        ] {
+            let outcome = FloorplanRequest::builder()
+                .system(system.clone())
+                .method(sa_method.clone())
+                .thermal(backend)
+                .budget(Budget::TimeLimit(rl_runtime))
+                .seed(13)
+                .build()
+                .expect("valid request")
+                .solve()
+                .expect("SA solve failed");
+            rewards[method_index][case_index] = outcome.breakdown.reward;
+        }
         println!("finished {}", system.name());
     }
 

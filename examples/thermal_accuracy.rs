@@ -20,7 +20,7 @@ use rlp_benchmarks::{SyntheticConfig, SyntheticSystemGenerator};
 use rlp_chiplet::PlacementGrid;
 use rlp_sa::moves::random_initial_placement;
 use rlp_thermal::{
-    CharacterizationOptions, ErrorMetrics, FastThermalModel, GridThermalSolver, ThermalAnalyzer,
+    CharacterizationOptions, ErrorMetrics, GridThermalSolver, ThermalAnalyzer, ThermalBackend,
     ThermalConfig,
 };
 use std::time::{Duration, Instant};
@@ -38,10 +38,13 @@ fn main() {
     // Slightly trimmed characterisation sweep: every synthetic system has its
     // own interposer size, so the table is rebuilt per system and a full
     // 8x8 footprint sweep would dominate the runtime of the report.
-    let characterization = CharacterizationOptions {
-        footprint_samples_mm: vec![4.0, 8.0, 14.0, 22.0],
-        distance_bins: 24,
-        ..CharacterizationOptions::default()
+    let fast_backend = ThermalBackend::Fast {
+        config: thermal_config.clone(),
+        characterization: CharacterizationOptions {
+            footprint_samples_mm: vec![4.0, 8.0, 14.0, 22.0],
+            distance_bins: 24,
+            ..CharacterizationOptions::default()
+        },
     };
     let grid_solver = GridThermalSolver::new(thermal_config.clone());
     let placement_grid = PlacementGrid::new(16, 16);
@@ -67,17 +70,14 @@ fn main() {
             continue;
         };
 
-        // Characterisation is a per-interposer offline step; its cost is
-        // reported separately, exactly as the paper excludes table-building
-        // from the per-evaluation timing.
+        // Characterisation is a per-interposer offline step (the fast
+        // backend runs it when built); its cost is reported separately,
+        // exactly as the paper excludes table-building from the
+        // per-evaluation timing.
         let t0 = Instant::now();
-        let fast_model = FastThermalModel::characterize(
-            &thermal_config,
-            system.interposer_width(),
-            system.interposer_height(),
-            &characterization,
-        )
-        .expect("characterisation failed");
+        let fast_model = fast_backend
+            .build_for(&system)
+            .expect("characterisation failed");
         characterization_time += t0.elapsed();
 
         let t1 = Instant::now();

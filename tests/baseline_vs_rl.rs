@@ -1,50 +1,64 @@
 //! Integration tests comparing the SA baseline and RLPlanner on the same
 //! reward — the structure of the paper's Table I / Table III experiments at
-//! a miniature budget.
+//! a miniature budget, with every run constructed through the unified
+//! [`FloorplanRequest`] facade.
 
 use rlp_benchmarks::synthetic_case;
 use rlp_sa::SaConfig;
-use rlp_thermal::{CharacterizationOptions, FastThermalModel, ThermalConfig};
-use rlplanner::{AgentConfig, EnvConfig, RewardConfig, RlPlanner, RlPlannerConfig, Tap25dBaseline};
+use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
+use rlplanner::{
+    AgentConfig, Budget, EnvConfig, FloorplanRequest, Method, RewardCalculator, RewardConfig,
+    RlPlannerConfig,
+};
 
-fn fast_model_for(system: &rlp_chiplet::ChipletSystem) -> FastThermalModel {
-    FastThermalModel::characterize(
-        &ThermalConfig::with_grid(16, 16),
-        system.interposer_width(),
-        system.interposer_height(),
-        &CharacterizationOptions {
+fn quick_fast_backend() -> ThermalBackend {
+    ThermalBackend::Fast {
+        config: ThermalConfig::with_grid(16, 16),
+        characterization: CharacterizationOptions {
             footprint_samples_mm: vec![4.0, 8.0, 14.0],
             distance_bins: 16,
             ..CharacterizationOptions::default()
         },
-    )
-    .unwrap()
+    }
+}
+
+fn quick_sa_method() -> Method {
+    Method::Sa {
+        config: SaConfig {
+            grid: (14, 14),
+            ..SaConfig::default()
+        },
+    }
 }
 
 #[test]
 fn both_optimisers_beat_a_single_random_placement() {
     let system = synthetic_case(1);
-    let fast_model = fast_model_for(&system);
     let reward_config = RewardConfig::default();
 
     // SA baseline with a modest budget.
-    let baseline = Tap25dBaseline::new(
-        system.clone(),
-        fast_model.clone(),
-        reward_config.clone(),
-        SaConfig {
-            max_evaluations: Some(150),
-            grid: (14, 14),
-            seed: 1,
-            ..SaConfig::default()
-        },
-    );
-    let sa_result = baseline.run().unwrap();
+    let sa_outcome = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(quick_sa_method())
+        .thermal(quick_fast_backend())
+        .budget(Budget::Evaluations(150))
+        .seed(1)
+        .build()
+        .expect("valid request")
+        .solve()
+        .expect("SA solve failed");
 
     // A single random placement (the SA run's own starting point is random,
     // so compare against a fresh one evaluated through the same reward).
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+    let calculator = RewardCalculator::new(
+        system.clone(),
+        quick_fast_backend()
+            .build_for(&system)
+            .expect("characterisation failed"),
+        reward_config,
+    );
     let random_placement = rlp_sa::moves::random_initial_placement(
         &system,
         &rlp_chiplet::PlacementGrid::new(14, 14),
@@ -52,50 +66,52 @@ fn both_optimisers_beat_a_single_random_placement() {
         &mut rng,
     );
     let random_reward = match random_placement {
-        Ok(p) => baseline.reward_calculator().reward_or_penalty(&p),
+        Ok(p) => calculator.reward_or_penalty(&p),
         Err(_) => f64::NEG_INFINITY,
     };
 
     assert!(
-        sa_result.best_breakdown.reward >= random_reward,
+        sa_outcome.breakdown.reward >= random_reward,
         "SA ({}) did not beat a random placement ({})",
-        sa_result.best_breakdown.reward,
+        sa_outcome.breakdown.reward,
         random_reward
     );
 
     // RLPlanner with a tiny budget must also avoid the infeasible penalty
     // and land in the same reward ballpark as SA.
-    let mut planner = RlPlanner::new(
-        system.clone(),
-        fast_model,
-        reward_config,
-        RlPlannerConfig {
-            episodes: 16,
-            episodes_per_update: 4,
-            use_rnd: false,
-            env: EnvConfig {
-                grid: (14, 14),
-                min_spacing_mm: 0.2,
+    let rl_outcome = FloorplanRequest::builder()
+        .system(system)
+        .method(Method::Rl {
+            config: RlPlannerConfig {
+                episodes_per_update: 4,
+                env: EnvConfig {
+                    grid: (14, 14),
+                    min_spacing_mm: 0.2,
+                },
+                agent: AgentConfig {
+                    conv_channels: (4, 8),
+                    feature_dim: 64,
+                    ..AgentConfig::default()
+                },
+                ..RlPlannerConfig::default()
             },
-            agent: AgentConfig {
-                conv_channels: (4, 8),
-                feature_dim: 64,
-                ..AgentConfig::default()
-            },
-            seed: 2,
-            ..RlPlannerConfig::default()
-        },
-    );
-    let rl_result = planner.train();
-    assert!(rl_result.best_breakdown.reward > -100.0);
+        })
+        .thermal(quick_fast_backend())
+        .budget(Budget::Evaluations(16))
+        .seed(2)
+        .build()
+        .expect("valid request")
+        .solve()
+        .expect("RL solve failed");
+    assert!(rl_outcome.breakdown.reward > -100.0);
     // At these miniature budgets neither method dominates reliably, but both
     // must produce rewards of the same order of magnitude.
-    let ratio = rl_result.best_breakdown.reward / sa_result.best_breakdown.reward;
+    let ratio = rl_outcome.breakdown.reward / sa_outcome.breakdown.reward;
     assert!(
         (0.2..5.0).contains(&ratio),
         "RL ({}) and SA ({}) rewards diverge unreasonably",
-        rl_result.best_breakdown.reward,
-        sa_result.best_breakdown.reward
+        rl_outcome.breakdown.reward,
+        sa_outcome.breakdown.reward
     );
 }
 
@@ -106,87 +122,84 @@ fn both_optimisers_beat_a_single_random_placement() {
 #[ignore = "full optimisation budgets; run explicitly with -- --ignored"]
 fn full_budget_sa_and_rl_reach_comparable_quality() {
     let system = synthetic_case(2);
-    let fast_model = fast_model_for(&system);
-    let reward_config = RewardConfig::default();
 
-    let baseline = Tap25dBaseline::new(
-        system.clone(),
-        fast_model.clone(),
-        reward_config.clone(),
-        SaConfig {
-            max_evaluations: Some(5_000),
-            seed: 7,
-            ..SaConfig::default()
-        },
-    );
-    let sa_result = baseline.run().unwrap();
+    let sa_outcome = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(Method::sa())
+        .thermal(quick_fast_backend())
+        .budget(Budget::Evaluations(5_000))
+        .seed(7)
+        .build()
+        .expect("valid request")
+        .solve()
+        .expect("SA solve failed");
 
-    let mut planner = RlPlanner::new(
-        system,
-        fast_model,
-        reward_config,
-        RlPlannerConfig {
-            episodes: 200,
-            seed: 7,
-            ..RlPlannerConfig::default()
-        },
-    );
-    let rl_result = planner.train();
+    let rl_outcome = FloorplanRequest::builder()
+        .system(system)
+        .method(Method::rl())
+        .thermal(quick_fast_backend())
+        .budget(Budget::Evaluations(200))
+        .seed(7)
+        .build()
+        .expect("valid request")
+        .solve()
+        .expect("RL solve failed");
 
-    assert!(sa_result.best_breakdown.reward > -100.0);
-    assert!(rl_result.best_breakdown.reward > -100.0);
-    let ratio = rl_result.best_breakdown.reward / sa_result.best_breakdown.reward;
+    assert!(sa_outcome.breakdown.reward > -100.0);
+    assert!(rl_outcome.breakdown.reward > -100.0);
+    let ratio = rl_outcome.breakdown.reward / sa_outcome.breakdown.reward;
     assert!(
         (0.5..2.0).contains(&ratio),
         "RL ({}) and SA ({}) diverge at full budget",
-        rl_result.best_breakdown.reward,
-        sa_result.best_breakdown.reward
+        rl_outcome.breakdown.reward,
+        sa_outcome.breakdown.reward
     );
 }
 
 #[test]
 fn sa_with_fast_model_explores_more_than_sa_with_hotspot_per_unit_time() {
-    use rlp_thermal::GridThermalSolver;
     use std::time::Duration;
 
     let system = synthetic_case(3);
-    let fast_model = fast_model_for(&system);
-    let reward_config = RewardConfig::default();
     let budget = Duration::from_millis(400);
-
-    let fast_baseline = Tap25dBaseline::new(
-        system.clone(),
-        fast_model,
-        reward_config.clone(),
-        SaConfig {
-            time_budget: Some(budget),
+    let sa_method = Method::Sa {
+        config: SaConfig {
             final_temperature: 1e-6,
             grid: (14, 14),
-            seed: 4,
             ..SaConfig::default()
         },
-    );
-    let hotspot_baseline = Tap25dBaseline::new(
-        system.clone(),
-        GridThermalSolver::new(ThermalConfig::with_grid(24, 24)),
-        reward_config,
-        SaConfig {
-            time_budget: Some(budget),
-            final_temperature: 1e-6,
-            grid: (14, 14),
-            seed: 4,
-            ..SaConfig::default()
-        },
-    );
+    };
 
-    let fast_result = fast_baseline.run().unwrap();
-    let hotspot_result = hotspot_baseline.run().unwrap();
+    let fast_outcome = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(sa_method.clone())
+        .thermal(quick_fast_backend())
+        .budget(Budget::TimeLimit(budget))
+        .seed(4)
+        .build()
+        .expect("valid request")
+        .solve()
+        .expect("SA (fast) solve failed");
+
+    let hotspot_outcome = FloorplanRequest::builder()
+        .system(system)
+        .method(sa_method)
+        .thermal(ThermalBackend::Grid {
+            config: ThermalConfig::with_grid(24, 24),
+        })
+        .budget(Budget::TimeLimit(budget))
+        .seed(4)
+        .build()
+        .expect("valid request")
+        .solve()
+        .expect("SA (HotSpot) solve failed");
+
     // The fast thermal model's whole point: many more candidate floorplans
     // explored in the same wall-clock budget (paper: >120x per evaluation).
     assert!(
-        fast_result.evaluations > hotspot_result.evaluations * 5,
+        fast_outcome.evaluations > hotspot_outcome.evaluations * 5,
         "fast model explored {} placements vs {} with the grid solver",
-        fast_result.evaluations,
-        hotspot_result.evaluations
+        fast_outcome.evaluations,
+        hotspot_outcome.evaluations
     );
 }

@@ -1,26 +1,28 @@
 //! End-to-end integration tests: benchmark systems through the whole
 //! RLPlanner pipeline (characterisation → environment → PPO training →
-//! reward evaluation).
+//! reward evaluation), each run constructed through the unified
+//! [`FloorplanRequest`] facade.
 
 use rlp_benchmarks::{synthetic_case, synthetic_cases};
 use rlp_thermal::{
-    CharacterizationOptions, FastThermalModel, GridThermalSolver, ThermalAnalyzer, ThermalConfig,
+    CharacterizationOptions, GridThermalSolver, ThermalAnalyzer, ThermalBackend, ThermalConfig,
 };
-use rlplanner::{AgentConfig, EnvConfig, RewardConfig, RlPlanner, RlPlannerConfig};
+use rlplanner::{AgentConfig, Budget, EnvConfig, FloorplanRequest, Method, RlPlannerConfig};
 
-fn quick_characterization() -> CharacterizationOptions {
-    CharacterizationOptions {
-        footprint_samples_mm: vec![4.0, 8.0, 14.0],
-        distance_bins: 16,
-        ..CharacterizationOptions::default()
+fn quick_fast_backend() -> ThermalBackend {
+    ThermalBackend::Fast {
+        config: ThermalConfig::with_grid(16, 16),
+        characterization: CharacterizationOptions {
+            footprint_samples_mm: vec![4.0, 8.0, 14.0],
+            distance_bins: 16,
+            ..CharacterizationOptions::default()
+        },
     }
 }
 
-fn quick_planner_config(episodes: usize, use_rnd: bool) -> RlPlannerConfig {
-    RlPlannerConfig {
-        episodes,
+fn quick_rl_method(use_rnd: bool) -> Method {
+    let config = RlPlannerConfig {
         episodes_per_update: 4,
-        use_rnd,
         agent: AgentConfig {
             conv_channels: (4, 8),
             feature_dim: 64,
@@ -32,79 +34,77 @@ fn quick_planner_config(episodes: usize, use_rnd: bool) -> RlPlannerConfig {
             grid: (14, 14),
             min_spacing_mm: 0.2,
         },
-        seed: 5,
         ..RlPlannerConfig::default()
+    };
+    if use_rnd {
+        Method::RlRnd { config }
+    } else {
+        Method::Rl { config }
     }
 }
 
 #[test]
 fn rlplanner_trains_end_to_end_on_a_synthetic_case() {
     let system = synthetic_case(1);
-    let thermal_config = ThermalConfig::with_grid(16, 16);
-    let fast_model = FastThermalModel::characterize(
-        &thermal_config,
-        system.interposer_width(),
-        system.interposer_height(),
-        &quick_characterization(),
-    )
-    .unwrap();
-
-    let mut planner = RlPlanner::new(
-        system.clone(),
-        fast_model,
-        RewardConfig::default(),
-        quick_planner_config(16, false),
-    );
-    let result = planner.train();
+    let outcome = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(quick_rl_method(false))
+        .thermal(quick_fast_backend())
+        .budget(Budget::Evaluations(16))
+        .seed(5)
+        .build()
+        .expect("valid request")
+        .solve()
+        .expect("solve failed");
 
     // The training loop must produce a complete, legal floorplan whose
     // reward decomposes into wirelength and temperature terms.
-    assert!(result.best_placement.is_complete());
-    assert!(system
-        .validate_placement(&result.best_placement, 0.2)
-        .is_ok());
-    assert!(result.best_breakdown.reward < 0.0);
+    assert!(outcome.placement.is_complete());
+    assert!(system.validate_placement(&outcome.placement, 0.2).is_ok());
+    assert!(outcome.breakdown.reward < 0.0);
     assert!(
-        result.best_breakdown.reward > -100.0,
+        outcome.breakdown.reward > -100.0,
         "best episode hit the penalty"
     );
-    assert!(result.best_breakdown.wirelength_mm > 0.0);
-    assert!(result.best_breakdown.max_temperature_c > 45.0);
-    assert_eq!(result.reward_history.len(), result.episodes_run);
+    assert!(outcome.breakdown.wirelength_mm > 0.0);
+    assert!(outcome.breakdown.max_temperature_c > 45.0);
+    assert_eq!(outcome.telemetry.len(), outcome.evaluations);
+    assert_eq!(outcome.evaluations, 16);
+
+    // The manifest records the fully-resolved run.
+    assert_eq!(outcome.manifest.system_name, system.name());
+    assert_eq!(outcome.manifest.seed, 5);
+    assert_eq!(outcome.manifest.method.label(), "rl");
 
     // Cross-check the best placement against the slow reference solver: the
     // temperature reported by the fast model should land within a few kelvin.
-    let reference = GridThermalSolver::new(thermal_config);
+    let reference = GridThermalSolver::new(ThermalConfig::with_grid(16, 16));
     let reference_temp = reference
-        .max_temperature(&system, &result.best_placement)
+        .max_temperature(&system, &outcome.placement)
         .unwrap();
-    let error = (reference_temp - result.best_breakdown.max_temperature_c).abs();
+    let error = (reference_temp - outcome.breakdown.max_temperature_c).abs();
     assert!(
         error < 5.0,
         "fast-model temperature off by {error:.2} K (fast {:.2}, reference {reference_temp:.2})",
-        result.best_breakdown.max_temperature_c
+        outcome.breakdown.max_temperature_c
     );
 }
 
 #[test]
 fn rnd_variant_trains_on_a_synthetic_case() {
-    let system = synthetic_case(2);
-    let fast_model = FastThermalModel::characterize(
-        &ThermalConfig::with_grid(16, 16),
-        system.interposer_width(),
-        system.interposer_height(),
-        &quick_characterization(),
-    )
-    .unwrap();
-    let mut planner = RlPlanner::new(
-        system,
-        fast_model,
-        RewardConfig::default(),
-        quick_planner_config(12, true),
-    );
-    let result = planner.train();
-    assert!(result.best_placement.is_complete());
-    assert!(result.best_breakdown.reward > -100.0);
+    let outcome = FloorplanRequest::builder()
+        .system(synthetic_case(2))
+        .method(quick_rl_method(true))
+        .thermal(quick_fast_backend())
+        .budget(Budget::Evaluations(12))
+        .seed(5)
+        .build()
+        .expect("valid request")
+        .solve()
+        .expect("solve failed");
+    assert!(outcome.placement.is_complete());
+    assert!(outcome.breakdown.reward > -100.0);
+    assert_eq!(outcome.manifest.method.label(), "rl-rnd");
 }
 
 /// Full-budget training run, closer to the paper's experimental scale.
@@ -114,35 +114,34 @@ fn rnd_variant_trains_on_a_synthetic_case() {
 #[ignore = "full training budget; run explicitly with -- --ignored"]
 fn rlplanner_full_budget_training_improves_over_early_episodes() {
     let system = synthetic_case(1);
-    let fast_model = FastThermalModel::characterize(
-        &ThermalConfig::with_grid(32, 32),
-        system.interposer_width(),
-        system.interposer_height(),
-        &CharacterizationOptions::default(),
-    )
-    .unwrap();
-    let mut planner = RlPlanner::new(
-        system.clone(),
-        fast_model,
-        RewardConfig::default(),
-        RlPlannerConfig {
-            episodes: 300,
-            seed: 5,
-            ..RlPlannerConfig::default()
-        },
-    );
-    let result = planner.train();
-    assert!(result.best_placement.is_complete());
-    assert!(system
-        .validate_placement(&result.best_placement, 0.2)
-        .is_ok());
+    let outcome = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(Method::rl())
+        .thermal(ThermalBackend::Fast {
+            config: ThermalConfig::with_grid(32, 32),
+            characterization: CharacterizationOptions::default(),
+        })
+        .budget(Budget::Evaluations(300))
+        .seed(5)
+        .build()
+        .expect("valid request")
+        .solve()
+        .expect("solve failed");
+    assert!(outcome.placement.is_complete());
+    assert!(system.validate_placement(&outcome.placement, 0.2).is_ok());
     // Training signal: the best reward must beat the average of the first
     // training episodes by a clear margin.
-    let early: f64 = result.reward_history.iter().take(20).sum::<f64>() / 20.0;
+    let early: f64 = outcome
+        .telemetry
+        .iter()
+        .take(20)
+        .map(|s| s.reward)
+        .sum::<f64>()
+        / 20.0;
     assert!(
-        result.best_breakdown.reward > early,
+        outcome.breakdown.reward > early,
         "no improvement over early episodes (best {}, early mean {})",
-        result.best_breakdown.reward,
+        outcome.breakdown.reward,
         early
     );
 }
@@ -153,14 +152,18 @@ fn all_synthetic_cases_are_plannable_with_the_grid_solver_reward() {
     // for a very short training run, to make sure the pipeline is backend
     // agnostic end to end.
     for system in synthetic_cases().into_iter().take(2) {
-        let solver = GridThermalSolver::new(ThermalConfig::with_grid(12, 12));
-        let mut planner = RlPlanner::new(
-            system.clone(),
-            solver,
-            RewardConfig::default(),
-            quick_planner_config(6, false),
-        );
-        let result = planner.train();
-        assert!(result.best_placement.is_complete(), "{}", system.name());
+        let outcome = FloorplanRequest::builder()
+            .system(system.clone())
+            .method(quick_rl_method(false))
+            .thermal(ThermalBackend::Grid {
+                config: ThermalConfig::with_grid(12, 12),
+            })
+            .budget(Budget::Evaluations(6))
+            .seed(5)
+            .build()
+            .expect("valid request")
+            .solve()
+            .expect("solve failed");
+        assert!(outcome.placement.is_complete(), "{}", system.name());
     }
 }

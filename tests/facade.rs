@@ -1,0 +1,225 @@
+//! Integration tests for the unified `Planner` facade: every
+//! (system, method, backend) combination the CLI accepts solves through
+//! `Planner::solve` at a tiny budget and yields a complete, legal
+//! placement; and an outcome's manifest reproduces the same result under
+//! the same seed.
+
+use rlp_benchmarks::{ascend910_system, cpu_dram_system, multi_gpu_system, synthetic_case};
+use rlp_chiplet::ChipletSystem;
+use rlp_sa::SaConfig;
+use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
+use rlplanner::{
+    planner_for, AgentConfig, Budget, FloorplanOutcome, FloorplanRequest, Method, PlanError,
+    Planner, PpoPlanner, RlPlannerConfig,
+};
+
+/// Every system the CLI accepts.
+fn cli_systems() -> Vec<ChipletSystem> {
+    let mut systems = vec![multi_gpu_system(), cpu_dram_system(), ascend910_system()];
+    systems.extend((1..=5).map(synthetic_case));
+    systems
+}
+
+/// A cheap fast-model backend: coarse characterisation grid, minimal sweep.
+fn tiny_fast_backend() -> ThermalBackend {
+    ThermalBackend::Fast {
+        config: ThermalConfig::with_grid(12, 12),
+        characterization: CharacterizationOptions {
+            footprint_samples_mm: vec![4.0, 10.0],
+            distance_bins: 8,
+            ..CharacterizationOptions::default()
+        },
+    }
+}
+
+fn tiny_grid_backend() -> ThermalBackend {
+    ThermalBackend::Grid {
+        config: ThermalConfig::with_grid(10, 10),
+    }
+}
+
+fn tiny_rl_method(use_rnd: bool) -> Method {
+    let config = RlPlannerConfig {
+        episodes_per_update: 2,
+        agent: AgentConfig {
+            conv_channels: (2, 4),
+            feature_dim: 16,
+            rnd_hidden_dim: 16,
+            rnd_embedding_dim: 4,
+            ..AgentConfig::default()
+        },
+        ..RlPlannerConfig::default()
+    };
+    if use_rnd {
+        Method::RlRnd { config }
+    } else {
+        Method::Rl { config }
+    }
+}
+
+fn solve(system: &ChipletSystem, method: Method, thermal: ThermalBackend, budget: usize) {
+    let request = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(method)
+        .thermal(thermal)
+        .budget(Budget::Evaluations(budget))
+        .seed(5)
+        .build()
+        .expect("valid request");
+    let outcome = planner_for(request.method())
+        .solve(&request)
+        .unwrap_or_else(|err| panic!("{} on {}: {err}", request.method().label(), system.name()));
+    assert_outcome_is_complete(system, &request, &outcome, budget);
+}
+
+fn assert_outcome_is_complete(
+    system: &ChipletSystem,
+    request: &FloorplanRequest,
+    outcome: &FloorplanOutcome,
+    budget: usize,
+) {
+    let context = format!("{} on {}", request.method().label(), system.name());
+    assert!(outcome.placement.is_complete(), "{context}: incomplete");
+    assert!(
+        system.validate_placement(&outcome.placement, 0.2).is_ok(),
+        "{context}: illegal placement"
+    );
+    assert!(
+        outcome.breakdown.reward.is_finite(),
+        "{context}: non-finite reward"
+    );
+    assert_eq!(
+        outcome.evaluations, budget,
+        "{context}: budget not honoured"
+    );
+    assert_eq!(
+        outcome.telemetry.len(),
+        outcome.evaluations,
+        "{context}: telemetry gaps"
+    );
+    // Telemetry indices are dense and best-so-far is monotone.
+    for (i, sample) in outcome.telemetry.iter().enumerate() {
+        assert_eq!(sample.index, i, "{context}: sparse telemetry");
+    }
+    assert!(
+        outcome
+            .telemetry
+            .windows(2)
+            .all(|w| w[1].best_reward >= w[0].best_reward),
+        "{context}: best-so-far not monotone"
+    );
+    // The manifest identifies the run.
+    assert_eq!(outcome.manifest.system_name, system.name());
+    assert_eq!(outcome.manifest.chiplet_count, system.chiplet_count());
+    assert_eq!(outcome.manifest.seed, 5);
+    assert_eq!(
+        outcome.manifest.method.label(),
+        request.method().label(),
+        "{context}: method not preserved in manifest"
+    );
+}
+
+#[test]
+fn rl_solves_every_cli_system() {
+    for system in cli_systems() {
+        solve(&system, tiny_rl_method(false), tiny_fast_backend(), 2);
+    }
+}
+
+#[test]
+fn rl_rnd_solves_every_cli_system() {
+    for system in cli_systems() {
+        solve(&system, tiny_rl_method(true), tiny_fast_backend(), 2);
+    }
+}
+
+#[test]
+fn sa_fast_solves_every_cli_system() {
+    for system in cli_systems() {
+        solve(&system, Method::sa(), tiny_fast_backend(), 12);
+    }
+}
+
+#[test]
+fn sa_hotspot_solves_every_cli_system() {
+    for system in cli_systems() {
+        solve(&system, Method::sa(), tiny_grid_backend(), 12);
+    }
+}
+
+#[test]
+fn rl_manifest_reproduces_the_same_result_under_the_same_seed() {
+    let system = synthetic_case(1);
+    let request = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(tiny_rl_method(false))
+        .thermal(tiny_fast_backend())
+        .budget(Budget::Evaluations(4))
+        .seed(11)
+        .build()
+        .unwrap();
+    let first = request.solve().unwrap();
+
+    // Rebuild the request from nothing but the manifest and the system.
+    let replay = FloorplanRequest::from_manifest(system, &first.manifest)
+        .unwrap()
+        .solve()
+        .unwrap();
+    assert_eq!(replay.placement, first.placement);
+    assert_eq!(replay.breakdown.reward, first.breakdown.reward);
+    assert_eq!(replay.telemetry, first.telemetry);
+    assert_eq!(replay.manifest, first.manifest);
+}
+
+#[test]
+fn sa_manifest_reproduces_the_same_result_under_the_same_seed() {
+    let system = synthetic_case(2);
+    let request = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(Method::Sa {
+            config: SaConfig {
+                grid: (14, 14),
+                ..SaConfig::default()
+            },
+        })
+        .thermal(tiny_fast_backend())
+        .budget(Budget::Evaluations(40))
+        .seed(23)
+        .build()
+        .unwrap();
+    let first = request.solve().unwrap();
+
+    let replay = FloorplanRequest::from_manifest(system, &first.manifest)
+        .unwrap()
+        .solve()
+        .unwrap();
+    assert_eq!(replay.placement, first.placement);
+    assert_eq!(replay.breakdown.reward, first.breakdown.reward);
+    assert_eq!(replay.evaluations, first.evaluations);
+}
+
+#[test]
+fn from_manifest_rejects_a_mismatched_system() {
+    let request = FloorplanRequest::builder()
+        .system(synthetic_case(1))
+        .method(Method::sa())
+        .thermal(tiny_fast_backend())
+        .budget(Budget::Evaluations(10))
+        .build()
+        .unwrap();
+    let outcome = request.solve().unwrap();
+    let err = FloorplanRequest::from_manifest(synthetic_case(2), &outcome.manifest).unwrap_err();
+    assert_eq!(err.field(), "system");
+}
+
+#[test]
+fn planners_reject_methods_they_do_not_implement() {
+    let request = FloorplanRequest::builder()
+        .system(synthetic_case(1))
+        .method(Method::sa())
+        .thermal(tiny_fast_backend())
+        .build()
+        .unwrap();
+    let err = PpoPlanner.solve(&request).unwrap_err();
+    assert!(matches!(err, PlanError::UnsupportedMethod { .. }));
+}

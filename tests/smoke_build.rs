@@ -1,14 +1,15 @@
 //! Fast wiring smoke test: a 2-chiplet system through the whole stack —
-//! geometry, reward, thermal solve, environment, policy network, PPO episode
-//! — with budgets tiny enough to finish in a couple of seconds. CI runs this
-//! first to catch crate-wiring regressions without waiting for the full
-//! integration suite.
+//! geometry, reward, thermal solve, environment, and a full facade solve
+//! (policy network, PPO episodes, outcome assembly) — with budgets tiny
+//! enough to finish in a couple of seconds. CI runs this first to catch
+//! crate-wiring regressions without waiting for the full integration suite.
 
 use rlp_chiplet::{Chiplet, ChipletSystem, Net};
-use rlp_rl::{Environment, PpoAgent, PpoConfig, RolloutBuffer};
-use rlp_thermal::{GridThermalSolver, ThermalConfig};
+use rlp_rl::Environment;
+use rlp_thermal::{GridThermalSolver, ThermalBackend, ThermalConfig};
 use rlplanner::{
-    agent::build_actor_critic, AgentConfig, EnvConfig, FloorplanEnv, RewardCalculator, RewardConfig,
+    Budget, EnvConfig, FloorplanEnv, FloorplanRequest, Method, RewardCalculator, RewardConfig,
+    RlPlannerConfig,
 };
 
 fn two_chiplet_system() -> ChipletSystem {
@@ -66,17 +67,32 @@ fn greedy_episode_completes_with_a_legal_placement() {
 }
 
 #[test]
-fn ppo_agent_collects_an_episode_through_the_policy_network() {
-    let mut env = tiny_env();
-    let agent_config = AgentConfig {
-        conv_channels: (2, 4),
-        feature_dim: 16,
-        ..AgentConfig::default()
-    };
-    let model = build_actor_critic(&env.observation_shape(), env.action_count(), &agent_config);
-    let mut agent = PpoAgent::new(model, PpoConfig::default(), 3);
-    let mut buffer = RolloutBuffer::new();
-    agent.collect_episode(&mut env, &mut buffer, None);
-    assert!(env.placement().is_complete());
-    assert_eq!(buffer.len(), 2, "one transition per chiplet");
+fn facade_solves_a_tiny_rl_request_end_to_end() {
+    let episodes = 2usize;
+    let outcome = FloorplanRequest::builder()
+        .system(two_chiplet_system())
+        .method(Method::Rl {
+            config: RlPlannerConfig {
+                episodes_per_update: 2,
+                env: EnvConfig {
+                    grid: (8, 8),
+                    min_spacing_mm: 0.2,
+                },
+                ..RlPlannerConfig::default()
+            },
+        })
+        .thermal(ThermalBackend::Grid {
+            config: ThermalConfig::with_grid(8, 8),
+        })
+        .budget(Budget::Evaluations(episodes))
+        .seed(3)
+        .build()
+        .expect("valid request")
+        .solve()
+        .expect("solve failed");
+    assert!(outcome.placement.is_complete());
+    assert_eq!(outcome.evaluations, episodes);
+    assert_eq!(outcome.telemetry.len(), episodes);
+    assert_eq!(outcome.manifest.seed, 3);
+    assert!(outcome.breakdown.wirelength_mm > 0.0);
 }

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use rand::Rng;
 
-/// Length specification for [`vec`]: a fixed size or a half-open range.
+/// Length specification for [`vec()`]: a fixed size or a half-open range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,
@@ -45,7 +45,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

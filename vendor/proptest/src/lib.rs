@@ -2,7 +2,7 @@
 //!
 //! The build environment is offline, so this crate re-implements the slice
 //! of the `proptest` API the workspace's test suites use: the [`proptest!`]
-//! macro, [`Strategy`] with `prop_map`, range / tuple / `collection::vec`
+//! macro, [`Strategy`](strategy::Strategy) with `prop_map`, range / tuple / `collection::vec`
 //! strategies, [`any`](arbitrary::any), `prop_assert!`/`prop_assert_eq!`,
 //! and [`ProptestConfig`](test_runner::ProptestConfig).
 //!
