@@ -1,0 +1,332 @@
+//! `rlplanner_cli` — run any benchmark system through any of the four
+//! methods from the command line, via the unified [`FloorplanRequest`]
+//! facade, or run whole sweep campaigns through the
+//! [`rlp_engine::CampaignEngine`].
+//!
+//! ```text
+//! rlplanner_cli <system> <method> [budget] [--json]
+//!
+//!   <system>   multi-gpu | cpu-dram | ascend910 | case1..case5
+//!   <method>   rl | rl-rnd | sa-hotspot | sa-fast
+//!   [budget]   candidate floorplans to evaluate: RL training episodes or
+//!              SA objective evaluations (default 100); must be a positive
+//!              integer — anything else is a usage error
+//!   --json     print the full outcome document (placement, reward
+//!              breakdown, telemetry, reproducibility manifest) as JSON
+//!              instead of the human-readable summary
+//!
+//! rlplanner_cli sweep [--systems <s,...>] [--methods <m,...>]
+//!                     [--seeds <n,...>] [--budget <n>] [--parallel <n>]
+//!                     [--json]
+//!
+//!   --systems  comma-separated systems axis       (default: case1)
+//!   --methods  comma-separated method columns     (default: rl)
+//!   --seeds    comma-separated seeds axis         (default: 7)
+//!   --budget   candidate floorplans per run       (default: 50)
+//!   --parallel worker threads; parallelism never changes outcomes, only
+//!              wall-clock                         (default: 1)
+//!   --json     print the campaign document (`rlplanner.campaign/v1`)
+//!              instead of the human-readable cell table
+//! ```
+//!
+//! A sweep runs the full systems × methods × seeds grid through one shared
+//! thermal-characterisation cache: each distinct package configuration is
+//! characterised exactly once, however many runs and threads need it.
+//!
+//! Without `--json`, the single-run mode prints the reward breakdown on
+//! stdout followed by the placement as JSON (the `rlplanner::report`
+//! placement document), and the sweep mode prints one summary line per
+//! (system, method) cell. Exit codes: 0 on success, 2 on usage errors, 1
+//! when a solve fails.
+
+use rlp_benchmarks::{ascend910_system, cpu_dram_system, multi_gpu_system, synthetic_case};
+use rlp_chiplet::ChipletSystem;
+use rlp_engine::{campaign_json, CampaignEngine, CampaignMethod, CampaignSpec};
+use rlp_sa::SaConfig;
+use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
+use rlplanner::report::{outcome_json, placement_json};
+use rlplanner::{Budget, FloorplanRequest, Method};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rlplanner_cli <multi-gpu|cpu-dram|ascend910|case1..case5> \
+         <rl|rl-rnd|sa-hotspot|sa-fast> [budget] [--json]\n\
+         \x20      rlplanner_cli sweep [--systems <s,...>] [--methods <m,...>] \
+         [--seeds <n,...>] [--budget <n>] [--parallel <n>] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn load_system(name: &str) -> Option<ChipletSystem> {
+    match name {
+        "multi-gpu" => Some(multi_gpu_system()),
+        "cpu-dram" => Some(cpu_dram_system()),
+        "ascend910" => Some(ascend910_system()),
+        _ => name
+            .strip_prefix("case")
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|n| (1..=5).contains(n))
+            .map(synthetic_case),
+    }
+}
+
+/// Maps a CLI method name to the request's method and thermal backend.
+fn load_method(name: &str) -> Option<(Method, ThermalBackend)> {
+    let thermal_config = ThermalConfig::with_grid(32, 32);
+    let fast = ThermalBackend::Fast {
+        config: thermal_config.clone(),
+        characterization: CharacterizationOptions::default(),
+    };
+    let sa = Method::Sa {
+        config: SaConfig {
+            final_temperature: 1e-6,
+            ..SaConfig::default()
+        },
+    };
+    match name {
+        "rl" => Some((Method::rl(), fast)),
+        "rl-rnd" => Some((Method::rl_rnd(), fast)),
+        "sa-fast" => Some((sa, fast)),
+        "sa-hotspot" => Some((
+            sa,
+            ThermalBackend::Grid {
+                config: thermal_config,
+            },
+        )),
+        _ => None,
+    }
+}
+
+/// Parsed `--flag value` / `--flag=value` sweep options.
+struct SweepArgs {
+    systems: Vec<String>,
+    methods: Vec<String>,
+    seeds: Vec<u64>,
+    budget: usize,
+    parallel: usize,
+    json: bool,
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
+    let mut parsed = SweepArgs {
+        systems: vec!["case1".to_string()],
+        methods: vec!["rl".to_string()],
+        seeds: vec![7],
+        budget: 50,
+        parallel: 1,
+        json: false,
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((flag, value)) => (flag, Some(value.to_string())),
+            None => (arg.as_str(), None),
+        };
+        if flag == "--json" {
+            if inline.is_some() {
+                return Err("--json takes no value".to_string());
+            }
+            parsed.json = true;
+            continue;
+        }
+        let value = match inline {
+            Some(value) => value,
+            None => iter
+                .next()
+                .ok_or_else(|| format!("flag `{flag}` needs a value"))?
+                .clone(),
+        };
+        match flag {
+            "--systems" => parsed.systems = value.split(',').map(str::to_string).collect(),
+            "--methods" => parsed.methods = value.split(',').map(str::to_string).collect(),
+            "--seeds" => {
+                parsed.seeds = value
+                    .split(',')
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|_| format!("invalid seed `{s}`: expected an integer"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--budget" => {
+                parsed.budget =
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            format!("invalid budget `{value}`: expected a positive integer")
+                        })?;
+            }
+            "--parallel" => {
+                parsed.parallel =
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            format!("invalid parallelism `{value}`: expected a positive integer")
+                        })?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn run_sweep(args: &[String]) -> ExitCode {
+    let parsed = match parse_sweep_args(args) {
+        Ok(parsed) => parsed,
+        Err(reason) => {
+            eprintln!("{reason}");
+            return usage();
+        }
+    };
+    let mut spec = CampaignSpec::builder()
+        .budget(Budget::Evaluations(parsed.budget))
+        .parallelism(parsed.parallel)
+        .seeds(parsed.seeds.iter().copied());
+    for name in &parsed.systems {
+        let Some(system) = load_system(name) else {
+            eprintln!("unknown system `{name}`");
+            return usage();
+        };
+        spec = spec.system(system);
+    }
+    for name in &parsed.methods {
+        let Some((method, thermal)) = load_method(name) else {
+            eprintln!("unknown method `{name}`");
+            return usage();
+        };
+        spec = spec.method(CampaignMethod::new(name.clone(), method, thermal));
+    }
+    let spec = match spec.build() {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("invalid sweep: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match CampaignEngine::new().run(&spec) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("sweep failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.json {
+        println!("{}", campaign_json(&report));
+    } else {
+        eprintln!(
+            "{} runs on {} worker(s) in {:.2?}; cache: {} hit(s), {} characterisation(s) ({:.2?})",
+            report.runs.len(),
+            report.parallelism,
+            report.wall_clock,
+            report.cache.hits,
+            report.cache.misses,
+            report.cache.characterization_time,
+        );
+        println!(
+            "{:<12}{:<12}{:>8}{:>12}{:>12}{:>12}{:>12}",
+            "system", "method", "seeds", "best", "mean", "min", "best seed"
+        );
+        for cell in &report.cells {
+            println!(
+                "{:<12}{:<12}{:>8}{:>12.4}{:>12.4}{:>12.4}{:>12}",
+                cell.system,
+                cell.method,
+                cell.seeds.len(),
+                cell.max_reward,
+                cell.mean_reward,
+                cell.min_reward,
+                report.runs[cell.best_run].seed,
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        return run_sweep(&args[1..]);
+    }
+
+    let (flags, positional): (Vec<&String>, Vec<&String>) =
+        args.iter().partition(|a| a.starts_with("--"));
+
+    let mut json = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return usage();
+            }
+        }
+    }
+    if !(2..=3).contains(&positional.len()) {
+        return usage();
+    }
+
+    let Some(system) = load_system(positional[0]) else {
+        eprintln!("unknown system `{}`", positional[0]);
+        return usage();
+    };
+    let Some((method, thermal)) = load_method(positional[1]) else {
+        eprintln!("unknown method `{}`", positional[1]);
+        return usage();
+    };
+    let budget = match positional.get(2) {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("invalid budget `{raw}`: expected a positive integer");
+                return usage();
+            }
+        },
+        None => 100,
+    };
+
+    let request = match FloorplanRequest::builder()
+        .system(system)
+        .method(method)
+        .thermal(thermal)
+        .budget(Budget::Evaluations(budget))
+        .build()
+    {
+        Ok(request) => request,
+        Err(err) => {
+            eprintln!("invalid request: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = match request.solve() {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("solve failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        println!("{}", outcome_json(request.system(), &outcome));
+    } else {
+        eprintln!(
+            "{}: {} candidate floorplans in {:.2?}",
+            request.method().display_name(),
+            outcome.evaluations,
+            outcome.runtime
+        );
+        println!(
+            "reward {:.4} | wirelength {:.0} mm | peak temperature {:.2} C",
+            outcome.breakdown.reward,
+            outcome.breakdown.wirelength_mm,
+            outcome.breakdown.max_temperature_c
+        );
+        println!("{}", placement_json(request.system(), &outcome.placement));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,77 @@
+//! Campaign engine: parallel batch runs of floorplanning requests with a
+//! shared thermal-characterisation cache.
+//!
+//! The paper's headline results (Tables I–III) are not single runs but
+//! *campaigns* — many methods × systems × seeds, every run needing a
+//! characterised fast thermal model. Solving each
+//! [`rlplanner::FloorplanRequest`] in isolation re-characterises that model
+//! per run, even though characterisation depends only on the package
+//! configuration. This crate amortises the expensive step and executes the
+//! grid concurrently:
+//!
+//! * [`CampaignSpec`] declares the sweep — [`CampaignMethod`] columns
+//!   (method + backend + optional budget override), a systems axis (the
+//!   standard benchmarks, [`rlp_benchmarks::synthetic_cases`], or any
+//!   [`rlp_benchmarks::SyntheticConfig`] sweep) and a seeds axis — plus a
+//!   parallelism level.
+//! * [`CampaignEngine`] drains the grid with a `std::thread::scope` worker
+//!   pool. Every run's analyzer is served from a shared
+//!   [`rlp_thermal::ThermalModelCache`], so each distinct package
+//!   configuration is characterised exactly once, and results are stored
+//!   by grid index so a parallel campaign yields outcomes byte-identical
+//!   to a serial one under fixed seeds (wall-clock budgets being the
+//!   documented exception).
+//! * [`CampaignReport`] aggregates the outcomes — best-of-seeds run per
+//!   (system, method) cell, mean/min/max reward, wall-clock and cache
+//!   telemetry — and [`report::campaign_json`] renders it as the
+//!   documented `rlplanner.campaign/v1` JSON document.
+//!
+//! # Example
+//!
+//! A 2-method × 1-system × 2-seed campaign on two worker threads:
+//!
+//! ```
+//! use rlp_engine::{CampaignEngine, CampaignMethod, CampaignSpec};
+//! use rlp_thermal::{ThermalBackend, ThermalConfig};
+//! use rlplanner::{Budget, Method};
+//! use rlp_chiplet::{Chiplet, ChipletSystem, Net};
+//!
+//! let mut system = ChipletSystem::new("demo", 24.0, 24.0);
+//! let a = system.add_chiplet(Chiplet::new("a", 6.0, 6.0, 20.0));
+//! let b = system.add_chiplet(Chiplet::new("b", 5.0, 5.0, 10.0));
+//! system.add_net(Net::new(a, b, 32));
+//!
+//! let backend = ThermalBackend::Grid {
+//!     config: ThermalConfig::with_grid(8, 8),
+//! };
+//! let spec = CampaignSpec::builder()
+//!     .system(system)
+//!     .method(CampaignMethod::new("sa", Method::sa(), backend.clone()))
+//!     .method(CampaignMethod::new(
+//!         "sa-slow-cool",
+//!         Method::Sa {
+//!             config: rlp_sa::SaConfig {
+//!                 cooling_rate: 0.9,
+//!                 ..rlp_sa::SaConfig::default()
+//!             },
+//!         },
+//!         backend,
+//!     ))
+//!     .seeds([7, 8])
+//!     .budget(Budget::Evaluations(10))
+//!     .parallelism(2)
+//!     .build()
+//!     .expect("valid spec");
+//! let report = CampaignEngine::new().run(&spec).expect("campaign runs");
+//! assert_eq!(report.runs.len(), 4);
+//! let best = report.best_outcome("demo", "sa").expect("cell exists");
+//! assert!(best.placement.is_complete());
+//! ```
+
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use report::{campaign_json, CampaignReport, CellSummary, RunRecord, CAMPAIGN_SCHEMA};
+pub use runner::{CampaignEngine, CampaignError};
+pub use spec::{CampaignMethod, CampaignSpec, CampaignSpecBuilder};

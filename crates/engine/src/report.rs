@@ -1,0 +1,320 @@
+//! Campaign aggregation and the JSON campaign document.
+//!
+//! A [`CampaignReport`] is the aggregated result of one
+//! [`crate::CampaignEngine::run`]: every run's [`FloorplanOutcome`] in grid
+//! order, per-(system, method) [`CellSummary`]s (best-of-seeds run,
+//! mean/min/max reward), and the campaign-level telemetry — wall-clock,
+//! parallelism and the shared cache's hit/miss/characterisation-time delta.
+//!
+//! [`campaign_json`] renders the report as a hand-rolled JSON document with
+//! the same conventions as [`rlplanner::report`] (stable field order,
+//! RFC 8259 escaping, `null` for non-finite numbers):
+//!
+//! # Campaign document ([`campaign_json`])
+//!
+//! ```json
+//! {
+//!   "schema": "rlplanner.campaign/v1",
+//!   "parallelism": 2,
+//!   "wall_clock_s": 12.5,
+//!   "cache": { "hits": 15, "misses": 3, "characterization_s": 4.2 },
+//!   "cells": [
+//!     {
+//!       "system": "multi-gpu", "method": "rl", "seeds": [7, 8, 9],
+//!       "best_seed": 8, "mean_reward": -1.9, "min_reward": -2.4,
+//!       "max_reward": -1.6, "total_runtime_s": 30.1,
+//!       "best": { "schema": "rlplanner.outcome/v1", ... }
+//!     }
+//!   ],
+//!   "runs": [
+//!     {
+//!       "system": "multi-gpu", "method": "rl", "seed": 7, "reward": -2.4,
+//!       "wirelength_mm": 6200, "max_temperature_c": 78.4,
+//!       "evaluations": 600, "runtime_s": 10.0,
+//!       "cache_hits": 1, "cache_misses": 0
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `schema` identifies this exact layout ([`CAMPAIGN_SCHEMA`]); consumers
+//! should check it before parsing. `cells` appear in grid order (systems
+//! outermost, then methods); each cell's `best` is the full outcome
+//! document ([`rlplanner::report::outcome_json`], schema
+//! `rlplanner.outcome/v1`) of its best-of-seeds run, so the best placement
+//! of every table cell — manifest included — travels inside the campaign
+//! document. `runs` holds one compact record per run, also in grid order,
+//! with the per-run cache telemetry (`cache_hits`/`cache_misses`) that the
+//! campaign-level `cache` object aggregates.
+
+use rlp_chiplet::ChipletSystem;
+use rlp_thermal::ThermalCacheStats;
+use rlplanner::report::{json_escape, json_num, outcome_json};
+use rlplanner::FloorplanOutcome;
+use std::time::Duration;
+
+/// Identifier of the campaign-document layout produced by
+/// [`campaign_json`].
+pub const CAMPAIGN_SCHEMA: &str = "rlplanner.campaign/v1";
+
+/// One executed run of the campaign grid.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Name of the run's system.
+    pub system: String,
+    /// Index of the system in [`CampaignReport::systems`].
+    pub system_index: usize,
+    /// Label of the run's method column.
+    pub method: String,
+    /// The seed the run actually used (from the seeds axis, or the method
+    /// config's own seed when the axis was empty).
+    pub seed: u64,
+    /// The run's full outcome.
+    pub outcome: FloorplanOutcome,
+}
+
+/// Per-(system, method) aggregation over the seeds axis — one table cell.
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// Name of the cell's system.
+    pub system: String,
+    /// Index of the system in [`CampaignReport::systems`].
+    pub system_index: usize,
+    /// Label of the cell's method column.
+    pub method: String,
+    /// Seeds of the cell's runs, in run order.
+    pub seeds: Vec<u64>,
+    /// Index into [`CampaignReport::runs`] of the best-of-seeds run
+    /// (highest reward).
+    pub best_run: usize,
+    /// Mean reward across the cell's runs.
+    pub mean_reward: f64,
+    /// Worst (most negative) reward across the cell's runs.
+    pub min_reward: f64,
+    /// Best reward across the cell's runs.
+    pub max_reward: f64,
+    /// Summed optimisation runtime of the cell's runs.
+    pub total_runtime: Duration,
+}
+
+/// The aggregated result of one campaign; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The spec's systems axis (cloned so the report is self-contained and
+    /// can render placement documents).
+    pub systems: Vec<ChipletSystem>,
+    /// Every run in grid order.
+    pub runs: Vec<RunRecord>,
+    /// Per-(system, method) summaries in grid order.
+    pub cells: Vec<CellSummary>,
+    /// Wall-clock of the whole campaign, prewarm and aggregation included.
+    pub wall_clock: Duration,
+    /// Worker threads the campaign ran with.
+    pub parallelism: usize,
+    /// The shared characterisation cache's telemetry delta for this
+    /// campaign: `misses` counts characterisations actually performed —
+    /// with a warm cache it is zero, and it never exceeds the number of
+    /// distinct package configurations in the grid.
+    pub cache: ThermalCacheStats,
+}
+
+impl CampaignReport {
+    /// The best-of-seeds outcome of a (system, method) cell, if present.
+    pub fn best_outcome(&self, system: &str, method: &str) -> Option<&FloorplanOutcome> {
+        self.cells
+            .iter()
+            .find(|c| c.system == system && c.method == method)
+            .map(|c| &self.runs[c.best_run].outcome)
+    }
+
+    /// The cell summary of a (system, method) pair, if present.
+    pub fn cell(&self, system: &str, method: &str) -> Option<&CellSummary> {
+        self.cells
+            .iter()
+            .find(|c| c.system == system && c.method == method)
+    }
+}
+
+fn indent(block: &str, spaces: usize) -> String {
+    let pad = " ".repeat(spaces);
+    block
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            if i == 0 {
+                line.to_string()
+            } else {
+                format!("{pad}{line}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn cell_json(report: &CampaignReport, cell: &CellSummary) -> String {
+    let best = &report.runs[cell.best_run];
+    let seeds = cell
+        .seeds
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let fields = format!(
+        "\"system\": \"{}\",\n\
+         \"method\": \"{}\",\n\
+         \"seeds\": [{}],\n\
+         \"best_seed\": {},\n\
+         \"mean_reward\": {},\n\
+         \"min_reward\": {},\n\
+         \"max_reward\": {},\n\
+         \"total_runtime_s\": {},\n\
+         \"best\": {}",
+        json_escape(&cell.system),
+        json_escape(&cell.method),
+        seeds,
+        best.seed,
+        json_num(cell.mean_reward),
+        json_num(cell.min_reward),
+        json_num(cell.max_reward),
+        json_num(cell.total_runtime.as_secs_f64()),
+        indent(
+            &outcome_json(&report.systems[cell.system_index], &best.outcome),
+            0
+        ),
+    );
+    format!("{{\n  {}\n}}", indent(&fields, 2))
+}
+
+fn run_json(run: &RunRecord) -> String {
+    format!(
+        "{{ \"system\": \"{}\", \"method\": \"{}\", \"seed\": {}, \"reward\": {}, \"wirelength_mm\": {}, \"max_temperature_c\": {}, \"evaluations\": {}, \"runtime_s\": {}, \"cache_hits\": {}, \"cache_misses\": {} }}",
+        json_escape(&run.system),
+        json_escape(&run.method),
+        run.seed,
+        json_num(run.outcome.breakdown.reward),
+        json_num(run.outcome.breakdown.wirelength_mm),
+        json_num(run.outcome.breakdown.max_temperature_c),
+        run.outcome.evaluations,
+        json_num(run.outcome.runtime.as_secs_f64()),
+        run.outcome.thermal_prep.cache_hits,
+        run.outcome.thermal_prep.cache_misses,
+    )
+}
+
+fn array_json(items: Vec<String>) -> String {
+    if items.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n  {}\n]", indent(&items.join(",\n"), 2))
+    }
+}
+
+/// Renders a campaign report as the documented campaign document.
+pub fn campaign_json(report: &CampaignReport) -> String {
+    let cells = array_json(
+        report
+            .cells
+            .iter()
+            .map(|cell| cell_json(report, cell))
+            .collect(),
+    );
+    let runs = array_json(report.runs.iter().map(run_json).collect());
+    let fields = format!(
+        "\"schema\": \"{}\",\n\
+         \"parallelism\": {},\n\
+         \"wall_clock_s\": {},\n\
+         \"cache\": {{ \"hits\": {}, \"misses\": {}, \"characterization_s\": {} }},\n\
+         \"cells\": {},\n\
+         \"runs\": {}",
+        CAMPAIGN_SCHEMA,
+        report.parallelism,
+        json_num(report.wall_clock.as_secs_f64()),
+        report.cache.hits,
+        report.cache.misses,
+        json_num(report.cache.characterization_time.as_secs_f64()),
+        cells,
+        runs,
+    );
+    format!("{{\n  {}\n}}", indent(&fields, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CampaignEngine, CampaignMethod, CampaignSpec};
+    use rlp_chiplet::{Chiplet, ChipletSystem, Net};
+    use rlp_thermal::{ThermalBackend, ThermalConfig};
+    use rlplanner::report::OUTCOME_SCHEMA;
+    use rlplanner::{Budget, Method};
+
+    fn tiny_system(name: &str) -> ChipletSystem {
+        let mut sys = ChipletSystem::new(name, 24.0, 24.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 6.0, 6.0, 20.0));
+        let b = sys.add_chiplet(Chiplet::new("b", 5.0, 5.0, 10.0));
+        sys.add_net(Net::new(a, b, 32));
+        sys
+    }
+
+    fn tiny_report() -> CampaignReport {
+        let spec = CampaignSpec::builder()
+            .system(tiny_system("alpha"))
+            .method(CampaignMethod::new(
+                "sa",
+                Method::sa(),
+                ThermalBackend::Grid {
+                    config: ThermalConfig::with_grid(8, 8),
+                },
+            ))
+            .seeds([1, 2])
+            .budget(Budget::Evaluations(8))
+            .build()
+            .unwrap();
+        CampaignEngine::new().run(&spec).unwrap()
+    }
+
+    #[test]
+    fn campaign_document_has_the_documented_shape_and_order() {
+        let report = tiny_report();
+        let json = campaign_json(&report);
+        let keys = [
+            "\"schema\"",
+            "\"parallelism\"",
+            "\"wall_clock_s\"",
+            "\"cache\"",
+            "\"cells\"",
+            "\"runs\"",
+        ];
+        let positions: Vec<usize> = keys
+            .iter()
+            .map(|k| json.find(k).unwrap_or_else(|| panic!("missing key {k}")))
+            .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "top-level keys out of order"
+        );
+        assert!(json.starts_with(&format!("{{\n  \"schema\": \"{CAMPAIGN_SCHEMA}\"")));
+        // Each cell embeds the full outcome document of its best run.
+        assert!(json.contains(&format!("\"schema\": \"{OUTCOME_SCHEMA}\"")));
+        assert!(json.contains("\"best_seed\""));
+        assert!(json.contains("\"cache_hits\""));
+        assert_eq!(json.matches("\"seed\": ").count(), 2 + 2); // runs + embedded manifests
+    }
+
+    #[test]
+    fn document_render_is_deterministic() {
+        let report = tiny_report();
+        assert_eq!(campaign_json(&report), campaign_json(&report));
+    }
+
+    #[test]
+    fn best_outcome_and_cell_lookups_work() {
+        let report = tiny_report();
+        let cell = report.cell("alpha", "sa").unwrap();
+        assert_eq!(cell.seeds, vec![1, 2]);
+        assert!(cell.min_reward <= cell.max_reward);
+        assert!(cell.mean_reward <= cell.max_reward && cell.mean_reward >= cell.min_reward);
+        let best = report.best_outcome("alpha", "sa").unwrap();
+        assert_eq!(best.breakdown.reward, cell.max_reward);
+        assert!(report.best_outcome("alpha", "nope").is_none());
+    }
+}

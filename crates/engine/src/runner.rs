@@ -1,0 +1,232 @@
+//! The campaign engine: a deterministic scoped worker pool.
+//!
+//! [`CampaignEngine::run`] drains a [`CampaignSpec`]'s grid with
+//! `std::thread::scope` workers pulling run indices off a shared atomic
+//! counter. Every run is an independent, seeded [`rlplanner::Planner`]
+//! solve whose analyzer comes from the engine's shared
+//! [`ThermalModelCache`], so:
+//!
+//! * each distinct package configuration is characterised exactly once per
+//!   cache lifetime, no matter how many runs or threads need it, and
+//! * results are stored by grid index, so a campaign run at any parallelism
+//!   level produces outcomes byte-identical to the serial execution under
+//!   fixed seeds ([`Budget::TimeLimit`](rlplanner::Budget::TimeLimit) cells
+//!   are the documented exception — wall-clock budgets stop runs at
+//!   machine-load-dependent points).
+
+use crate::report::{CampaignReport, CellSummary, RunRecord};
+use crate::spec::{CampaignSpec, RunSpec};
+use rlp_thermal::ThermalModelCache;
+use rlplanner::{FloorplanOutcome, PlanError, PrebuiltThermal};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Errors produced while executing a campaign.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// A run of the grid failed; the campaign reports the first failure in
+    /// grid order (later runs may have failed too).
+    Run {
+        /// Name of the run's system.
+        system: String,
+        /// Label of the run's method column.
+        method: String,
+        /// The run's seed override, if the spec set one.
+        seed: Option<u64>,
+        /// The underlying solve error.
+        error: PlanError,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Run {
+                system,
+                method,
+                seed,
+                error,
+            } => {
+                write!(f, "run `{method}` on `{system}`")?;
+                if let Some(seed) = seed {
+                    write!(f, " (seed {seed})")?;
+                }
+                write!(f, " failed: {error}")
+            }
+        }
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignError::Run { error, .. } => Some(error),
+        }
+    }
+}
+
+/// Executes campaigns against a shared [`ThermalModelCache`]; see the
+/// [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct CampaignEngine {
+    cache: Arc<ThermalModelCache>,
+}
+
+impl CampaignEngine {
+    /// An engine with a fresh, empty characterisation cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine sharing an existing cache — how several campaigns (or a
+    /// campaign and ad-hoc solves) amortise one characterisation per
+    /// package configuration across a whole session.
+    pub fn with_cache(cache: Arc<ThermalModelCache>) -> Self {
+        Self { cache }
+    }
+
+    /// The engine's characterisation cache.
+    pub fn cache(&self) -> &Arc<ThermalModelCache> {
+        &self.cache
+    }
+
+    /// Runs every cell of the grid and aggregates the outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CampaignError`] in grid order if any run fails;
+    /// all runs are still attempted (failures do not cancel in-flight
+    /// work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (the panic is propagated).
+    pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignReport, CampaignError> {
+        let started = Instant::now();
+        let stats_before = self.cache.stats();
+        let runs = spec.expand();
+        let results: Vec<Mutex<Option<Result<FloorplanOutcome, PlanError>>>> =
+            runs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = spec.parallelism().min(runs.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(run) = runs.get(index).copied() else {
+                        break;
+                    };
+                    let outcome = self.execute(spec, run);
+                    *results[index].lock().expect("result slot lock poisoned") = Some(outcome);
+                });
+            }
+        });
+
+        let mut records = Vec::with_capacity(runs.len());
+        for (run, slot) in runs.iter().zip(results) {
+            let result = slot
+                .into_inner()
+                .expect("result slot lock poisoned")
+                .expect("every grid index was drained by a worker");
+            let method = &spec.methods()[run.method];
+            match result {
+                Ok(outcome) => records.push(RunRecord {
+                    system: spec.systems()[run.system].name().to_string(),
+                    system_index: run.system,
+                    method: method.label().to_string(),
+                    seed: outcome.manifest.seed,
+                    outcome,
+                }),
+                Err(error) => {
+                    return Err(CampaignError::Run {
+                        system: spec.systems()[run.system].name().to_string(),
+                        method: method.label().to_string(),
+                        seed: run.seed,
+                        error,
+                    })
+                }
+            }
+        }
+
+        let cells = aggregate(spec, &records);
+        Ok(CampaignReport {
+            systems: spec.systems().to_vec(),
+            runs: records,
+            cells,
+            wall_clock: started.elapsed(),
+            parallelism: spec.parallelism(),
+            cache: self.cache.stats().since(&stats_before),
+        })
+    }
+
+    /// Executes one run: analyzer from the shared cache, then a facade
+    /// solve carrying the prebuilt analyzer and its cache telemetry.
+    fn execute(&self, spec: &CampaignSpec, run: RunSpec) -> Result<FloorplanOutcome, PlanError> {
+        let method = &spec.methods()[run.method];
+        let system = &spec.systems()[run.system];
+        let (analyzer, prep) = method.thermal().build_cached(system, &self.cache)?;
+        let prebuilt = PrebuiltThermal::new(method.thermal().clone(), Arc::new(analyzer), prep);
+        let request = spec
+            .request(run, Some(prebuilt))
+            .map_err(PlanError::Config)?;
+        request.solve()
+    }
+}
+
+/// Aggregates run records into per-(system, method) cell summaries, in grid
+/// order.
+fn aggregate(spec: &CampaignSpec, records: &[RunRecord]) -> Vec<CellSummary> {
+    let mut cells = Vec::with_capacity(spec.systems().len() * spec.methods().len());
+    for (system_index, system) in spec.systems().iter().enumerate() {
+        for method in spec.methods() {
+            let members: Vec<(usize, &RunRecord)> = records
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.system_index == system_index && r.method == method.label())
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let rewards: Vec<f64> = members
+                .iter()
+                .map(|(_, r)| r.outcome.breakdown.reward)
+                .collect();
+            // A degenerate run can report a NaN reward (the report module
+            // renders those as JSON null), which must not panic away a
+            // completed campaign; NaN runs are excluded from best-of-seeds
+            // rather than ranked.
+            let best_run = members
+                .iter()
+                .filter(|(_, r)| !r.outcome.breakdown.reward.is_nan())
+                .max_by(|(_, a), (_, b)| {
+                    a.outcome
+                        .breakdown
+                        .reward
+                        .total_cmp(&b.outcome.breakdown.reward)
+                })
+                .or_else(|| members.first())
+                .map(|(index, _)| *index)
+                .expect("cell has at least one run");
+            let total_runtime = members
+                .iter()
+                .map(|(_, r)| r.outcome.runtime)
+                .sum::<Duration>();
+            cells.push(CellSummary {
+                system: system.name().to_string(),
+                system_index,
+                method: method.label().to_string(),
+                seeds: members.iter().map(|(_, r)| r.seed).collect(),
+                best_run,
+                mean_reward: rewards.iter().sum::<f64>() / rewards.len() as f64,
+                min_reward: rewards.iter().copied().fold(f64::INFINITY, f64::min),
+                max_reward: rewards.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                total_runtime,
+            });
+        }
+    }
+    cells
+}

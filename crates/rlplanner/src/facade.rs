@@ -182,7 +182,7 @@ impl Planner for PpoPlanner {
                 method: request.method().label(),
             });
         };
-        let analyzer = request.thermal().build_for(request.system())?;
+        let (analyzer, thermal_prep) = request.thermal_analyzer()?;
         let mut planner = RlPlanner::new(
             request.system().clone(),
             analyzer,
@@ -199,6 +199,7 @@ impl Planner for PpoPlanner {
             telemetry: telemetry.samples,
             evaluations: result.episodes_run,
             runtime: result.runtime,
+            thermal_prep,
             manifest: manifest_for(request, resolved),
         })
     }
@@ -221,7 +222,7 @@ impl Planner for SaBaselinePlanner {
                 method: request.method().label(),
             });
         };
-        let analyzer = request.thermal().build_for(request.system())?;
+        let (analyzer, thermal_prep) = request.thermal_analyzer()?;
         let baseline = Tap25dBaseline::new(
             request.system().clone(),
             analyzer,
@@ -236,6 +237,7 @@ impl Planner for SaBaselinePlanner {
             telemetry: telemetry.samples,
             evaluations: result.evaluations,
             runtime: result.runtime,
+            thermal_prep,
             manifest: manifest_for(request, resolved),
         })
     }

@@ -98,9 +98,13 @@ pub use env::{EnvConfig, FloorplanEnv};
 pub use facade::{planner_for, PlanError, Planner, PpoPlanner, SaBaselinePlanner};
 pub use outcome::{FloorplanOutcome, RunManifest, TelemetrySample};
 pub use planner::{RlPlanner, RlPlannerConfig, TrainingResult, TrainingStalled};
-pub use request::{Budget, FloorplanRequest, FloorplanRequestBuilder, Method};
+pub use request::{Budget, FloorplanRequest, FloorplanRequestBuilder, Method, PrebuiltThermal};
 pub use reward::{RewardBreakdown, RewardCalculator, RewardConfig};
 
 // Re-exported so facade users can match on configuration errors without
 // depending on `rlp_rl` directly.
 pub use rlp_rl::ConfigError;
+
+// Re-exported so facade users can share characterisations across requests
+// and read outcome telemetry without depending on `rlp_thermal` directly.
+pub use rlp_thermal::{ThermalCacheStats, ThermalModelCache, ThermalPrep};

@@ -10,7 +10,7 @@
 use crate::request::Method;
 use crate::reward::{RewardBreakdown, RewardConfig};
 use rlp_chiplet::Placement;
-use rlp_thermal::ThermalBackend;
+use rlp_thermal::{ThermalBackend, ThermalPrep};
 use std::time::Duration;
 
 /// One telemetry point: a candidate floorplan evaluated during the run.
@@ -65,8 +65,15 @@ pub struct FloorplanOutcome {
     /// objective evaluations; equals `telemetry.len()`).
     pub evaluations: usize,
     /// Wall-clock runtime of the optimisation (excluding thermal-backend
-    /// characterisation, which the manifest lets you re-run separately).
+    /// characterisation, which [`FloorplanOutcome::thermal_prep`] accounts
+    /// for separately).
     pub runtime: Duration,
+    /// How the run's thermal analyzer was obtained: characterised from
+    /// scratch (a cache miss), served prebuilt from a shared
+    /// [`rlp_thermal::ThermalModelCache`] (a hit), and the wall-clock the
+    /// construction cost this run. Cache regressions show up here and in
+    /// the JSON report.
+    pub thermal_prep: ThermalPrep,
     /// Reproducibility manifest of the run.
     pub manifest: RunManifest,
 }
@@ -119,6 +126,7 @@ mod tests {
             evaluations: telemetry.len(),
             telemetry,
             runtime: Duration::from_millis(1),
+            thermal_prep: ThermalPrep::default(),
             manifest: RunManifest {
                 system_name: "t".to_string(),
                 chiplet_count: 0,

@@ -30,6 +30,7 @@
 //!   "breakdown": { "reward": -1.9, "wirelength_mm": 6200, "max_temperature_c": 78.4 },
 //!   "evaluations": 600,
 //!   "runtime_s": 12.5,
+//!   "thermal_prep": { "cache_hits": 0, "cache_misses": 1, "characterization_s": 0.8 },
 //!   "placement": { "chiplets": [ ... ] },
 //!   "telemetry": [ { "index": 0, "reward": -2.5, "best_reward": -2.5 } ],
 //!   "manifest": {
@@ -42,7 +43,11 @@
 //! ```
 //!
 //! `schema` identifies this exact layout ([`OUTCOME_SCHEMA`]); consumers
-//! should check it before parsing. The `manifest` object carries the
+//! should check it before parsing. `thermal_prep` records how the run's
+//! thermal analyzer was obtained — characterised from scratch
+//! (`cache_misses`) or served from a shared characterisation cache
+//! (`cache_hits`) — and the analyzer-construction wall-clock, so cache
+//! regressions are visible in `--json` output. The `manifest` object carries the
 //! fully-resolved configuration of the run — every hyper-parameter after
 //! request-level overrides — so a run can be reproduced from its report
 //! alone (`method.kind` selects which method fields follow, mirroring
@@ -80,13 +85,20 @@ pub fn json_escape(s: &str) -> String {
 }
 
 /// Renders a finite number with full (shortest round-trip) precision, or
-/// `null` for NaN and infinities.
-fn num(v: f64) -> String {
+/// `null` for NaN and infinities — the numeric encoding every document in
+/// this module uses. Public so sibling report modules (e.g. the campaign
+/// document in `rlp-engine`) emit numbers identically.
+pub fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
         "null".to_string()
     }
+}
+
+/// Internal shorthand for [`json_num`].
+fn num(v: f64) -> String {
+    json_num(v)
 }
 
 fn opt_usize(v: Option<usize>) -> String {
@@ -313,6 +325,7 @@ pub fn outcome_json(system: &ChipletSystem, outcome: &FloorplanOutcome) -> Strin
          \"breakdown\": {{ \"reward\": {}, \"wirelength_mm\": {}, \"max_temperature_c\": {} }},\n\
          \"evaluations\": {},\n\
          \"runtime_s\": {},\n\
+         \"thermal_prep\": {{ \"cache_hits\": {}, \"cache_misses\": {}, \"characterization_s\": {} }},\n\
          \"placement\": {},\n\
          \"telemetry\": {},\n\
          \"manifest\": {}",
@@ -326,6 +339,9 @@ pub fn outcome_json(system: &ChipletSystem, outcome: &FloorplanOutcome) -> Strin
         num(outcome.breakdown.max_temperature_c),
         outcome.evaluations,
         num(outcome.runtime.as_secs_f64()),
+        outcome.thermal_prep.cache_hits,
+        outcome.thermal_prep.cache_misses,
+        num(outcome.thermal_prep.characterization.as_secs_f64()),
         indent(&placement_json(system, &outcome.placement), 0),
         telemetry,
         manifest_json(&outcome.manifest),
@@ -375,6 +391,11 @@ mod tests {
             ],
             evaluations: 2,
             runtime: Duration::from_millis(250),
+            thermal_prep: rlp_thermal::ThermalPrep {
+                cache_hits: 1,
+                cache_misses: 0,
+                characterization: Duration::ZERO,
+            },
             manifest: RunManifest {
                 system_name: system.name().to_string(),
                 chiplet_count: system.chiplet_count(),
@@ -442,6 +463,7 @@ mod tests {
             "\"breakdown\"",
             "\"evaluations\"",
             "\"runtime_s\"",
+            "\"thermal_prep\"",
             "\"placement\"",
             "\"telemetry\"",
             "\"manifest\"",
@@ -457,6 +479,8 @@ mod tests {
         );
 
         assert!(json.starts_with(&format!("{{\n  \"schema\": \"{OUTCOME_SCHEMA}\"")));
+        assert!(json
+            .contains("\"thermal_prep\": { \"cache_hits\": 1, \"cache_misses\": 0, \"characterization_s\": 0 }"));
         assert!(json.contains("\"kind\": \"rl-rnd\""));
         assert!(json.contains("\"kind\": \"fast\""));
         assert!(json.contains("\"seed\": 7"));

@@ -9,6 +9,13 @@
 //! configuration and returns a typed [`ConfigError`] instead of panicking,
 //! and solved through [`crate::Planner::solve`] (or the
 //! [`FloorplanRequest::solve`] convenience, which picks the right planner).
+//!
+//! Batch drivers that solve many requests against the same package
+//! configuration can attach a [`PrebuiltThermal`] analyzer (served from a
+//! shared [`rlp_thermal::ThermalModelCache`]) so the expensive fast-model
+//! characterisation runs once instead of once per solve; the outcome
+//! manifest still records the plain-data backend description, so replay
+//! needs no cache.
 
 use crate::facade::{planner_for, PlanError};
 use crate::outcome::{FloorplanOutcome, RunManifest};
@@ -17,7 +24,8 @@ use crate::reward::RewardConfig;
 use rlp_chiplet::ChipletSystem;
 use rlp_rl::ConfigError;
 use rlp_sa::SaConfig;
-use rlp_thermal::ThermalBackend;
+use rlp_thermal::{AnyThermalAnalyzer, ThermalBackend, ThermalError, ThermalPrep};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The optimisation method of a request — one row of the paper's tables.
@@ -111,12 +119,68 @@ pub enum Budget {
     TimeLimit(Duration),
 }
 
+/// A thermal analyzer built ahead of a request — by a campaign engine's
+/// shared [`rlp_thermal::ThermalModelCache`], typically — together with the
+/// [`ThermalBackend`] description it was built from and the [`ThermalPrep`]
+/// telemetry describing how it was obtained.
+///
+/// A request carrying a prebuilt analyzer skips analyzer construction in
+/// [`crate::Planner::solve`] and copies the recorded telemetry into its
+/// outcome. The request's declared [`ThermalBackend`] must equal the one
+/// the analyzer was built from (the builder rejects any difference, down
+/// to individual configuration fields), because the outcome's
+/// [`RunManifest`] records only the description: replaying the manifest
+/// re-characterises from it, which reproduces the run bit-for-bit exactly
+/// when the description matches what actually ran, with or without the
+/// original cache.
+#[derive(Debug, Clone)]
+pub struct PrebuiltThermal {
+    backend: ThermalBackend,
+    analyzer: Arc<AnyThermalAnalyzer>,
+    prep: ThermalPrep,
+}
+
+impl PrebuiltThermal {
+    /// Wraps an already-built analyzer, the backend description it was
+    /// built from (the caller's contract: `analyzer` really is
+    /// `backend.build_for(...)`'s result for the request's system), and
+    /// the telemetry of its build.
+    pub fn new(
+        backend: ThermalBackend,
+        analyzer: Arc<AnyThermalAnalyzer>,
+        prep: ThermalPrep,
+    ) -> Self {
+        Self {
+            backend,
+            analyzer,
+            prep,
+        }
+    }
+
+    /// The backend description the analyzer was built from.
+    pub fn backend(&self) -> &ThermalBackend {
+        &self.backend
+    }
+
+    /// The shared analyzer.
+    pub fn analyzer(&self) -> &Arc<AnyThermalAnalyzer> {
+        &self.analyzer
+    }
+
+    /// How the analyzer was obtained (cache hit/miss, characterisation
+    /// wall-clock).
+    pub fn prep(&self) -> ThermalPrep {
+        self.prep
+    }
+}
+
 /// A fully-described floorplanning run; see the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct FloorplanRequest {
     system: ChipletSystem,
     method: Method,
     thermal: ThermalBackend,
+    prebuilt: Option<PrebuiltThermal>,
     reward: RewardConfig,
     budget: Option<Budget>,
     seed: Option<u64>,
@@ -181,6 +245,28 @@ impl FloorplanRequest {
     /// The thermal backend run inside the optimisation loop.
     pub fn thermal(&self) -> &ThermalBackend {
         &self.thermal
+    }
+
+    /// The prebuilt analyzer the request carries, if any.
+    pub fn prebuilt(&self) -> Option<&PrebuiltThermal> {
+        self.prebuilt.as_ref()
+    }
+
+    /// The analyzer a solve of this request runs against, and the
+    /// [`ThermalPrep`] telemetry of its construction: the prebuilt analyzer
+    /// when one is attached (zero build cost now — the telemetry recorded
+    /// at prebuild time is passed through), otherwise a fresh build of the
+    /// request's [`ThermalBackend`], characterisation included.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ThermalError`] if a fresh build fails (invalid
+    /// configuration or failed characterisation solves).
+    pub fn thermal_analyzer(&self) -> Result<(AnyThermalAnalyzer, ThermalPrep), ThermalError> {
+        match &self.prebuilt {
+            Some(prebuilt) => Ok((prebuilt.analyzer.as_ref().clone(), prebuilt.prep)),
+            None => self.thermal.build_prepared(&self.system),
+        }
     }
 
     /// The reward weights shared by all methods.
@@ -260,6 +346,7 @@ pub struct FloorplanRequestBuilder {
     system: Option<ChipletSystem>,
     method: Method,
     thermal: ThermalBackend,
+    prebuilt: Option<PrebuiltThermal>,
     reward: RewardConfig,
     budget: Option<Budget>,
     seed: Option<u64>,
@@ -271,6 +358,7 @@ impl Default for FloorplanRequestBuilder {
             system: None,
             method: Method::rl(),
             thermal: ThermalBackend::fast(),
+            prebuilt: None,
             reward: RewardConfig::default(),
             budget: None,
             seed: None,
@@ -297,6 +385,17 @@ impl FloorplanRequestBuilder {
     #[must_use]
     pub fn thermal(mut self, thermal: ThermalBackend) -> Self {
         self.thermal = thermal;
+        self
+    }
+
+    /// Attaches an already-built analyzer so the solve skips backend
+    /// construction — the shared-characterisation path campaign engines use
+    /// (see [`PrebuiltThermal`]). The builder checks it is consistent with
+    /// the backend set via [`FloorplanRequestBuilder::thermal`], which is
+    /// what the outcome manifest records.
+    #[must_use]
+    pub fn prebuilt_thermal(mut self, prebuilt: PrebuiltThermal) -> Self {
+        self.prebuilt = Some(prebuilt);
         self
     }
 
@@ -354,10 +453,40 @@ impl FloorplanRequestBuilder {
                 value: 0.0,
             });
         }
+        if let Some(prebuilt) = &self.prebuilt {
+            // The manifest records the backend *description*, so a prebuilt
+            // analyzer that does not match it would make the run
+            // irreproducible — reject any difference, down to individual
+            // configuration fields.
+            if prebuilt.backend != self.thermal {
+                return Err(ConfigError::Invalid {
+                    field: "prebuilt",
+                    reason: format!(
+                        "prebuilt analyzer was built from a `{}` backend that differs from the \
+                         request's declared `{}` backend; the manifest would not reproduce the run",
+                        prebuilt.backend.label(),
+                        self.thermal.label()
+                    ),
+                });
+            }
+            match prebuilt.analyzer.as_ref() {
+                AnyThermalAnalyzer::Grid(_) => {}
+                AnyThermalAnalyzer::Fast(model) => {
+                    // A fast model is also bound to one interposer outline.
+                    model
+                        .check_system(&system)
+                        .map_err(|err| ConfigError::Invalid {
+                            field: "prebuilt",
+                            reason: err.to_string(),
+                        })?;
+                }
+            }
+        }
         Ok(FloorplanRequest {
             system,
             method: self.method,
             thermal: self.thermal,
+            prebuilt: self.prebuilt,
             reward: self.reward,
             budget: self.budget,
             seed: self.seed,
@@ -466,6 +595,113 @@ mod tests {
         };
         assert_eq!(config.time_budget, Some(Duration::from_millis(5)));
         assert_eq!(request.resolved_seed(), SaConfig::default().seed);
+    }
+
+    #[test]
+    fn prebuilt_analyzer_must_match_the_declared_backend() {
+        // An analyzer built from a grid backend under a declared fast
+        // backend is rejected: the manifest would record a backend the run
+        // never used.
+        let grid_backend = ThermalBackend::Grid {
+            config: ThermalConfig::with_grid(8, 8),
+        };
+        let grid = grid_backend.build(20.0, 20.0).unwrap();
+        let err = FloorplanRequest::builder()
+            .system(tiny_system())
+            .prebuilt_thermal(PrebuiltThermal::new(
+                grid_backend.clone(),
+                Arc::new(grid.clone()),
+                rlp_thermal::ThermalPrep::default(),
+            ))
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "prebuilt");
+
+        // Same kind but a different configuration is rejected too — replay
+        // would re-characterise with the declared config, not the one that
+        // actually ran.
+        let err = FloorplanRequest::builder()
+            .system(tiny_system())
+            .thermal(ThermalBackend::Grid {
+                config: ThermalConfig::with_grid(16, 16),
+            })
+            .prebuilt_thermal(PrebuiltThermal::new(
+                grid_backend.clone(),
+                Arc::new(grid.clone()),
+                rlp_thermal::ThermalPrep::default(),
+            ))
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "prebuilt");
+
+        // The exactly-matching backend builds fine.
+        let request = FloorplanRequest::builder()
+            .system(tiny_system())
+            .thermal(grid_backend.clone())
+            .prebuilt_thermal(PrebuiltThermal::new(
+                grid_backend,
+                Arc::new(grid),
+                rlp_thermal::ThermalPrep::default(),
+            ))
+            .build()
+            .unwrap();
+        assert!(request.prebuilt().is_some());
+    }
+
+    #[test]
+    fn prebuilt_fast_model_must_match_the_system_interposer() {
+        let backend = ThermalBackend::Fast {
+            config: ThermalConfig::with_grid(8, 8),
+            characterization: rlp_thermal::CharacterizationOptions {
+                footprint_samples_mm: vec![4.0, 8.0],
+                distance_bins: 4,
+                ..rlp_thermal::CharacterizationOptions::default()
+            },
+        };
+        // Characterised for a 40x40 interposer, attached to a 20x20 system.
+        let analyzer = backend.build(40.0, 40.0).unwrap();
+        let err = FloorplanRequest::builder()
+            .system(tiny_system())
+            .thermal(backend.clone())
+            .prebuilt_thermal(PrebuiltThermal::new(
+                backend.clone(),
+                Arc::new(analyzer),
+                rlp_thermal::ThermalPrep::default(),
+            ))
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "prebuilt");
+    }
+
+    #[test]
+    fn thermal_analyzer_passes_through_the_prebuilt_prep() {
+        let backend = ThermalBackend::Grid {
+            config: ThermalConfig::with_grid(8, 8),
+        };
+        let analyzer = backend.build(20.0, 20.0).unwrap();
+        let prep = rlp_thermal::ThermalPrep {
+            cache_hits: 1,
+            cache_misses: 0,
+            characterization: Duration::ZERO,
+        };
+        let request = FloorplanRequest::builder()
+            .system(tiny_system())
+            .thermal(backend.clone())
+            .prebuilt_thermal(PrebuiltThermal::new(backend, Arc::new(analyzer), prep))
+            .build()
+            .unwrap();
+        let (_, seen) = request.thermal_analyzer().unwrap();
+        assert_eq!(seen, prep);
+        // Without a prebuilt analyzer the backend is built fresh.
+        let request = FloorplanRequest::builder()
+            .system(tiny_system())
+            .thermal(ThermalBackend::Grid {
+                config: ThermalConfig::with_grid(8, 8),
+            })
+            .build()
+            .unwrap();
+        let (_, fresh) = request.thermal_analyzer().unwrap();
+        assert_eq!((fresh.cache_hits, fresh.cache_misses), (0, 0));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! description of a backend and [`AnyThermalAnalyzer`] the runtime-dispatched
 //! analyzer it builds into.
 
+use crate::cache::{ThermalModelCache, ThermalPrep};
 use crate::config::ThermalConfig;
 use crate::error::ThermalError;
 use crate::fast::{CharacterizationOptions, FastThermalModel};
@@ -15,6 +16,7 @@ use crate::grid::GridThermalSolver;
 use crate::ThermalAnalyzer;
 use rlp_chiplet::{ChipletSystem, Placement};
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
 
 /// Which thermal analyzer to run inside an optimisation loop, expressed as
 /// plain data so it can travel in requests, manifests and reports.
@@ -114,6 +116,76 @@ impl ThermalBackend {
     /// characterisation solves fail.
     pub fn build_for(&self, system: &ChipletSystem) -> Result<AnyThermalAnalyzer, ThermalError> {
         self.build(system.interposer_width(), system.interposer_height())
+    }
+
+    /// Like [`ThermalBackend::build_for`], but also reports *how* the
+    /// analyzer was built as a [`ThermalPrep`]: construction wall-clock,
+    /// and one `cache_miss` for a fast-model characterisation performed
+    /// from scratch (the grid arm has no characterisation step, so both
+    /// counters stay zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ThermalError`] if the configuration is invalid or the
+    /// characterisation solves fail.
+    pub fn build_prepared(
+        &self,
+        system: &ChipletSystem,
+    ) -> Result<(AnyThermalAnalyzer, ThermalPrep), ThermalError> {
+        let start = Instant::now();
+        let analyzer = self.build_for(system)?;
+        let characterization = start.elapsed();
+        let prep = match self {
+            ThermalBackend::Grid { .. } => ThermalPrep {
+                characterization,
+                ..ThermalPrep::default()
+            },
+            ThermalBackend::Fast { .. } => ThermalPrep {
+                cache_misses: 1,
+                characterization,
+                ..ThermalPrep::default()
+            },
+        };
+        Ok((analyzer, prep))
+    }
+
+    /// Builds the analyzer for a system's interposer through a shared
+    /// [`ThermalModelCache`]: a fast-model characterisation runs at most
+    /// once per distinct package configuration, later builds are served
+    /// from the cache (a `cache_hit` with zero characterisation time in the
+    /// returned [`ThermalPrep`]). The grid arm has nothing to cache and
+    /// behaves like [`ThermalBackend::build_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ThermalError`] if the configuration is invalid or the
+    /// characterisation solves fail.
+    pub fn build_cached(
+        &self,
+        system: &ChipletSystem,
+        cache: &ThermalModelCache,
+    ) -> Result<(AnyThermalAnalyzer, ThermalPrep), ThermalError> {
+        match self {
+            ThermalBackend::Grid { .. } => self.build_prepared(system),
+            ThermalBackend::Fast {
+                config,
+                characterization,
+            } => {
+                let start = Instant::now();
+                let (model, hit) = cache.get_or_characterize(
+                    config,
+                    system.interposer_width(),
+                    system.interposer_height(),
+                    characterization,
+                )?;
+                let prep = ThermalPrep {
+                    cache_hits: usize::from(hit),
+                    cache_misses: usize::from(!hit),
+                    characterization: if hit { Duration::ZERO } else { start.elapsed() },
+                };
+                Ok((AnyThermalAnalyzer::Fast(model.as_ref().clone()), prep))
+            }
+        }
     }
 }
 
@@ -217,6 +289,47 @@ mod tests {
         assert!(matches!(built, AnyThermalAnalyzer::Fast(_)));
         let t = built.max_temperature(&sys, &placement).unwrap();
         assert!(t.is_finite() && t > 45.0);
+    }
+
+    #[test]
+    fn cached_builds_characterise_once_per_configuration() {
+        let (sys, placement) = one_chiplet_case();
+        let backend = ThermalBackend::Fast {
+            config: ThermalConfig::with_grid(12, 12),
+            characterization: CharacterizationOptions {
+                footprint_samples_mm: vec![4.0, 8.0, 12.0],
+                distance_bins: 8,
+                ..CharacterizationOptions::default()
+            },
+        };
+        let cache = ThermalModelCache::new();
+        let (first, prep) = backend.build_cached(&sys, &cache).unwrap();
+        assert_eq!((prep.cache_hits, prep.cache_misses), (0, 1));
+        assert!(prep.characterization > Duration::ZERO);
+        let (second, prep) = backend.build_cached(&sys, &cache).unwrap();
+        assert_eq!((prep.cache_hits, prep.cache_misses), (1, 0));
+        assert_eq!(prep.characterization, Duration::ZERO);
+        // The served analyzer is bit-identical to the first build.
+        assert_eq!(
+            first.chiplet_temperatures(&sys, &placement).unwrap(),
+            second.chiplet_temperatures(&sys, &placement).unwrap()
+        );
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn grid_backend_has_no_characterisation_to_cache() {
+        let (sys, _) = one_chiplet_case();
+        let backend = ThermalBackend::Grid {
+            config: ThermalConfig::with_grid(12, 12),
+        };
+        let cache = ThermalModelCache::new();
+        let (analyzer, prep) = backend.build_cached(&sys, &cache).unwrap();
+        assert!(matches!(analyzer, AnyThermalAnalyzer::Grid(_)));
+        assert_eq!((prep.cache_hits, prep.cache_misses), (0, 0));
+        assert!(cache.is_empty());
+        let (_, prep) = backend.build_prepared(&sys).unwrap();
+        assert_eq!((prep.cache_hits, prep.cache_misses), (0, 0));
     }
 
     #[test]

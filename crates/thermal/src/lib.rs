@@ -20,7 +20,11 @@
 //!
 //! [`ThermalBackend`] describes either analyzer as plain data and builds it
 //! on demand ([`AnyThermalAnalyzer`]), which is how request-level APIs pick
-//! a backend at runtime while the hot paths above stay generic.
+//! a backend at runtime while the hot paths above stay generic. Batch
+//! drivers share one characterisation per distinct package configuration
+//! through [`ThermalModelCache`] ([`ThermalBackend::build_cached`]), with
+//! hit/miss telemetry surfaced as [`ThermalCacheStats`] and per-run
+//! [`ThermalPrep`].
 //!
 //! [`metrics`] provides the MSE/RMSE/MAE/MAPE error metrics the paper's
 //! Table II reports.
@@ -42,6 +46,7 @@
 //! ```
 
 pub mod backend;
+pub mod cache;
 pub mod config;
 pub mod error;
 pub mod fast;
@@ -50,6 +55,7 @@ pub mod metrics;
 pub mod power;
 
 pub use backend::{AnyThermalAnalyzer, ThermalBackend};
+pub use cache::{FastModelKey, ThermalCacheStats, ThermalModelCache, ThermalPrep};
 pub use config::{Layer, LayerStack, ThermalConfig};
 pub use error::ThermalError;
 pub use fast::{CharacterizationOptions, FastThermalModel};

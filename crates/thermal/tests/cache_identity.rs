@@ -1,0 +1,110 @@
+//! Property-based tests for the characterisation cache.
+//!
+//! The load-bearing property of [`ThermalModelCache`] is that serving a
+//! model from the cache is *indistinguishable* from characterising it
+//! fresh: same table data, hence bit-identical temperatures on any system
+//! and placement. Campaigns rely on this — a cache-accelerated run must
+//! reproduce an uncached run exactly.
+
+use proptest::prelude::*;
+use rlp_chiplet::{Chiplet, ChipletSystem, Placement, Position};
+use rlp_thermal::{
+    CharacterizationOptions, FastThermalModel, ThermalAnalyzer, ThermalConfig, ThermalModelCache,
+};
+
+/// Strategy: one to four chiplets with random footprints, powers and
+/// positions inside a randomly-sized square interposer.
+fn arb_placed_system() -> impl Strategy<Value = (ChipletSystem, Placement)> {
+    (
+        30.0f64..50.0,
+        prop::collection::vec(
+            (
+                3.0f64..10.0,
+                3.0f64..10.0,
+                1.0f64..60.0,
+                0.0f64..1.0,
+                0.0f64..1.0,
+            ),
+            1..5,
+        ),
+    )
+        .prop_map(|(side, chips)| {
+            let mut sys = ChipletSystem::new("prop", side, side);
+            let mut placement_data = Vec::new();
+            for (i, (w, h, p, fx, fy)) in chips.into_iter().enumerate() {
+                let id = sys.add_chiplet(Chiplet::new(format!("c{i}"), w, h, p));
+                let x = fx * (side - w);
+                let y = fy * (side - h);
+                placement_data.push((id, Position::new(x, y)));
+            }
+            let mut placement = Placement::for_system(&sys);
+            for (id, pos) in placement_data {
+                placement.place(id, pos);
+            }
+            (sys, placement)
+        })
+}
+
+fn quick_options() -> CharacterizationOptions {
+    CharacterizationOptions {
+        footprint_samples_mm: vec![3.0, 6.0, 10.0],
+        distance_bins: 8,
+        ..CharacterizationOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A cache-served model produces bit-identical temperatures to a
+    /// freshly characterised one, on hits and on misses alike.
+    #[test]
+    fn cache_served_model_is_bit_identical_to_fresh_characterisation(
+        (system, placement) in arb_placed_system(),
+    ) {
+        let config = ThermalConfig::with_grid(10, 10);
+        let options = quick_options();
+        let fresh = FastThermalModel::characterize(
+            &config,
+            system.interposer_width(),
+            system.interposer_height(),
+            &options,
+        )
+        .unwrap();
+
+        let cache = ThermalModelCache::new();
+        let (miss_served, hit) = cache
+            .get_or_characterize(
+                &config,
+                system.interposer_width(),
+                system.interposer_height(),
+                &options,
+            )
+            .unwrap();
+        prop_assert!(!hit);
+        let (hit_served, hit) = cache
+            .get_or_characterize(
+                &config,
+                system.interposer_width(),
+                system.interposer_height(),
+                &options,
+            )
+            .unwrap();
+        prop_assert!(hit);
+
+        // The cached model *is* the fresh model, bitwise: identical
+        // temperature vectors (f64 ==, no tolerance) for every serving.
+        let expected = fresh.chiplet_temperatures(&system, &placement).unwrap();
+        prop_assert_eq!(
+            &miss_served.chiplet_temperatures(&system, &placement).unwrap(),
+            &expected
+        );
+        prop_assert_eq!(
+            &hit_served.chiplet_temperatures(&system, &placement).unwrap(),
+            &expected
+        );
+        // And the models compare equal as data.
+        prop_assert_eq!(miss_served.as_ref(), &fresh);
+        prop_assert_eq!(hit_served.as_ref(), &fresh);
+    }
+}

@@ -2,10 +2,15 @@
 //!
 //! Runs the same four methods as the Table I report on the five seeded
 //! synthetic cases (Case1–Case5) and prints the reward of each, mirroring
-//! the paper's Table III. Every run is one [`FloorplanRequest`] through the
-//! unified facade. As in the paper, the SA baselines receive the same
-//! wall-clock budget as the RLPlanner training run. Budgets are reduced;
-//! set `RLP_EPISODES` (default 120) to change them.
+//! the paper's Table III. The comparison runs as [`rlp_engine`] campaigns
+//! against one shared characterisation cache, so the fast thermal model is
+//! characterised exactly once per distinct package configuration (each
+//! case sizes its own interposer, so that is once per case — shared by the
+//! two RL variants and the fast-model SA baseline, where the pre-engine
+//! code characterised three times per case). As in the paper, the SA
+//! baselines receive the same wall-clock budget as the RLPlanner training
+//! run. Budgets are reduced; set `RLP_EPISODES` (default 120) to change
+//! them.
 //!
 //! Run with:
 //!
@@ -14,9 +19,11 @@
 //! ```
 
 use rlp_benchmarks::synthetic_cases;
+use rlp_engine::{CampaignEngine, CampaignMethod, CampaignSpec};
 use rlp_sa::SaConfig;
 use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
-use rlplanner::{Budget, FloorplanRequest, Method};
+use rlplanner::{Budget, Method};
+use std::time::Duration;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -53,42 +60,68 @@ fn main() {
         "budget: {episodes} RL episodes per case; SA baselines get the RL run's wall-clock budget\n"
     );
 
+    // One engine — one shared characterisation cache — for all ten
+    // campaigns below.
+    let engine = CampaignEngine::new();
     let cases = synthetic_cases();
     // rewards[method][case] = reward
     let mut rewards = vec![vec![f64::NAN; cases.len()]; methods.len()];
 
     for (case_index, system) in cases.iter().enumerate() {
-        let mut rl_runtime = std::time::Duration::from_secs(1);
-        for (method_index, method) in [(0usize, Method::rl()), (1usize, Method::rl_rnd())] {
-            let outcome = FloorplanRequest::builder()
-                .system(system.clone())
-                .method(method)
-                .thermal(fast_backend.clone())
-                .budget(Budget::Evaluations(episodes))
-                .seed(13)
-                .build()
-                .expect("valid request")
-                .solve()
-                .expect("RL solve failed");
-            rl_runtime = rl_runtime.max(outcome.runtime);
-            rewards[method_index][case_index] = outcome.breakdown.reward;
-        }
+        let rl_spec = CampaignSpec::builder()
+            .system(system.clone())
+            .method(CampaignMethod::new(
+                methods[0],
+                Method::rl(),
+                fast_backend.clone(),
+            ))
+            .method(CampaignMethod::new(
+                methods[1],
+                Method::rl_rnd(),
+                fast_backend.clone(),
+            ))
+            .seed(13)
+            .budget(Budget::Evaluations(episodes))
+            .build()
+            .expect("valid RL campaign");
+        let rl_report = engine.run(&rl_spec).expect("RL campaign failed");
+        let rl_runtime = rl_report
+            .runs
+            .iter()
+            .map(|run| run.outcome.runtime)
+            .max()
+            .unwrap_or(Duration::from_secs(1))
+            .max(Duration::from_secs(1));
 
-        for (method_index, backend) in [
-            (2usize, grid_backend.clone()),
-            (3usize, fast_backend.clone()),
-        ] {
-            let outcome = FloorplanRequest::builder()
-                .system(system.clone())
-                .method(sa_method.clone())
-                .thermal(backend)
-                .budget(Budget::TimeLimit(rl_runtime))
-                .seed(13)
-                .build()
-                .expect("valid request")
-                .solve()
-                .expect("SA solve failed");
-            rewards[method_index][case_index] = outcome.breakdown.reward;
+        let sa_spec = CampaignSpec::builder()
+            .system(system.clone())
+            .method(CampaignMethod::new(
+                methods[2],
+                sa_method.clone(),
+                grid_backend.clone(),
+            ))
+            .method(CampaignMethod::new(
+                methods[3],
+                sa_method.clone(),
+                fast_backend.clone(),
+            ))
+            .seed(13)
+            .budget(Budget::TimeLimit(rl_runtime))
+            .build()
+            .expect("valid SA campaign");
+        let sa_report = engine.run(&sa_spec).expect("SA campaign failed");
+
+        for (method_index, method) in methods.iter().enumerate() {
+            let report = if method_index < 2 {
+                &rl_report
+            } else {
+                &sa_report
+            };
+            rewards[method_index][case_index] = report
+                .best_outcome(system.name(), method)
+                .expect("cell was run")
+                .breakdown
+                .reward;
         }
         println!("finished {}", system.name());
     }
@@ -114,8 +147,13 @@ fn main() {
         improvements.push((rl_best - sa_hotspot) / sa_hotspot.abs() * 100.0);
     }
     let mean: f64 = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    let stats = engine.cache().stats();
     println!(
-        "\nmean objective change of the best RLPlanner variant vs TAP-2.5D (HotSpot): {mean:+.2} % (positive = RL better)"
+        "\ncharacterisation cache: {} model(s) characterised in {:.2?}, {} cache hit(s)",
+        stats.misses, stats.characterization_time, stats.hits
+    );
+    println!(
+        "mean objective change of the best RLPlanner variant vs TAP-2.5D (HotSpot): {mean:+.2} % (positive = RL better)"
     );
     println!("paper reference (Tables I+III): ~20.3 % average improvement, ~9.3 % vs TAP-2.5D (fast model)");
 }
