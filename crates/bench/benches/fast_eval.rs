@@ -1,0 +1,53 @@
+//! Fast-model evaluation cost: cold (stateless) versus stateful.
+//!
+//! `FastThermalModel::max_temperature` recomputes the full O(n²)
+//! superposition on every call; a maintained `ThermalState` re-derives one
+//! moved chiplet's row and column and re-sums. This bench pins both costs
+//! on the multi-GPU system so the stateless path can't silently regress
+//! and the stateful speed-up stays visible:
+//!
+//! * `cold_max_temperature` — one stateless evaluation of a fixed
+//!   placement (post buffer-reuse fix: no allocation in the pair loop);
+//! * `stateful_move` — propose + reject of a single-chiplet move against a
+//!   maintained `ThermalState`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlp_bench::{characterize_for, random_legal_placement};
+use rlp_benchmarks::multi_gpu_system;
+use rlp_chiplet::Position;
+use rlp_thermal::ThermalAnalyzer;
+use std::hint::black_box;
+
+fn fast_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_eval");
+    group.sample_size(20);
+
+    let system = multi_gpu_system();
+    let model = characterize_for(&system);
+    let placement = random_legal_placement(&system, 11);
+
+    group.bench_function(
+        BenchmarkId::new("cold_max_temperature", system.name()),
+        |b| b.iter(|| black_box(model.max_temperature(&system, &placement).unwrap())),
+    );
+
+    // A small legal displacement of the first chiplet as the probe move.
+    let id = system.chiplet_ids().next().expect("non-empty system");
+    let origin = placement.position(id).expect("placed");
+    let mut moved = placement.clone();
+    moved.place(id, Position::new(origin.x + 0.25, origin.y));
+    assert!(system.validate_placement(&moved, 0.0).is_ok());
+
+    let mut state = model.state_for(&system, &placement).expect("state builds");
+    group.bench_function(BenchmarkId::new("stateful_move", system.name()), |b| {
+        b.iter(|| {
+            let max = state.propose(&system, &moved, &[id]);
+            state.reject();
+            black_box(max)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fast_eval);
+criterion_main!(benches);

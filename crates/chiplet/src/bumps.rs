@@ -122,37 +122,89 @@ fn facing_sides(a: &Rect, b: &Rect) -> (Side, Side) {
     }
 }
 
-/// Generates `count` bump coordinates on the given side of a die.
-///
-/// Bumps are packed at `config.pitch_mm` along the edge (centred on the
-/// usable span); when a row is full, further bumps move one pitch towards
-/// the die interior.
-fn bumps_on_side(rect: &Rect, side: Side, count: usize, config: &BumpConfig) -> Vec<Point> {
+/// Row layout of bumps along one side of a die: how many bumps fit per row
+/// at the configured pitch, and where the row span starts.
+#[derive(Clone, Copy)]
+struct SideLayout {
+    span: f64,
+    span_start: f64,
+    per_row: usize,
+}
+
+fn side_layout(rect: &Rect, side: Side, config: &BumpConfig) -> SideLayout {
     let (span, span_start) = match side {
         Side::Left | Side::Right => (rect.height, rect.y),
         Side::Top | Side::Bottom => (rect.width, rect.x),
     };
     let usable = (span - 2.0 * config.edge_margin_mm).max(config.pitch_mm);
     let per_row = ((usable / config.pitch_mm).floor() as usize).max(1);
-    let mut points = Vec::with_capacity(count);
-    for i in 0..count {
-        let row = i / per_row;
-        let slot = i % per_row;
-        let in_row = per_row.min(count - row * per_row);
-        let row_span = (in_row.saturating_sub(1)) as f64 * config.pitch_mm;
-        let start = span_start + span / 2.0 - row_span / 2.0;
-        let along = start + slot as f64 * config.pitch_mm;
-        let along = along.clamp(span_start, span_start + span);
-        let depth = config.edge_margin_mm + row as f64 * config.pitch_mm;
-        let point = match side {
-            Side::Left => Point::new(rect.x + depth.min(rect.width), along),
-            Side::Right => Point::new(rect.right() - depth.min(rect.width), along),
-            Side::Bottom => Point::new(along, rect.y + depth.min(rect.height)),
-            Side::Top => Point::new(along, rect.top() - depth.min(rect.height)),
-        };
-        points.push(point);
+    SideLayout {
+        span,
+        span_start,
+        per_row,
     }
-    points
+}
+
+/// Coordinate of bump `i` out of `count` on the given side of a die.
+fn bump_at(
+    rect: &Rect,
+    side: Side,
+    layout: SideLayout,
+    i: usize,
+    count: usize,
+    config: &BumpConfig,
+) -> Point {
+    let SideLayout {
+        span,
+        span_start,
+        per_row,
+    } = layout;
+    let row = i / per_row;
+    let slot = i % per_row;
+    let in_row = per_row.min(count - row * per_row);
+    let row_span = (in_row.saturating_sub(1)) as f64 * config.pitch_mm;
+    let start = span_start + span / 2.0 - row_span / 2.0;
+    let along = start + slot as f64 * config.pitch_mm;
+    let along = along.clamp(span_start, span_start + span);
+    let depth = config.edge_margin_mm + row as f64 * config.pitch_mm;
+    match side {
+        Side::Left => Point::new(rect.x + depth.min(rect.width), along),
+        Side::Right => Point::new(rect.right() - depth.min(rect.width), along),
+        Side::Bottom => Point::new(along, rect.y + depth.min(rect.height)),
+        Side::Top => Point::new(along, rect.top() - depth.min(rect.height)),
+    }
+}
+
+/// Generates `count` bump coordinates on the given side of a die.
+///
+/// Bumps are packed at `config.pitch_mm` along the edge (centred on the
+/// usable span); when a row is full, further bumps move one pitch towards
+/// the die interior.
+fn bumps_on_side(rect: &Rect, side: Side, count: usize, config: &BumpConfig) -> Vec<Point> {
+    let layout = side_layout(rect, side, config);
+    (0..count)
+        .map(|i| bump_at(rect, side, layout, i, count, config))
+        .collect()
+}
+
+/// Manhattan wirelength of one net between two placed die rectangles.
+///
+/// Computes exactly the value `NetBumps::wirelength` reports for the same
+/// net after [`assign_bumps`] — same bump coordinates, same summation order,
+/// hence bit-identical — but without allocating the bump vectors. This is
+/// the per-net kernel of [`crate::incremental::IncrementalWirelength`].
+pub fn net_wirelength(from: &Rect, to: &Rect, wires: u32, config: &BumpConfig) -> f64 {
+    let (from_side, to_side) = facing_sides(from, to);
+    let from_layout = side_layout(from, from_side, config);
+    let to_layout = side_layout(to, to_side, config);
+    let count = wires as usize;
+    let mut total = 0.0;
+    for i in 0..count {
+        let a = bump_at(from, from_side, from_layout, i, count, config);
+        let b = bump_at(to, to_side, to_layout, i, count, config);
+        total += a.manhattan_distance(b);
+    }
+    total
 }
 
 /// Assigns microbumps for every net of the system under the given placement.
@@ -288,6 +340,20 @@ mod tests {
         // wire is at least 8 - 0.4 = 7.6 mm long.
         let wl = assignment.total_wirelength();
         assert!(wl >= 7.6 * 32.0, "wl {wl}");
+    }
+
+    #[test]
+    fn net_wirelength_is_bit_identical_to_the_assigned_bumps() {
+        let config = BumpConfig::default();
+        for &gap in &[1.5, 5.0, 13.0, 27.5] {
+            let (sys, p) = placed_pair(gap);
+            let assignment = assign_bumps(&sys, &p, &config).unwrap();
+            let net = &assignment.nets()[0];
+            let ra = p.rect_of(net.net.from, &sys).unwrap();
+            let rb = p.rect_of(net.net.to, &sys).unwrap();
+            let direct = net_wirelength(&ra, &rb, net.net.wires, &config);
+            assert_eq!(direct.to_bits(), net.wirelength().to_bits(), "gap {gap}");
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   environment: occupancy map, per-chiplet feasibility (action) masks.
 //! * [`bumps`] — microbump assignment along facing chiplet edges and the
 //!   resulting total wirelength, following the TAP-2.5D flow the paper cites.
+//! * [`IncrementalWirelength`] — propose/commit/reject wirelength state for
+//!   move-based optimisers: only the nets incident to a moved chiplet are
+//!   recomputed, with totals bit-identical to the full evaluation.
 //!
 //! # Examples
 //!
@@ -42,6 +45,7 @@ pub mod chiplet;
 pub mod error;
 pub mod geometry;
 pub mod grid;
+pub mod incremental;
 pub mod netlist;
 pub mod placement;
 pub mod wirelength;
@@ -50,5 +54,6 @@ pub use chiplet::{Chiplet, ChipletId, Rotation};
 pub use error::PlacementError;
 pub use geometry::{Point, Rect};
 pub use grid::PlacementGrid;
+pub use incremental::IncrementalWirelength;
 pub use netlist::{ChipletSystem, Net, NetId};
 pub use placement::{Placement, Position};

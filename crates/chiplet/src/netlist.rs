@@ -190,6 +190,15 @@ impl ChipletSystem {
         self.nets.iter()
     }
 
+    /// Returns the net with the given identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this system.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
     /// Nets incident to the given chiplet.
     pub fn nets_of(&self, id: ChipletId) -> impl Iterator<Item = &Net> {
         self.nets.iter().filter(move |n| n.from == id || n.to == id)

@@ -228,12 +228,21 @@ fn run_sweep(args: &[String]) -> ExitCode {
             report.cache.characterization_time,
         );
         println!(
-            "{:<12}{:<12}{:>8}{:>12}{:>12}{:>12}{:>12}",
-            "system", "method", "seeds", "best", "mean", "min", "best seed"
+            "{:<12}{:<12}{:>8}{:>12}{:>12}{:>12}{:>12}{:>10}{:>12}{:>14}",
+            "system",
+            "method",
+            "seeds",
+            "best",
+            "mean",
+            "min",
+            "best seed",
+            "evals",
+            "us/eval",
+            "eval engine"
         );
         for cell in &report.cells {
             println!(
-                "{:<12}{:<12}{:>8}{:>12.4}{:>12.4}{:>12.4}{:>12}",
+                "{:<12}{:<12}{:>8}{:>12.4}{:>12.4}{:>12.4}{:>12}{:>10}{:>12.1}{:>14}",
                 cell.system,
                 cell.method,
                 cell.seeds.len(),
@@ -241,6 +250,9 @@ fn run_sweep(args: &[String]) -> ExitCode {
                 cell.mean_reward,
                 cell.min_reward,
                 report.runs[cell.best_run].seed,
+                cell.eval_counts.total(),
+                cell.mean_eval_time.as_secs_f64() * 1e6,
+                cell.eval_counts.mode().label(),
             );
         }
     }

@@ -23,6 +23,8 @@
 //!       "system": "multi-gpu", "method": "rl", "seeds": [7, 8, 9],
 //!       "best_seed": 8, "mean_reward": -1.9, "min_reward": -2.4,
 //!       "max_reward": -1.6, "total_runtime_s": 30.1,
+//!       "evaluations": 1800, "full_evals": 3, "incremental_evals": 1797,
+//!       "mean_eval_us": 16.7,
 //!       "best": { "schema": "rlplanner.outcome/v1", ... }
 //!     }
 //!   ],
@@ -30,7 +32,8 @@
 //!     {
 //!       "system": "multi-gpu", "method": "rl", "seed": 7, "reward": -2.4,
 //!       "wirelength_mm": 6200, "max_temperature_c": 78.4,
-//!       "evaluations": 600, "runtime_s": 10.0,
+//!       "evaluations": 600, "eval_mode": "incremental",
+//!       "full_evals": 1, "incremental_evals": 599, "runtime_s": 10.0,
 //!       "cache_hits": 1, "cache_misses": 0
 //!     }
 //!   ]
@@ -43,14 +46,19 @@
 //! document ([`rlplanner::report::outcome_json`], schema
 //! `rlplanner.outcome/v1`) of its best-of-seeds run, so the best placement
 //! of every table cell — manifest included — travels inside the campaign
-//! document. `runs` holds one compact record per run, also in grid order,
-//! with the per-run cache telemetry (`cache_hits`/`cache_misses`) that the
-//! campaign-level `cache` object aggregates.
+//! document. Each cell also aggregates its runs' evaluation telemetry:
+//! `evaluations` is the total candidate count across seeds,
+//! `full_evals`/`incremental_evals` split it by evaluation engine, and
+//! `mean_eval_us` is the mean wall-clock per candidate evaluation in
+//! microseconds — the number the incremental engine exists to shrink.
+//! `runs` holds one compact record per run, also in grid order, with the
+//! per-run evaluation-engine and cache telemetry that the cell and
+//! campaign levels aggregate.
 
 use rlp_chiplet::ChipletSystem;
 use rlp_thermal::ThermalCacheStats;
 use rlplanner::report::{json_escape, json_num, outcome_json};
-use rlplanner::FloorplanOutcome;
+use rlplanner::{EvalCounts, FloorplanOutcome};
 use std::time::Duration;
 
 /// Identifier of the campaign-document layout produced by
@@ -95,6 +103,13 @@ pub struct CellSummary {
     pub max_reward: f64,
     /// Summed optimisation runtime of the cell's runs.
     pub total_runtime: Duration,
+    /// Total candidate evaluations across the cell's runs, split by
+    /// evaluation engine.
+    pub eval_counts: EvalCounts,
+    /// Mean wall-clock per candidate evaluation across the cell's runs
+    /// (`total_runtime / eval_counts.total()`); zero when no evaluations
+    /// ran. The per-move speed metric the incremental engine targets.
+    pub mean_eval_time: Duration,
 }
 
 /// The aggregated result of one campaign; see the [module docs](self).
@@ -168,6 +183,10 @@ fn cell_json(report: &CampaignReport, cell: &CellSummary) -> String {
          \"min_reward\": {},\n\
          \"max_reward\": {},\n\
          \"total_runtime_s\": {},\n\
+         \"evaluations\": {},\n\
+         \"full_evals\": {},\n\
+         \"incremental_evals\": {},\n\
+         \"mean_eval_us\": {},\n\
          \"best\": {}",
         json_escape(&cell.system),
         json_escape(&cell.method),
@@ -177,6 +196,10 @@ fn cell_json(report: &CampaignReport, cell: &CellSummary) -> String {
         json_num(cell.min_reward),
         json_num(cell.max_reward),
         json_num(cell.total_runtime.as_secs_f64()),
+        cell.eval_counts.total(),
+        cell.eval_counts.full,
+        cell.eval_counts.incremental,
+        json_num(cell.mean_eval_time.as_secs_f64() * 1e6),
         indent(
             &outcome_json(&report.systems[cell.system_index], &best.outcome),
             0
@@ -187,7 +210,7 @@ fn cell_json(report: &CampaignReport, cell: &CellSummary) -> String {
 
 fn run_json(run: &RunRecord) -> String {
     format!(
-        "{{ \"system\": \"{}\", \"method\": \"{}\", \"seed\": {}, \"reward\": {}, \"wirelength_mm\": {}, \"max_temperature_c\": {}, \"evaluations\": {}, \"runtime_s\": {}, \"cache_hits\": {}, \"cache_misses\": {} }}",
+        "{{ \"system\": \"{}\", \"method\": \"{}\", \"seed\": {}, \"reward\": {}, \"wirelength_mm\": {}, \"max_temperature_c\": {}, \"evaluations\": {}, \"eval_mode\": \"{}\", \"full_evals\": {}, \"incremental_evals\": {}, \"runtime_s\": {}, \"cache_hits\": {}, \"cache_misses\": {} }}",
         json_escape(&run.system),
         json_escape(&run.method),
         run.seed,
@@ -195,6 +218,9 @@ fn run_json(run: &RunRecord) -> String {
         json_num(run.outcome.breakdown.wirelength_mm),
         json_num(run.outcome.breakdown.max_temperature_c),
         run.outcome.evaluations,
+        run.outcome.evaluation.mode.label(),
+        run.outcome.evaluation.counts.full,
+        run.outcome.evaluation.counts.incremental,
         json_num(run.outcome.runtime.as_secs_f64()),
         run.outcome.thermal_prep.cache_hits,
         run.outcome.thermal_prep.cache_misses,
@@ -297,6 +323,13 @@ mod tests {
         assert!(json.contains(&format!("\"schema\": \"{OUTCOME_SCHEMA}\"")));
         assert!(json.contains("\"best_seed\""));
         assert!(json.contains("\"cache_hits\""));
+        // Evaluation telemetry is aggregated per cell and per run.
+        assert!(json.contains("\"mean_eval_us\""));
+        assert!(json.contains("\"full_evals\""));
+        assert!(json.contains("\"incremental_evals\""));
+        // The grid backend has no incremental state, so these SA runs
+        // report full evaluation.
+        assert!(json.contains("\"eval_mode\": \"full\""));
         assert_eq!(json.matches("\"seed\": ").count(), 2 + 2); // runs + embedded manifests
     }
 
@@ -316,5 +349,17 @@ mod tests {
         let best = report.best_outcome("alpha", "sa").unwrap();
         assert_eq!(best.breakdown.reward, cell.max_reward);
         assert!(report.best_outcome("alpha", "nope").is_none());
+    }
+
+    #[test]
+    fn cells_aggregate_evaluation_telemetry() {
+        let report = tiny_report();
+        let cell = report.cell("alpha", "sa").unwrap();
+        let total: usize = report.runs.iter().map(|r| r.outcome.evaluations).sum();
+        assert_eq!(cell.eval_counts.total(), total);
+        assert!(cell.eval_counts.total() > 0);
+        assert!(cell.mean_eval_time > Duration::ZERO);
+        let expected = cell.total_runtime.as_secs_f64() / cell.eval_counts.total() as f64;
+        assert!((cell.mean_eval_time.as_secs_f64() - expected).abs() < 1e-9);
     }
 }

@@ -215,6 +215,18 @@ fn aggregate(spec: &CampaignSpec, records: &[RunRecord]) -> Vec<CellSummary> {
                 .iter()
                 .map(|(_, r)| r.outcome.runtime)
                 .sum::<Duration>();
+            let eval_counts =
+                members
+                    .iter()
+                    .fold(rlplanner::EvalCounts::default(), |mut acc, (_, r)| {
+                        acc.full += r.outcome.evaluation.counts.full;
+                        acc.incremental += r.outcome.evaluation.counts.incremental;
+                        acc
+                    });
+            let mean_eval_time = match eval_counts.total() {
+                0 => Duration::ZERO,
+                evals => Duration::from_secs_f64(total_runtime.as_secs_f64() / evals as f64),
+            };
             cells.push(CellSummary {
                 system: system.name().to_string(),
                 system_index,
@@ -225,6 +237,8 @@ fn aggregate(spec: &CampaignSpec, records: &[RunRecord]) -> Vec<CellSummary> {
                 min_reward: rewards.iter().copied().fold(f64::INFINITY, f64::min),
                 max_reward: rewards.iter().copied().fold(f64::NEG_INFINITY, f64::max),
                 total_runtime,
+                eval_counts,
+                mean_eval_time,
             });
         }
     }

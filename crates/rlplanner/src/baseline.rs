@@ -8,7 +8,10 @@
 use crate::reward::{RewardBreakdown, RewardCalculator, RewardConfig};
 use rlp_chiplet::{ChipletSystem, Placement};
 use rlp_rl::ConfigError;
-use rlp_sa::{AnnealObserver, InitialPlacementError, NullAnnealObserver, SaConfig, SaPlanner};
+use rlp_sa::{
+    AnnealObserver, EvalCounts, EvalMode, InitialPlacementError, NullAnnealObserver, SaConfig,
+    SaPlanner,
+};
 use rlp_thermal::ThermalAnalyzer;
 use std::time::Duration;
 
@@ -30,6 +33,11 @@ pub struct Tap25dResult {
     pub best_breakdown: RewardBreakdown,
     /// Number of objective (reward) evaluations performed.
     pub evaluations: usize,
+    /// How many of those evaluations ran incrementally versus from
+    /// scratch: with the fast thermal backend in the loop the anneal
+    /// evaluates moves through the propose/commit/reject engine; the grid
+    /// solver falls back to full evaluation.
+    pub eval_counts: EvalCounts,
     /// Wall-clock runtime of the anneal.
     pub runtime: Duration,
 }
@@ -94,19 +102,25 @@ impl<A: ThermalAnalyzer> Tap25dBaseline<A> {
         observer: &mut dyn AnnealObserver,
     ) -> Result<Tap25dResult, InitialPlacementError> {
         let planner = SaPlanner::new(self.reward.system().clone(), self.sa_config.clone());
-        let sa_result = planner.run_observed(&self.reward, observer)?;
-        let best_breakdown =
-            self.reward
-                .evaluate(&sa_result.best_placement)
-                .unwrap_or(RewardBreakdown {
-                    reward: sa_result.best_objective,
-                    wirelength_mm: f64::NAN,
-                    max_temperature_c: f64::NAN,
-                });
+        // The anneal runs on the calculator's propose/commit/reject engine:
+        // incremental with the fast thermal backend, full-evaluation
+        // fallback otherwise. Either way the trajectory is identical under
+        // a fixed seed (incremental values are bit-identical to full ones).
+        let mut objective = self.reward.delta_objective();
+        let sa_result = planner.run_delta_observed(&mut objective, observer)?;
+        // The engine tracked the best committed breakdown alongside the
+        // annealer's best-so-far, so no final re-evaluation is needed.
+        let best_breakdown = objective.best_breakdown().unwrap_or(RewardBreakdown {
+            reward: sa_result.best_objective,
+            wirelength_mm: f64::NAN,
+            max_temperature_c: f64::NAN,
+            eval_mode: EvalMode::Full,
+        });
         Ok(Tap25dResult {
             best_placement: sa_result.best_placement,
             best_breakdown,
             evaluations: sa_result.evaluations,
+            eval_counts: sa_result.eval_counts,
             runtime: sa_result.runtime,
         })
     }

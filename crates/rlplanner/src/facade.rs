@@ -10,11 +10,11 @@
 //! caller.
 
 use crate::baseline::Tap25dBaseline;
-use crate::outcome::{FloorplanOutcome, RunManifest, TelemetrySample};
+use crate::outcome::{EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample};
 use crate::planner::RlPlanner;
 use crate::request::{FloorplanRequest, Method};
 use rlp_rl::{ConfigError, PpoStats, TrainingObserver};
-use rlp_sa::{AnnealObserver, InitialPlacementError};
+use rlp_sa::{AnnealObserver, EvalCounts, EvalMode, InitialPlacementError};
 use rlp_thermal::ThermalError;
 use std::error::Error;
 use std::fmt;
@@ -198,6 +198,15 @@ impl Planner for PpoPlanner {
             breakdown: result.best_breakdown,
             telemetry: telemetry.samples,
             evaluations: result.episodes_run,
+            // Every RL episode ends in one full reward evaluation; the
+            // training loop has no move structure to evaluate incrementally.
+            evaluation: EvalTelemetry {
+                mode: EvalMode::Full,
+                counts: EvalCounts {
+                    full: result.episodes_run,
+                    incremental: 0,
+                },
+            },
             runtime: result.runtime,
             thermal_prep,
             manifest: manifest_for(request, resolved),
@@ -236,6 +245,10 @@ impl Planner for SaBaselinePlanner {
             breakdown: result.best_breakdown,
             telemetry: telemetry.samples,
             evaluations: result.evaluations,
+            evaluation: EvalTelemetry {
+                mode: result.eval_counts.mode(),
+                counts: result.eval_counts,
+            },
             runtime: result.runtime,
             thermal_prep,
             manifest: manifest_for(request, resolved),

@@ -96,14 +96,18 @@ pub use agent::AgentConfig;
 pub use baseline::{Tap25dBaseline, Tap25dResult};
 pub use env::{EnvConfig, FloorplanEnv};
 pub use facade::{planner_for, PlanError, Planner, PpoPlanner, SaBaselinePlanner};
-pub use outcome::{FloorplanOutcome, RunManifest, TelemetrySample};
+pub use outcome::{EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample};
 pub use planner::{RlPlanner, RlPlannerConfig, TrainingResult, TrainingStalled};
 pub use request::{Budget, FloorplanRequest, FloorplanRequestBuilder, Method, PrebuiltThermal};
-pub use reward::{RewardBreakdown, RewardCalculator, RewardConfig};
+pub use reward::{DeltaRewardObjective, RewardBreakdown, RewardCalculator, RewardConfig};
 
 // Re-exported so facade users can match on configuration errors without
 // depending on `rlp_rl` directly.
 pub use rlp_rl::ConfigError;
+
+// Re-exported so reward/outcome telemetry types can be named without
+// depending on `rlp_sa` directly.
+pub use rlp_sa::{EvalCounts, EvalMode};
 
 // Re-exported so facade users can share characterisations across requests
 // and read outcome telemetry without depending on `rlp_thermal` directly.

@@ -10,8 +10,25 @@
 use crate::request::Method;
 use crate::reward::{RewardBreakdown, RewardConfig};
 use rlp_chiplet::Placement;
+use rlp_sa::{EvalCounts, EvalMode};
 use rlp_thermal::{ThermalBackend, ThermalPrep};
 use std::time::Duration;
+
+/// How a run's candidate floorplans were evaluated: the dominant engine
+/// and the per-engine evaluation counts.
+///
+/// SA with the fast thermal backend evaluates moves through the
+/// propose/commit/reject engine ([`EvalMode::Incremental`]); SA with the
+/// grid solver and the RL training loop evaluate every candidate from
+/// scratch ([`EvalMode::Full`]). The JSON report surfaces this as the
+/// `evaluation` object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalTelemetry {
+    /// The engine that evaluated the candidates.
+    pub mode: EvalMode,
+    /// How many evaluations each engine served.
+    pub counts: EvalCounts,
+}
 
 /// One telemetry point: a candidate floorplan evaluated during the run.
 ///
@@ -64,6 +81,9 @@ pub struct FloorplanOutcome {
     /// Number of candidate floorplans evaluated (RL episodes or SA
     /// objective evaluations; equals `telemetry.len()`).
     pub evaluations: usize,
+    /// Which evaluation engine served the candidates, and how many each
+    /// engine handled; see [`EvalTelemetry`].
+    pub evaluation: EvalTelemetry,
     /// Wall-clock runtime of the optimisation (excluding thermal-backend
     /// characterisation, which [`FloorplanOutcome::thermal_prep`] accounts
     /// for separately).
@@ -122,8 +142,16 @@ mod tests {
                 reward: best,
                 wirelength_mm: 1.0,
                 max_temperature_c: 50.0,
+                eval_mode: EvalMode::Full,
             },
             evaluations: telemetry.len(),
+            evaluation: EvalTelemetry {
+                mode: EvalMode::Full,
+                counts: EvalCounts {
+                    full: telemetry.len(),
+                    incremental: 0,
+                },
+            },
             telemetry,
             runtime: Duration::from_millis(1),
             thermal_prep: ThermalPrep::default(),

@@ -27,8 +27,10 @@
 //! {
 //!   "schema": "rlplanner.outcome/v1",
 //!   "system": { "name": "...", "chiplets": 4, "interposer_mm": [40, 40] },
-//!   "breakdown": { "reward": -1.9, "wirelength_mm": 6200, "max_temperature_c": 78.4 },
+//!   "breakdown": { "reward": -1.9, "wirelength_mm": 6200, "max_temperature_c": 78.4,
+//!                  "eval_mode": "full" | "incremental" },
 //!   "evaluations": 600,
+//!   "evaluation": { "mode": "full" | "incremental", "full_evals": 1, "incremental_evals": 599 },
 //!   "runtime_s": 12.5,
 //!   "thermal_prep": { "cache_hits": 0, "cache_misses": 1, "characterization_s": 0.8 },
 //!   "placement": { "chiplets": [ ... ] },
@@ -43,7 +45,13 @@
 //! ```
 //!
 //! `schema` identifies this exact layout ([`OUTCOME_SCHEMA`]); consumers
-//! should check it before parsing. `thermal_prep` records how the run's
+//! should check it before parsing. `breakdown.eval_mode` records which
+//! evaluation engine produced the best breakdown, and the `evaluation`
+//! object how the run's candidates were evaluated: `"incremental"` means
+//! the propose/commit/reject engine served `incremental_evals` move
+//! evaluations (bit-identical to full evaluation, so results never depend
+//! on the mode), `"full"` that every candidate was evaluated from scratch.
+//! `thermal_prep` records how the run's
 //! thermal analyzer was obtained — characterised from scratch
 //! (`cache_misses`) or served from a shared characterisation cache
 //! (`cache_hits`) — and the analyzer-construction wall-clock, so cache
@@ -322,8 +330,9 @@ pub fn outcome_json(system: &ChipletSystem, outcome: &FloorplanOutcome) -> Strin
     let fields = format!(
         "\"schema\": \"{}\",\n\
          \"system\": {{ \"name\": \"{}\", \"chiplets\": {}, \"interposer_mm\": [{}, {}] }},\n\
-         \"breakdown\": {{ \"reward\": {}, \"wirelength_mm\": {}, \"max_temperature_c\": {} }},\n\
+         \"breakdown\": {{ \"reward\": {}, \"wirelength_mm\": {}, \"max_temperature_c\": {}, \"eval_mode\": \"{}\" }},\n\
          \"evaluations\": {},\n\
+         \"evaluation\": {{ \"mode\": \"{}\", \"full_evals\": {}, \"incremental_evals\": {} }},\n\
          \"runtime_s\": {},\n\
          \"thermal_prep\": {{ \"cache_hits\": {}, \"cache_misses\": {}, \"characterization_s\": {} }},\n\
          \"placement\": {},\n\
@@ -337,7 +346,11 @@ pub fn outcome_json(system: &ChipletSystem, outcome: &FloorplanOutcome) -> Strin
         num(outcome.breakdown.reward),
         num(outcome.breakdown.wirelength_mm),
         num(outcome.breakdown.max_temperature_c),
+        outcome.breakdown.eval_mode.label(),
         outcome.evaluations,
+        outcome.evaluation.mode.label(),
+        outcome.evaluation.counts.full,
+        outcome.evaluation.counts.incremental,
         num(outcome.runtime.as_secs_f64()),
         outcome.thermal_prep.cache_hits,
         outcome.thermal_prep.cache_misses,
@@ -376,6 +389,14 @@ mod tests {
                 reward: -1.5,
                 wirelength_mm: 120.0,
                 max_temperature_c: 63.25,
+                eval_mode: rlp_sa::EvalMode::Incremental,
+            },
+            evaluation: crate::outcome::EvalTelemetry {
+                mode: rlp_sa::EvalMode::Incremental,
+                counts: rlp_sa::EvalCounts {
+                    full: 1,
+                    incremental: 1,
+                },
             },
             telemetry: vec![
                 TelemetrySample {
@@ -462,6 +483,7 @@ mod tests {
             "\"system\"",
             "\"breakdown\"",
             "\"evaluations\"",
+            "\"evaluation\"",
             "\"runtime_s\"",
             "\"thermal_prep\"",
             "\"placement\"",
@@ -479,6 +501,10 @@ mod tests {
         );
 
         assert!(json.starts_with(&format!("{{\n  \"schema\": \"{OUTCOME_SCHEMA}\"")));
+        assert!(json.contains("\"eval_mode\": \"incremental\""));
+        assert!(json.contains(
+            "\"evaluation\": { \"mode\": \"incremental\", \"full_evals\": 1, \"incremental_evals\": 1 }"
+        ));
         assert!(json
             .contains("\"thermal_prep\": { \"cache_hits\": 1, \"cache_misses\": 0, \"characterization_s\": 0 }"));
         assert!(json.contains("\"kind\": \"rl-rnd\""));

@@ -1,11 +1,22 @@
 //! The thermal-aware reward calculator.
+//!
+//! [`RewardCalculator::evaluate`] is the full evaluation: microbump
+//! assignment and wirelength over every net, then the complete O(n²)
+//! thermal superposition. Move-based optimisers instead evaluate through
+//! [`DeltaRewardObjective`] ([`RewardCalculator::delta_objective`]), which
+//! implements the [`rlp_sa::DeltaObjective`] propose/commit/reject protocol
+//! on top of [`IncrementalWirelength`] and the fast model's
+//! [`rlp_thermal::ThermalState`]: a proposed move recomputes only the nets
+//! and thermal row/column the move touched, with values bit-identical to
+//! the full evaluation. Backends without incremental support (the grid
+//! solver) fall back to full evaluation transparently.
 
 use rlp_chiplet::bumps::BumpConfig;
 use rlp_chiplet::wirelength::bump_aware_wirelength;
-use rlp_chiplet::{ChipletSystem, Placement};
+use rlp_chiplet::{ChipletId, ChipletSystem, IncrementalWirelength, Placement};
 use rlp_rl::ConfigError;
-use rlp_sa::Objective;
-use rlp_thermal::{ThermalAnalyzer, ThermalError};
+use rlp_sa::{DeltaObjective, EvalMode, Objective};
+use rlp_thermal::{ThermalAnalyzer, ThermalError, ThermalState};
 use serde::{Deserialize, Serialize};
 
 /// Weights and limits of the reward function
@@ -81,7 +92,8 @@ impl RewardConfig {
 }
 
 /// The three quantities the paper reports per design: reward, total
-/// wirelength and maximum operating temperature.
+/// wirelength and maximum operating temperature — plus which evaluation
+/// engine produced them.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RewardBreakdown {
     /// Combined reward (higher is better, always negative in practice).
@@ -90,6 +102,10 @@ pub struct RewardBreakdown {
     pub wirelength_mm: f64,
     /// Maximum chiplet temperature in degrees Celsius.
     pub max_temperature_c: f64,
+    /// Whether this breakdown came from a full evaluation or the
+    /// incremental propose/commit/reject engine (the two agree bit for
+    /// bit; the mode is telemetry, not a caveat).
+    pub eval_mode: EvalMode,
 }
 
 /// Evaluates the reward of complete placements using a pluggable thermal
@@ -156,6 +172,7 @@ impl<A: ThermalAnalyzer> RewardCalculator<A> {
             reward,
             wirelength_mm,
             max_temperature_c,
+            eval_mode: EvalMode::Full,
         })
     }
 
@@ -165,6 +182,177 @@ impl<A: ThermalAnalyzer> RewardCalculator<A> {
         self.evaluate(placement)
             .map(|b| b.reward)
             .unwrap_or(self.config.infeasible_penalty)
+    }
+
+    /// The breakdown [`RewardCalculator::reward_or_penalty`] corresponds
+    /// to: the evaluated breakdown, or the infeasible penalty with NaN
+    /// components when the placement cannot be evaluated.
+    fn breakdown_or_penalty(&self, placement: &Placement) -> RewardBreakdown {
+        self.evaluate(placement).unwrap_or(RewardBreakdown {
+            reward: self.config.infeasible_penalty,
+            wirelength_mm: f64::NAN,
+            max_temperature_c: f64::NAN,
+            eval_mode: EvalMode::Full,
+        })
+    }
+
+    /// Combines incremental wirelength and peak-temperature values into the
+    /// reward, with exactly the arithmetic of
+    /// [`RewardCalculator::evaluate`].
+    fn combine(&self, wirelength_mm: f64, max_temperature_c: f64) -> RewardBreakdown {
+        RewardBreakdown {
+            reward: -self.config.lambda * wirelength_mm
+                - self.temperature_penalty(max_temperature_c),
+            wirelength_mm,
+            max_temperature_c,
+            eval_mode: EvalMode::Incremental,
+        }
+    }
+
+    /// A propose/commit/reject objective over this calculator — the
+    /// [`rlp_sa::DeltaObjective`] implementation move-based optimisers run
+    /// on. See [`DeltaRewardObjective`].
+    pub fn delta_objective(&self) -> DeltaRewardObjective<'_, A> {
+        DeltaRewardObjective {
+            calc: self,
+            mode: EvalMode::Full,
+            wirelength: None,
+            thermal: None,
+            current: None,
+            pending: None,
+            best: None,
+        }
+    }
+}
+
+/// The incremental evaluation engine of a [`RewardCalculator`]: implements
+/// [`rlp_sa::DeltaObjective`] so the SA loop (and any move-based optimiser)
+/// pays O(moved terms) per candidate instead of a full re-evaluation.
+///
+/// On [`DeltaObjective::reset`] the engine probes the thermal backend via
+/// [`ThermalAnalyzer::incremental_state`]:
+///
+/// * fast LTI backend → **incremental mode**: wirelength deltas through
+///   [`IncrementalWirelength`], thermal deltas through
+///   [`rlp_thermal::ThermalState`]. Every value is bit-identical to a full
+///   [`RewardCalculator::evaluate`] of the same placement, so fixed-seed
+///   anneals are trajectory-identical to the full-evaluation path.
+/// * grid solver (or any backend without incremental support, or an
+///   incomplete starting placement) → **full mode**: every proposal is a
+///   from-scratch [`RewardCalculator::reward_or_penalty`].
+///
+/// The engine also tracks the best *committed* breakdown, which mirrors
+/// the annealer's best-so-far tracking and saves the final re-evaluation
+/// of the best placement.
+#[derive(Debug)]
+pub struct DeltaRewardObjective<'a, A> {
+    calc: &'a RewardCalculator<A>,
+    mode: EvalMode,
+    wirelength: Option<IncrementalWirelength>,
+    thermal: Option<ThermalState>,
+    current: Option<RewardBreakdown>,
+    pending: Option<RewardBreakdown>,
+    best: Option<RewardBreakdown>,
+}
+
+impl<A: ThermalAnalyzer> DeltaRewardObjective<'_, A> {
+    /// Which engine is evaluating (decided at [`DeltaObjective::reset`]).
+    pub fn mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// Breakdown of the current (committed) placement, if initialised.
+    pub fn current_breakdown(&self) -> Option<RewardBreakdown> {
+        self.current
+    }
+
+    /// Best breakdown among the committed placements so far (the initial
+    /// placement counts), if initialised. Tracks exactly the annealer's
+    /// best-so-far: commits happen precisely on accepted moves.
+    pub fn best_breakdown(&self) -> Option<RewardBreakdown> {
+        self.best
+    }
+
+    fn set_current(&mut self, breakdown: RewardBreakdown) {
+        self.current = Some(breakdown);
+        let improved = self.best.is_none_or(|b| breakdown.reward > b.reward);
+        if improved {
+            self.best = Some(breakdown);
+        }
+    }
+}
+
+impl<A: ThermalAnalyzer> DeltaObjective for DeltaRewardObjective<'_, A> {
+    fn reset(&mut self, placement: &Placement) -> f64 {
+        self.pending = None;
+        self.best = None;
+        self.wirelength = None;
+        self.thermal = None;
+        self.mode = EvalMode::Full;
+        let calc = self.calc;
+        if let Ok(Some(thermal)) = calc.analyzer.incremental_state(&calc.system, placement) {
+            if let Ok(wirelength) =
+                IncrementalWirelength::new(&calc.system, placement, calc.config.bump_config)
+            {
+                let breakdown = calc.combine(wirelength.total(), thermal.max_temperature());
+                self.mode = EvalMode::Incremental;
+                self.wirelength = Some(wirelength);
+                self.thermal = Some(thermal);
+                self.current = Some(breakdown);
+                self.best = Some(breakdown);
+                return breakdown.reward;
+            }
+        }
+        let breakdown = calc.breakdown_or_penalty(placement);
+        self.current = Some(breakdown);
+        self.best = Some(breakdown);
+        breakdown.reward
+    }
+
+    fn propose(&mut self, candidate: &Placement, changed: &[ChipletId]) -> f64 {
+        let breakdown = match self.mode {
+            EvalMode::Incremental => {
+                let wirelength = self
+                    .wirelength
+                    .as_mut()
+                    .expect("incremental mode has wirelength state");
+                let thermal = self
+                    .thermal
+                    .as_mut()
+                    .expect("incremental mode has thermal state");
+                let wl = wirelength.propose(&self.calc.system, candidate, changed);
+                let max_t = thermal.propose(&self.calc.system, candidate, changed);
+                self.calc.combine(wl, max_t)
+            }
+            EvalMode::Full => self.calc.breakdown_or_penalty(candidate),
+        };
+        self.pending = Some(breakdown);
+        breakdown.reward
+    }
+
+    fn commit(&mut self) {
+        if let Some(wirelength) = self.wirelength.as_mut() {
+            wirelength.commit();
+        }
+        if let Some(thermal) = self.thermal.as_mut() {
+            thermal.commit();
+        }
+        let breakdown = self.pending.take().expect("no proposal to commit");
+        self.set_current(breakdown);
+    }
+
+    fn reject(&mut self) {
+        if let Some(wirelength) = self.wirelength.as_mut() {
+            wirelength.reject();
+        }
+        if let Some(thermal) = self.thermal.as_mut() {
+            thermal.reject();
+        }
+        self.pending = None;
+    }
+
+    fn evaluation_mode(&self) -> EvalMode {
+        self.mode
     }
 }
 

@@ -1,7 +1,16 @@
 //! The simulated-annealing loop.
+//!
+//! The loop runs on the [`DeltaObjective`] propose/commit/reject protocol:
+//! moves are applied to one placement in place, the objective evaluates the
+//! candidate against its maintained state, and a rejected move is undone.
+//! Plain [`Objective`] values (closures, reward calculators) run through
+//! the blanket `DeltaObjective` implementation, which falls back to full
+//! evaluation — same trajectory, just without the incremental speed-up.
 
-use crate::moves::{apply_move, propose_move, random_initial_placement, InitialPlacementError};
-use crate::objective::Objective;
+use crate::moves::{
+    apply_move_in_place, propose_move, random_initial_placement, undo_move, InitialPlacementError,
+};
+use crate::objective::{DeltaObjective, EvalCounts, EvalMode, Objective};
 use crate::progress::{AnnealObserver, NullAnnealObserver};
 use rand::Rng;
 use rand::SeedableRng;
@@ -87,6 +96,11 @@ pub struct SaResult {
     pub initial_objective: f64,
     /// Number of objective evaluations performed.
     pub evaluations: usize,
+    /// How many of those evaluations each engine served: all `full` when
+    /// the objective evaluates from scratch; one `full` (the initial state
+    /// construction) plus `evaluations - 1` `incremental` when a
+    /// [`DeltaObjective`] evaluated moves against maintained state.
+    pub eval_counts: EvalCounts,
     /// Number of accepted moves.
     pub accepted_moves: usize,
     /// Wall-clock duration of the search.
@@ -144,6 +158,46 @@ impl SaPlanner {
         objective: &dyn Objective,
         observer: &mut dyn AnnealObserver,
     ) -> Result<SaResult, InitialPlacementError> {
+        // Every `Objective` is a `DeltaObjective` through the blanket
+        // full-evaluation fallback, so the two entry points share one loop.
+        let mut adapter: &dyn Objective = objective;
+        self.run_delta_observed(&mut adapter, observer)
+    }
+
+    /// Runs the anneal on a [`DeltaObjective`], maximising it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InitialPlacementError`] if no legal initial placement exists
+    /// on the configured grid.
+    pub fn run_delta(
+        &self,
+        objective: &mut dyn DeltaObjective,
+    ) -> Result<SaResult, InitialPlacementError> {
+        self.run_delta_observed(objective, &mut NullAnnealObserver)
+    }
+
+    /// Runs the anneal on the propose/commit/reject protocol — the real
+    /// loop behind every entry point. Moves are applied to one placement in
+    /// place; `objective` evaluates each candidate against its maintained
+    /// state and a rejected move is undone, so per-move cost is the
+    /// objective's delta cost, not a clone plus a full evaluation.
+    ///
+    /// Under a fixed seed the trajectory — every candidate, accept decision
+    /// and the final result — is identical whether `objective` evaluates
+    /// incrementally or through the full-evaluation fallback, because
+    /// [`DeltaObjective`] implementations return values bit-identical to a
+    /// from-scratch evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InitialPlacementError`] if no legal initial placement exists
+    /// on the configured grid.
+    pub fn run_delta_observed(
+        &self,
+        objective: &mut dyn DeltaObjective,
+        observer: &mut dyn AnnealObserver,
+    ) -> Result<SaResult, InitialPlacementError> {
         let start = Instant::now();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let grid = PlacementGrid::new(self.config.grid.0, self.config.grid.1);
@@ -171,7 +225,7 @@ impl SaPlanner {
             Some(placement) => placement,
             None => return Err(last_error.expect("at least one attempt was made")),
         };
-        let mut current_objective = objective.evaluate(&current);
+        let mut current_objective = objective.reset(&current);
         let initial_objective = current_objective;
         let mut best = current.clone();
         let mut best_objective = current_objective;
@@ -193,27 +247,30 @@ impl SaPlanner {
                     }
                 }
                 let candidate_move = propose_move(&self.system, &grid, &mut rng);
-                let Some(candidate) = apply_move(
+                let Some(undo) = apply_move_in_place(
                     &self.system,
                     &grid,
-                    &current,
+                    &mut current,
                     candidate_move,
                     self.config.min_spacing_mm,
                 ) else {
                     continue;
                 };
-                let candidate_objective = objective.evaluate(&candidate);
+                let candidate_objective = objective.propose(&current, undo.changed());
                 evaluations += 1;
                 let delta = candidate_objective - current_objective;
                 let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temperature).exp();
                 if accept {
-                    current = candidate;
+                    objective.commit();
                     current_objective = candidate_objective;
                     accepted_moves += 1;
                     if current_objective > best_objective {
                         best_objective = current_objective;
                         best = current.clone();
                     }
+                } else {
+                    objective.reject();
+                    undo_move(&mut current, &undo);
                 }
                 observer.on_evaluation(
                     evaluations - 1,
@@ -225,11 +282,22 @@ impl SaPlanner {
             temperature *= self.config.cooling_rate;
         }
 
+        let eval_counts = match objective.evaluation_mode() {
+            EvalMode::Incremental => EvalCounts {
+                full: 1,
+                incremental: evaluations - 1,
+            },
+            EvalMode::Full => EvalCounts {
+                full: evaluations,
+                incremental: 0,
+            },
+        };
         Ok(SaResult {
             best_placement: best,
             best_objective,
             initial_objective,
             evaluations,
+            eval_counts,
             accepted_moves,
             runtime: start.elapsed(),
         })

@@ -10,7 +10,12 @@
 //! * the objective is supplied by the caller through the [`Objective`]
 //!   trait, which is how the harness swaps "TAP-2.5D (HotSpot)" for
 //!   "TAP-2.5D (fast thermal model)" — same annealer, different thermal
-//!   backend inside the objective.
+//!   backend inside the objective;
+//! * the loop itself runs on the [`DeltaObjective`] propose/commit/reject
+//!   protocol: moves mutate one placement in place and incremental
+//!   objectives recompute only what a move changed, while plain
+//!   [`Objective`] values fall back to full evaluation through a blanket
+//!   implementation — same trajectory under a fixed seed either way.
 //!
 //! The annealer **maximises** the objective (the paper's reward is a
 //! negative cost, so larger is better).
@@ -21,6 +26,6 @@ pub mod objective;
 pub mod progress;
 
 pub use anneal::{SaConfig, SaPlanner, SaResult};
-pub use moves::{InitialPlacementError, Move};
-pub use objective::Objective;
+pub use moves::{InitialPlacementError, Move, MoveUndo};
+pub use objective::{DeltaObjective, EvalCounts, EvalMode, Objective};
 pub use progress::{AnnealObserver, NullAnnealObserver};

@@ -112,6 +112,131 @@ pub fn propose_move(system: &ChipletSystem, grid: &PlacementGrid, rng: &mut impl
     }
 }
 
+/// Undo record returned by [`apply_move_in_place`]: the chiplets a move
+/// changed and their previous placement slots. Stack-allocated — applying
+/// and undoing moves performs no heap allocation, which is what lets the
+/// anneal loop mutate one placement in place instead of cloning a candidate
+/// per move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveUndo {
+    ids: [ChipletId; 2],
+    prev: [Option<(rlp_chiplet::Position, Rotation)>; 2],
+    len: usize,
+}
+
+impl MoveUndo {
+    fn one(id: ChipletId, prev: Option<(rlp_chiplet::Position, Rotation)>) -> Self {
+        Self {
+            ids: [id, id],
+            prev: [prev, None],
+            len: 1,
+        }
+    }
+
+    fn two(
+        first: (ChipletId, Option<(rlp_chiplet::Position, Rotation)>),
+        second: (ChipletId, Option<(rlp_chiplet::Position, Rotation)>),
+    ) -> Self {
+        Self {
+            ids: [first.0, second.0],
+            prev: [first.1, second.1],
+            len: 2,
+        }
+    }
+
+    /// The chiplets the move changed, in application order.
+    pub fn changed(&self) -> &[ChipletId] {
+        &self.ids[..self.len]
+    }
+}
+
+/// Reverts a move applied by [`apply_move_in_place`], restoring the changed
+/// chiplets to their previous slots.
+pub fn undo_move(placement: &mut Placement, undo: &MoveUndo) {
+    for i in (0..undo.len).rev() {
+        match undo.prev[i] {
+            Some((position, rotation)) => {
+                placement.place_rotated(undo.ids[i], position, rotation);
+            }
+            None => {
+                placement.unplace(undo.ids[i]);
+            }
+        }
+    }
+}
+
+/// Applies a move directly to `placement`, returning an undo record if the
+/// result is legal (every chiplet inside the interposer and spacing
+/// respected). On an illegal or inapplicable move the placement is left
+/// exactly as it was and `None` is returned.
+///
+/// This is the allocation-free core of [`apply_move`]; the anneal loop uses
+/// it together with [`undo_move`] to avoid cloning a candidate placement on
+/// every proposal.
+pub fn apply_move_in_place(
+    system: &ChipletSystem,
+    grid: &PlacementGrid,
+    placement: &mut Placement,
+    candidate: Move,
+    min_spacing_mm: f64,
+) -> Option<MoveUndo> {
+    let undo = match candidate {
+        Move::Relocate { chiplet, cell } => {
+            let prev = placement
+                .position(chiplet)
+                .and_then(|p| placement.rotation(chiplet).map(|r| (p, r)));
+            let rotation = placement.rotation(chiplet).unwrap_or(Rotation::None);
+            // `apply_action` fails only on an out-of-range cell, before any
+            // mutation, so the placement is untouched on the error path.
+            grid.apply_action(system, placement, chiplet, rotation, cell)
+                .ok()?;
+            MoveUndo::one(chiplet, prev)
+        }
+        Move::Swap { first, second } => {
+            let pa = placement.position(first)?;
+            let ra = placement.rotation(first)?;
+            let pb = placement.position(second)?;
+            let rb = placement.rotation(second)?;
+            // Swap centre locations, keeping each chiplet's own rotation.
+            let centre_a = placement.center_of(first, system)?;
+            let centre_b = placement.center_of(second, system)?;
+            let (wa, ha) = system.chiplet(first).footprint(ra);
+            let (wb, hb) = system.chiplet(second).footprint(rb);
+            placement.place_rotated(
+                first,
+                rlp_chiplet::Position::new(centre_b.x - wa / 2.0, centre_b.y - ha / 2.0),
+                ra,
+            );
+            placement.place_rotated(
+                second,
+                rlp_chiplet::Position::new(centre_a.x - wb / 2.0, centre_a.y - hb / 2.0),
+                rb,
+            );
+            MoveUndo::two((first, Some((pa, ra))), (second, Some((pb, rb))))
+        }
+        Move::Rotate { chiplet } => {
+            let prev = placement
+                .position(chiplet)
+                .and_then(|p| placement.rotation(chiplet).map(|r| (p, r)));
+            let centre = placement.center_of(chiplet, system)?;
+            let rotation = placement.rotation(chiplet)?.toggled();
+            let (w, h) = system.chiplet(chiplet).footprint(rotation);
+            placement.place_rotated(
+                chiplet,
+                rlp_chiplet::Position::new(centre.x - w / 2.0, centre.y - h / 2.0),
+                rotation,
+            );
+            MoveUndo::one(chiplet, prev)
+        }
+    };
+    if system.validate_placement(placement, min_spacing_mm).is_ok() {
+        Some(undo)
+    } else {
+        undo_move(placement, &undo);
+        None
+    }
+}
+
 /// Applies a move to a copy of the placement, returning the new placement if
 /// it is legal (every chiplet inside the interposer and spacing respected).
 pub fn apply_move(
@@ -122,50 +247,7 @@ pub fn apply_move(
     min_spacing_mm: f64,
 ) -> Option<Placement> {
     let mut next = placement.clone();
-    match candidate {
-        Move::Relocate { chiplet, cell } => {
-            let rotation = next.rotation(chiplet).unwrap_or(Rotation::None);
-            grid.apply_action(system, &mut next, chiplet, rotation, cell)
-                .ok()?;
-        }
-        Move::Swap { first, second } => {
-            let a = next.position(first)?;
-            let ra = next.rotation(first)?;
-            let b = next.position(second)?;
-            let rb = next.rotation(second)?;
-            // Swap centre locations, keeping each chiplet's own rotation.
-            let centre_a = placement.center_of(first, system)?;
-            let centre_b = placement.center_of(second, system)?;
-            let (wa, ha) = system.chiplet(first).footprint(ra);
-            let (wb, hb) = system.chiplet(second).footprint(rb);
-            next.place_rotated(
-                first,
-                rlp_chiplet::Position::new(centre_b.x - wa / 2.0, centre_b.y - ha / 2.0),
-                ra,
-            );
-            next.place_rotated(
-                second,
-                rlp_chiplet::Position::new(centre_a.x - wb / 2.0, centre_a.y - hb / 2.0),
-                rb,
-            );
-            let _ = (a, b);
-        }
-        Move::Rotate { chiplet } => {
-            let centre = placement.center_of(chiplet, system)?;
-            let rotation = next.rotation(chiplet)?.toggled();
-            let (w, h) = system.chiplet(chiplet).footprint(rotation);
-            next.place_rotated(
-                chiplet,
-                rlp_chiplet::Position::new(centre.x - w / 2.0, centre.y - h / 2.0),
-                rotation,
-            );
-        }
-    }
-    if system.validate_placement(&next, min_spacing_mm).is_ok() {
-        Some(next)
-    } else {
-        None
-    }
+    apply_move_in_place(system, grid, &mut next, candidate, min_spacing_mm).map(|_| next)
 }
 
 #[cfg(test)]
@@ -221,6 +303,37 @@ mod tests {
             }
         }
         assert!(applied > 50, "too few legal moves applied: {applied}");
+    }
+
+    #[test]
+    fn in_place_moves_match_the_cloning_path_and_undo_restores() {
+        let sys = system();
+        let grid = PlacementGrid::new(16, 16);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut placement = random_initial_placement(&sys, &grid, 0.2, &mut rng).unwrap();
+        for _ in 0..500 {
+            let candidate = propose_move(&sys, &grid, &mut rng);
+            let cloned = apply_move(&sys, &grid, &placement, candidate, 0.2);
+            let before = placement.clone();
+            match apply_move_in_place(&sys, &grid, &mut placement, candidate, 0.2) {
+                Some(undo) => {
+                    // The in-place path lands exactly where the cloning path
+                    // does, and undo restores the pre-move state.
+                    assert_eq!(Some(&placement), cloned.as_ref());
+                    assert!(!undo.changed().is_empty() && undo.changed().len() <= 2);
+                    undo_move(&mut placement, &undo);
+                    assert_eq!(placement, before);
+                    // Re-apply and keep it so the walk explores.
+                    let undo = apply_move_in_place(&sys, &grid, &mut placement, candidate, 0.2)
+                        .expect("legal move stays legal");
+                    let _ = undo;
+                }
+                None => {
+                    assert!(cloned.is_none());
+                    assert_eq!(placement, before, "failed moves must not mutate");
+                }
+            }
+        }
     }
 
     #[test]

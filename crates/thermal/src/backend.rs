@@ -226,6 +226,17 @@ impl ThermalAnalyzer for AnyThermalAnalyzer {
         }
     }
 
+    fn incremental_state(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+    ) -> Result<Option<crate::ThermalState>, ThermalError> {
+        match self {
+            AnyThermalAnalyzer::Grid(solver) => solver.incremental_state(system, placement),
+            AnyThermalAnalyzer::Fast(model) => model.incremental_state(system, placement),
+        }
+    }
+
     fn name(&self) -> &str {
         match self {
             AnyThermalAnalyzer::Grid(solver) => solver.name(),

@@ -21,7 +21,7 @@ use crate::config::ThermalConfig;
 use crate::error::ThermalError;
 use crate::grid::GridThermalSolver;
 use crate::ThermalAnalyzer;
-use rlp_chiplet::{Chiplet, ChipletSystem, Placement, Position};
+use rlp_chiplet::{Chiplet, ChipletId, ChipletSystem, Placement, Point, Position, Rect};
 use serde::{Deserialize, Serialize};
 
 /// Options controlling fast-model characterisation.
@@ -117,6 +117,8 @@ impl FastThermalModel {
             });
         }
         let solver = GridThermalSolver::try_new(config.clone())?;
+        // One power-map buffer for the whole characterisation sweep.
+        let mut power_scratch = crate::power::PowerMap::scratch();
         let mut samples = options.footprint_samples_mm.clone();
         samples.sort_by(|a, b| a.partial_cmp(b).expect("footprint samples must be finite"));
         samples.dedup();
@@ -143,7 +145,7 @@ impl FastThermalModel {
                         (interposer_height_mm - h) / 2.0,
                     ),
                 );
-                let solution = solver.solve(&sys, &placement)?;
+                let solution = solver.solve_reusing(&sys, &placement, &mut power_scratch)?;
                 let temps = solver.chiplet_temperatures_from_solution(&sys, &placement, &solution);
                 self_resistance[hi * widths_mm.len() + wi] = (temps[0] - config.ambient_c) / p0;
             }
@@ -170,7 +172,7 @@ impl FastThermalModel {
                 id,
                 Position::new(source_center.x - src / 2.0, source_center.y - src / 2.0),
             );
-            let solution = solver.solve(&sys, &placement)?;
+            let solution = solver.solve_reusing(&sys, &placement, &mut power_scratch)?;
             let nx = solution.nx();
             let ny = solution.ny();
             let cell_w = interposer_width_mm / nx as f64;
@@ -313,10 +315,12 @@ fn linear(xs: &[f64], ys: &[f64], x: f64) -> f64 {
 }
 
 /// Bilinear interpolation over a rectangular table with edge clamping.
+///
+/// Indexes the table directly — this runs once per chiplet per thermal
+/// evaluation, so it must not allocate.
 fn bilinear(xs: &[f64], ys: &[f64], table: &[f64], x: f64, y: f64) -> f64 {
     debug_assert_eq!(table.len(), xs.len() * ys.len());
-    let column =
-        |xi: usize| -> Vec<f64> { (0..ys.len()).map(|yi| table[yi * xs.len() + xi]).collect() };
+    let at = |xi: usize, yi: usize| table[yi * xs.len() + xi];
     // Interpolate along x for the two bracketing rows of y, then along y.
     let x_clamped = x.clamp(xs[0], xs[xs.len() - 1]);
     let y_clamped = y.clamp(ys[0], ys[ys.len() - 1]);
@@ -333,10 +337,8 @@ fn bilinear(xs: &[f64], ys: &[f64], table: &[f64], x: f64, y: f64) -> f64 {
     } else {
         0.0
     };
-    let col_lo = column(x_lo);
-    let col_hi = column(x_hi);
-    let v_lo = col_lo[y_lo] + tx * (col_hi[y_lo] - col_lo[y_lo]);
-    let v_hi = col_lo[y_hi] + tx * (col_hi[y_hi] - col_lo[y_hi]);
+    let v_lo = at(x_lo, y_lo) + tx * (at(x_hi, y_lo) - at(x_lo, y_lo));
+    let v_hi = at(x_lo, y_hi) + tx * (at(x_hi, y_hi) - at(x_lo, y_hi));
     v_lo + ty * (v_hi - v_lo)
 }
 
@@ -355,6 +357,63 @@ fn bracket(xs: &[f64], x: f64) -> (usize, usize) {
     (hi - 1, hi)
 }
 
+impl FastThermalModel {
+    /// Builds an incremental [`ThermalState`](crate::ThermalState) for a
+    /// system and placement: per-chiplet self and mutual contributions are
+    /// maintained so a proposed move re-derives only the moved chiplet's
+    /// row and column, instead of the full O(n²) superposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::OutOfCharacterizedRange`] if the system's
+    /// interposer does not match the characterised outline.
+    pub fn state_for(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+    ) -> Result<crate::ThermalState, ThermalError> {
+        crate::ThermalState::build(self, system, placement)
+    }
+
+    /// Temperature of one chiplet given its rectangle and the centres and
+    /// powers of every placed chiplet — the shared superposition kernel of
+    /// [`ThermalAnalyzer::chiplet_temperatures`] and
+    /// [`ThermalAnalyzer::max_temperature`].
+    fn superpose(
+        &self,
+        id: ChipletId,
+        rect: &Rect,
+        power: f64,
+        placed: &[(ChipletId, Point, f64)],
+    ) -> f64 {
+        let mut t = self.ambient_c + self.self_resistance(rect.width, rect.height) * power;
+        let center = rect.center();
+        for (other_id, other_center, other_power) in placed {
+            if *other_id == id {
+                continue;
+            }
+            let d = center.euclidean_distance(*other_center);
+            t += self.mutual_resistance(d) * other_power;
+        }
+        t
+    }
+
+    /// Collects `(id, centre, power)` of every placed chiplet.
+    fn collect_placed(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+    ) -> Vec<(ChipletId, Point, f64)> {
+        system
+            .chiplet_ids()
+            .filter_map(|id| {
+                let rect = placement.rect_of(id, system)?;
+                Some((id, rect.center(), system.chiplet(id).power()))
+            })
+            .collect()
+    }
+}
+
 impl ThermalAnalyzer for FastThermalModel {
     fn chiplet_temperatures(
         &self,
@@ -362,33 +421,42 @@ impl ThermalAnalyzer for FastThermalModel {
         placement: &Placement,
     ) -> Result<Vec<f64>, ThermalError> {
         self.check_system(system)?;
-        let placed: Vec<_> = system
-            .chiplet_ids()
-            .filter_map(|id| {
-                let rect = placement.rect_of(id, system)?;
-                Some((id, rect, system.chiplet(id).power()))
-            })
-            .collect();
+        let placed = self.collect_placed(system, placement);
         let temps = system
             .chiplet_ids()
             .map(|id| {
                 let Some(rect) = placement.rect_of(id, system) else {
                     return self.ambient_c;
                 };
-                let power = system.chiplet(id).power();
-                let mut t = self.ambient_c + self.self_resistance(rect.width, rect.height) * power;
-                let center = rect.center();
-                for (other_id, other_rect, other_power) in &placed {
-                    if *other_id == id {
-                        continue;
-                    }
-                    let d = center.euclidean_distance(other_rect.center());
-                    t += self.mutual_resistance(d) * other_power;
-                }
-                t
+                self.superpose(id, &rect, system.chiplet(id).power(), &placed)
             })
             .collect();
         Ok(temps)
+    }
+
+    fn max_temperature(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+    ) -> Result<f64, ThermalError> {
+        // Folds the maximum directly instead of collecting the temperature
+        // vector first — one less allocation per evaluation in the hot loop.
+        self.check_system(system)?;
+        let placed = self.collect_placed(system, placement);
+        Ok(crate::fold_max(system.chiplet_ids().map(|id| {
+            let Some(rect) = placement.rect_of(id, system) else {
+                return self.ambient_c;
+            };
+            self.superpose(id, &rect, system.chiplet(id).power(), &placed)
+        })))
+    }
+
+    fn incremental_state(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+    ) -> Result<Option<crate::ThermalState>, ThermalError> {
+        Ok(Some(self.state_for(system, placement)?))
     }
 
     fn name(&self) -> &str {

@@ -146,6 +146,24 @@ impl GridThermalSolver {
         self.solve_power_map(system, &power)
     }
 
+    /// Like [`GridThermalSolver::solve`], but rasterises into a
+    /// caller-provided [`PowerMap`] buffer so repeated solves (the
+    /// fast-model characterisation sweep, batch drivers) reuse one cell
+    /// allocation instead of allocating per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::Solver`] if the conjugate-gradient solve fails.
+    pub fn solve_reusing(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+        power: &mut PowerMap,
+    ) -> Result<ThermalSolution, ThermalError> {
+        power.rasterize_into(system, placement, self.config.grid_nx, self.config.grid_ny);
+        self.solve_power_map(system, power)
+    }
+
     /// Solves the steady-state field for an explicit power map.
     ///
     /// This entry point is used by the fast-model characterisation, which

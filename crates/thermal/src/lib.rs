@@ -26,6 +26,13 @@
 //! hit/miss telemetry surfaced as [`ThermalCacheStats`] and per-run
 //! [`ThermalPrep`].
 //!
+//! Move-based optimisers evaluate through [`ThermalState`]
+//! ([`FastThermalModel::state_for`], or generically via
+//! [`ThermalAnalyzer::incremental_state`]): the per-chiplet self and mutual
+//! contributions are maintained across moves, so proposing a move costs
+//! O(n) table lookups instead of the full O(n²) superposition while staying
+//! bit-identical to the from-scratch evaluation.
+//!
 //! [`metrics`] provides the MSE/RMSE/MAE/MAPE error metrics the paper's
 //! Table II reports.
 //!
@@ -53,6 +60,7 @@ pub mod fast;
 pub mod grid;
 pub mod metrics;
 pub mod power;
+pub mod state;
 
 pub use backend::{AnyThermalAnalyzer, ThermalBackend};
 pub use cache::{FastModelKey, ThermalCacheStats, ThermalModelCache, ThermalPrep};
@@ -61,8 +69,20 @@ pub use error::ThermalError;
 pub use fast::{CharacterizationOptions, FastThermalModel};
 pub use grid::{GridThermalSolver, ThermalSolution};
 pub use metrics::ErrorMetrics;
+pub use state::ThermalState;
 
 use rlp_chiplet::{ChipletSystem, Placement};
+
+/// The one maximum-temperature reduction every evaluation path uses.
+///
+/// Bit-identity between the full and incremental engines requires the
+/// trait-default `max_temperature`, the fast model's allocation-free
+/// override and [`ThermalState`]'s maintained maximum to reduce in
+/// lockstep — sharing the fold makes that structural instead of a
+/// convention.
+pub(crate) fn fold_max(temps: impl IntoIterator<Item = f64>) -> f64 {
+    temps.into_iter().fold(f64::NEG_INFINITY, f64::max)
+}
 
 /// Common interface of the slow (grid) and fast (LTI) thermal analyzers.
 ///
@@ -94,7 +114,31 @@ pub trait ThermalAnalyzer {
         placement: &Placement,
     ) -> Result<f64, ThermalError> {
         let temps = self.chiplet_temperatures(system, placement)?;
-        Ok(temps.into_iter().fold(f64::NEG_INFINITY, f64::max))
+        Ok(fold_max(temps))
+    }
+
+    /// Incremental propose/commit/reject evaluation state for this analyzer
+    /// and placement, if the analyzer supports one.
+    ///
+    /// The default is `Ok(None)`: full recomputation is the only option
+    /// (the grid solver's field solve has no cheap per-move update). The
+    /// fast LTI model returns a [`ThermalState`] whose proposals cost O(n)
+    /// table lookups per moved chiplet and agree bit-for-bit with
+    /// [`ThermalAnalyzer::chiplet_temperatures`]; optimisation loops probe
+    /// this method and fall back to full evaluation on `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ThermalError`] if the analyzer supports incremental
+    /// evaluation but the state cannot be built for this system (e.g. an
+    /// interposer outline the model was not characterised for).
+    fn incremental_state(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+    ) -> Result<Option<ThermalState>, ThermalError> {
+        let _ = (system, placement);
+        Ok(None)
     }
 
     /// Short human-readable name used in benchmark reports.

@@ -1,0 +1,432 @@
+//! Incremental (propose/commit/reject) fast-model thermal evaluation.
+//!
+//! The [`crate::FastThermalModel`] full evaluation
+//! ([`crate::ThermalAnalyzer::chiplet_temperatures`]) rebuilds the full
+//! O(n²) mutual-heating superposition on every call. Inside a move-based
+//! optimisation loop that is wasteful: moving one chiplet only changes its
+//! own row and column of the mutual-contribution matrix. [`ThermalState`]
+//! maintains that matrix together with the per-chiplet temperature vector:
+//!
+//! * a proposed move re-derives the moved chiplet's self term and its
+//!   mutual row/column — O(n) table lookups instead of O(n²);
+//! * the temperature vector is then re-summed from the maintained terms in
+//!   exactly the order the full evaluation uses, so every proposed value
+//!   (and [`ThermalState::max_temperature`]) is **bit-identical** to a
+//!   from-scratch [`crate::ThermalAnalyzer::chiplet_temperatures`] of the
+//!   same placement — a running `+= delta` would drift over thousands of
+//!   moves and eventually flip a simulated-annealing accept decision;
+//! * all buffers are allocated once at construction and reused across
+//!   proposals — the hot path performs no heap allocation.
+//!
+//! The re-summation is an O(n²) pass of plain additions; the expensive
+//! per-move work (distances, resistance-table interpolations) is O(n).
+
+use crate::error::ThermalError;
+use crate::fast::FastThermalModel;
+use rlp_chiplet::{ChipletId, ChipletSystem, Placement, Point};
+
+/// Saved state of one changed chiplet, for rejecting a proposal.
+#[derive(Debug, Clone, Copy)]
+struct SavedChiplet {
+    index: usize,
+    center: Option<Point>,
+    self_term: f64,
+}
+
+/// Maintained fast-model evaluation state; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ThermalState {
+    model: FastThermalModel,
+    /// Number of chiplets in the system the state was built for.
+    n: usize,
+    /// Power of each chiplet, in watts (id order).
+    powers: Vec<f64>,
+    /// Centre of each placed chiplet (`None` when unplaced).
+    centers: Vec<Option<Point>>,
+    /// Self-heating term `R_self(w, h) · P_i` per chiplet (0 if unplaced).
+    self_terms: Vec<f64>,
+    /// Mutual-heating contributions, row-major `n × n`:
+    /// `mutual[i · n + j] = R_mutual(d_ij) · P_j` for placed `i ≠ j`, else 0.
+    mutual: Vec<f64>,
+    /// Committed per-chiplet temperatures (id order, °C).
+    temps: Vec<f64>,
+    /// Committed maximum chiplet temperature (°C).
+    max_temp: f64,
+    /// Whether a proposal is in flight.
+    pending: bool,
+    /// Candidate temperatures of the in-flight proposal.
+    pending_temps: Vec<f64>,
+    /// Candidate maximum of the in-flight proposal.
+    pending_max: f64,
+    /// Saved centre/self-term of each changed chiplet, for reject.
+    saved_chiplets: Vec<SavedChiplet>,
+    /// Saved `(flat index, previous value)` mutual entries, for reject.
+    saved_mutual: Vec<(usize, f64)>,
+}
+
+impl ThermalState {
+    /// Builds the maintained state for a system and placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::OutOfCharacterizedRange`] if the system's
+    /// interposer does not match the model's characterised outline.
+    pub(crate) fn build(
+        model: &FastThermalModel,
+        system: &ChipletSystem,
+        placement: &Placement,
+    ) -> Result<Self, ThermalError> {
+        model.check_system(system)?;
+        let n = system.chiplet_count();
+        let mut state = Self {
+            model: model.clone(),
+            n,
+            powers: system.chiplets().map(|(_, c)| c.power()).collect(),
+            centers: vec![None; n],
+            self_terms: vec![0.0; n],
+            mutual: vec![0.0; n * n],
+            temps: vec![0.0; n],
+            max_temp: f64::NEG_INFINITY,
+            pending: false,
+            pending_temps: vec![0.0; n],
+            pending_max: f64::NEG_INFINITY,
+            saved_chiplets: Vec::with_capacity(2),
+            saved_mutual: Vec::with_capacity(4 * n),
+        };
+        for id in system.chiplet_ids() {
+            state.refresh_chiplet(system, placement, id.index());
+        }
+        // `refresh_pair` writes both directions of a pair, so visiting the
+        // upper triangle covers the whole matrix.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                state.refresh_pair(i, j);
+            }
+        }
+        let mut temps = std::mem::take(&mut state.temps);
+        state.sum_temps(&mut temps);
+        state.max_temp = fold_max(&temps);
+        state.temps = temps;
+        Ok(state)
+    }
+
+    /// The model the state evaluates with.
+    pub fn model(&self) -> &FastThermalModel {
+        &self.model
+    }
+
+    /// Committed per-chiplet temperatures in degrees Celsius (id order) —
+    /// bit-identical to `chiplet_temperatures` of the committed placement.
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Committed maximum chiplet temperature in degrees Celsius.
+    pub fn max_temperature(&self) -> f64 {
+        self.max_temp
+    }
+
+    /// Re-derives the centre and self term of chiplet `index` from a
+    /// placement.
+    fn refresh_chiplet(&mut self, system: &ChipletSystem, placement: &Placement, index: usize) {
+        let id = ChipletId::from_index(index);
+        match placement.rect_of(id, system) {
+            Some(rect) => {
+                self.centers[index] = Some(rect.center());
+                self.self_terms[index] =
+                    self.model.self_resistance(rect.width, rect.height) * self.powers[index];
+            }
+            None => {
+                self.centers[index] = None;
+                self.self_terms[index] = 0.0;
+            }
+        }
+    }
+
+    /// Recomputes the `(i, j)` and `(j, i)` mutual contributions.
+    fn refresh_pair(&mut self, i: usize, j: usize) {
+        let (mij, mji) = match (self.centers[i], self.centers[j]) {
+            (Some(ci), Some(cj)) => {
+                let d = ci.euclidean_distance(cj);
+                let r = self.model.mutual_resistance(d);
+                (r * self.powers[j], r * self.powers[i])
+            }
+            _ => (0.0, 0.0),
+        };
+        self.mutual[i * self.n + j] = mij;
+        self.mutual[j * self.n + i] = mji;
+    }
+
+    /// Sums the maintained terms into `out`, replicating the full
+    /// evaluation's addition order exactly: `ambient + self`, then every
+    /// mutual contribution in chiplet-id order (unplaced pairs contribute
+    /// an exact `+ 0.0`).
+    fn sum_temps(&self, out: &mut [f64]) {
+        let ambient = self.model.ambient();
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = if self.centers[i].is_some() {
+                let mut t = ambient + self.self_terms[i];
+                let row = &self.mutual[i * self.n..(i + 1) * self.n];
+                for (j, &m) in row.iter().enumerate() {
+                    if j != i {
+                        t += m;
+                    }
+                }
+                t
+            } else {
+                ambient
+            };
+        }
+    }
+
+    /// Proposes a candidate placement that differs from the committed one
+    /// exactly in the chiplets listed in `changed`, and returns the
+    /// candidate's maximum chiplet temperature. The proposal stays pending
+    /// until [`ThermalState::commit`] or [`ThermalState::reject`] resolves
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a proposal is already pending.
+    pub fn propose(
+        &mut self,
+        system: &ChipletSystem,
+        candidate: &Placement,
+        changed: &[ChipletId],
+    ) -> f64 {
+        assert!(!self.pending, "a proposal is already pending");
+        self.saved_chiplets.clear();
+        self.saved_mutual.clear();
+        for &id in changed {
+            let index = id.index();
+            self.saved_chiplets.push(SavedChiplet {
+                index,
+                center: self.centers[index],
+                self_term: self.self_terms[index],
+            });
+            self.refresh_chiplet(system, candidate, index);
+        }
+        for (pos, &id) in changed.iter().enumerate() {
+            let k = id.index();
+            for j in 0..self.n {
+                if j == k {
+                    continue;
+                }
+                // A pair of two changed chiplets is refreshed when the
+                // first of them is processed.
+                if changed[..pos].iter().any(|&c| c.index() == j) {
+                    continue;
+                }
+                self.saved_mutual
+                    .push((k * self.n + j, self.mutual[k * self.n + j]));
+                self.saved_mutual
+                    .push((j * self.n + k, self.mutual[j * self.n + k]));
+                self.refresh_pair(k, j);
+            }
+        }
+        let mut pending_temps = std::mem::take(&mut self.pending_temps);
+        self.sum_temps(&mut pending_temps);
+        self.pending_max = fold_max(&pending_temps);
+        self.pending_temps = pending_temps;
+        self.pending = true;
+        self.pending_max
+    }
+
+    /// Keeps the pending proposal as the new committed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no proposal is pending.
+    pub fn commit(&mut self) {
+        assert!(self.pending, "no proposal to commit");
+        std::mem::swap(&mut self.temps, &mut self.pending_temps);
+        self.max_temp = self.pending_max;
+        self.saved_chiplets.clear();
+        self.saved_mutual.clear();
+        self.pending = false;
+    }
+
+    /// Discards the pending proposal, restoring the committed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no proposal is pending.
+    pub fn reject(&mut self) {
+        assert!(self.pending, "no proposal to reject");
+        while let Some((index, previous)) = self.saved_mutual.pop() {
+            self.mutual[index] = previous;
+        }
+        while let Some(saved) = self.saved_chiplets.pop() {
+            self.centers[saved.index] = saved.center;
+            self.self_terms[saved.index] = saved.self_term;
+        }
+        self.pending = false;
+    }
+}
+
+/// The exact reduction `ThermalAnalyzer::max_temperature` uses.
+fn fold_max(temps: &[f64]) -> f64 {
+    crate::fold_max(temps.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThermalConfig;
+    use crate::fast::CharacterizationOptions;
+    use crate::ThermalAnalyzer;
+    use rlp_chiplet::{Chiplet, Position, Rotation};
+
+    fn quick_model() -> FastThermalModel {
+        FastThermalModel::characterize(
+            &ThermalConfig::with_grid(12, 12),
+            40.0,
+            40.0,
+            &CharacterizationOptions {
+                footprint_samples_mm: vec![4.0, 8.0, 12.0],
+                distance_bins: 12,
+                ..CharacterizationOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn system() -> ChipletSystem {
+        let mut sys = ChipletSystem::new("t", 40.0, 40.0);
+        sys.add_chiplet(Chiplet::new("a", 8.0, 8.0, 30.0));
+        sys.add_chiplet(Chiplet::new("b", 6.0, 10.0, 15.0));
+        sys.add_chiplet(Chiplet::new("c", 5.0, 5.0, 8.0));
+        sys
+    }
+
+    fn placement(sys: &ChipletSystem) -> Placement {
+        let ids: Vec<_> = sys.chiplet_ids().collect();
+        let mut p = Placement::for_system(sys);
+        p.place(ids[0], Position::new(2.0, 2.0));
+        p.place(ids[1], Position::new(20.0, 5.0));
+        p.place(ids[2], Position::new(10.0, 28.0));
+        p
+    }
+
+    fn assert_bits_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn initial_state_matches_full_evaluation_bit_for_bit() {
+        let model = quick_model();
+        let sys = system();
+        let p = placement(&sys);
+        let state = model.state_for(&sys, &p).unwrap();
+        let full = model.chiplet_temperatures(&sys, &p).unwrap();
+        assert_bits_eq(state.temperatures(), &full);
+        assert_eq!(
+            state.max_temperature().to_bits(),
+            model.max_temperature(&sys, &p).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn committed_moves_track_the_full_evaluation() {
+        let model = quick_model();
+        let sys = system();
+        let mut p = placement(&sys);
+        let ids: Vec<_> = sys.chiplet_ids().collect();
+        let mut state = model.state_for(&sys, &p).unwrap();
+
+        let moves = [
+            (ids[1], Position::new(28.0, 25.0), Rotation::None),
+            (ids[0], Position::new(15.0, 15.0), Rotation::Quarter),
+            (ids[2], Position::new(2.0, 30.0), Rotation::None),
+        ];
+        for &(id, pos, rot) in &moves {
+            p.place_rotated(id, pos, rot);
+            let max = state.propose(&sys, &p, &[id]);
+            assert_eq!(
+                max.to_bits(),
+                model.max_temperature(&sys, &p).unwrap().to_bits()
+            );
+            state.commit();
+            let full = model.chiplet_temperatures(&sys, &p).unwrap();
+            assert_bits_eq(state.temperatures(), &full);
+        }
+    }
+
+    #[test]
+    fn rejected_moves_restore_the_committed_state() {
+        let model = quick_model();
+        let sys = system();
+        let p = placement(&sys);
+        let ids: Vec<_> = sys.chiplet_ids().collect();
+        let mut state = model.state_for(&sys, &p).unwrap();
+        let before: Vec<f64> = state.temperatures().to_vec();
+        let before_max = state.max_temperature();
+
+        let mut candidate = p.clone();
+        candidate.place(ids[0], Position::new(30.0, 30.0));
+        state.propose(&sys, &candidate, &[ids[0]]);
+        state.reject();
+        assert_bits_eq(state.temperatures(), &before);
+        assert_eq!(state.max_temperature().to_bits(), before_max.to_bits());
+
+        // A later proposal still agrees with the full evaluation.
+        let mut candidate = p.clone();
+        candidate.place(ids[2], Position::new(30.0, 2.0));
+        let max = state.propose(&sys, &candidate, &[ids[2]]);
+        assert_eq!(
+            max.to_bits(),
+            model.max_temperature(&sys, &candidate).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn two_chiplet_swaps_are_handled() {
+        let model = quick_model();
+        let sys = system();
+        let p = placement(&sys);
+        let ids: Vec<_> = sys.chiplet_ids().collect();
+        let mut state = model.state_for(&sys, &p).unwrap();
+
+        let mut candidate = p.clone();
+        let pa = p.position(ids[0]).unwrap();
+        let pb = p.position(ids[1]).unwrap();
+        candidate.place(ids[0], pb);
+        candidate.place(ids[1], pa);
+        let max = state.propose(&sys, &candidate, &[ids[0], ids[1]]);
+        assert_eq!(
+            max.to_bits(),
+            model.max_temperature(&sys, &candidate).unwrap().to_bits()
+        );
+        state.commit();
+        let full = model.chiplet_temperatures(&sys, &candidate).unwrap();
+        assert_bits_eq(state.temperatures(), &full);
+    }
+
+    #[test]
+    fn partial_placements_report_ambient_for_unplaced() {
+        let model = quick_model();
+        let sys = system();
+        let ids: Vec<_> = sys.chiplet_ids().collect();
+        let mut p = placement(&sys);
+        p.unplace(ids[2]);
+        let state = model.state_for(&sys, &p).unwrap();
+        let full = model.chiplet_temperatures(&sys, &p).unwrap();
+        assert_bits_eq(state.temperatures(), &full);
+        assert_eq!(state.temperatures()[2], model.ambient());
+    }
+
+    #[test]
+    fn mismatched_interposer_is_rejected() {
+        let model = quick_model();
+        let mut sys = ChipletSystem::new("t", 50.0, 50.0);
+        sys.add_chiplet(Chiplet::new("a", 6.0, 6.0, 20.0));
+        let p = Placement::for_system(&sys);
+        assert!(matches!(
+            model.state_for(&sys, &p),
+            Err(ThermalError::OutOfCharacterizedRange { .. })
+        ));
+    }
+}
