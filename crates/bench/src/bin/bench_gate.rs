@@ -1,0 +1,132 @@
+//! `bench_gate` — assemble and gate `rlplanner.bench/v1` reports.
+//!
+//! ```text
+//! bench_gate collect <out.json> <shards.jsonl>...
+//! bench_gate check <baseline.json> <current.json> [--max-regression-pct <p>]
+//! ```
+//!
+//! `collect` merges the JSONL shards that `cargo bench -- --save-json`
+//! appended into one documented `rlplanner.bench/v1` report at `out.json`.
+//!
+//! `check` compares the current report against a checked-in baseline and
+//! fails (exit 1) when any benchmark's median regressed by more than the
+//! threshold (default 25%) or a baseline benchmark disappeared; benchmarks
+//! new in the current report pass until the baseline is regenerated
+//! (`collect` over a fresh run, committed as the new baseline). Exit codes:
+//! 0 pass, 1 gate failure, 2 usage or parse error.
+
+use rlp_bench::report::{compare, parse_report, parse_shards, render_report};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_gate collect <out.json> <shards.jsonl>...\n\
+         \x20      bench_gate check <baseline.json> <current.json> [--max-regression-pct <p>]"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|err| format!("cannot read `{path}`: {err}"))
+}
+
+fn collect(out: &str, shards: &[String]) -> ExitCode {
+    let mut records = Vec::new();
+    for shard in shards {
+        let text = match read(shard) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::from(2);
+            }
+        };
+        match parse_shards(&text) {
+            Ok(mut parsed) => records.append(&mut parsed),
+            Err(err) => {
+                eprintln!("`{shard}`: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Err(err) = std::fs::write(out, render_report(&records) + "\n") {
+        eprintln!("cannot write `{out}`: {err}");
+        return ExitCode::from(2);
+    }
+    eprintln!("wrote {} benchmark(s) to {out}", records.len());
+    ExitCode::SUCCESS
+}
+
+fn check(baseline_path: &str, current_path: &str, max_regression_pct: f64) -> ExitCode {
+    let parse = |path: &str| -> Result<_, String> {
+        parse_report(&read(path)?).map_err(|err| format!("`{path}`: {err}"))
+    };
+    let (baseline, current) = match (parse(baseline_path), parse(current_path)) {
+        (Ok(baseline), Ok(current)) => (baseline, current),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("{err}");
+            return ExitCode::from(2);
+        }
+    };
+    for record in &current {
+        let against =
+            baseline
+                .iter()
+                .find(|b| b.id == record.id)
+                .map_or("new, not gated".to_string(), |b| {
+                    format!(
+                        "baseline {:.0} ns, {:+.1}%",
+                        b.median_ns,
+                        (record.median_ns / b.median_ns.max(f64::MIN_POSITIVE) - 1.0) * 100.0
+                    )
+                });
+        eprintln!(
+            "{:<55} median {:>12.0} ns ({against})",
+            record.id, record.median_ns
+        );
+    }
+    let findings = compare(&baseline, &current, max_regression_pct / 100.0);
+    if findings.is_empty() {
+        eprintln!(
+            "bench gate passed: {} benchmark(s) within {max_regression_pct}% of the baseline",
+            baseline.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "bench gate FAILED ({} finding(s), threshold {max_regression_pct}%):",
+        findings.len()
+    );
+    for finding in &findings {
+        eprintln!("  {finding}");
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("collect") if args.len() >= 3 => collect(&args[1], &args[2..]),
+        Some("check") if args.len() >= 3 => {
+            let mut max_regression_pct = 25.0;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                let value = match flag.as_str() {
+                    "--max-regression-pct" => rest.next().cloned(),
+                    _ => {
+                        eprintln!("unknown flag `{flag}`");
+                        return usage();
+                    }
+                };
+                max_regression_pct = match value.as_deref().map(str::parse::<f64>) {
+                    Some(Ok(pct)) if pct.is_finite() && pct >= 0.0 => pct,
+                    _ => {
+                        eprintln!("--max-regression-pct needs a non-negative number");
+                        return usage();
+                    }
+                };
+            }
+            check(&args[1], &args[2], max_regression_pct)
+        }
+        _ => usage(),
+    }
+}

@@ -5,7 +5,13 @@
 //! optimiser cost); the report binaries under the workspace `examples/`
 //! directory regenerate the *quality* columns (reward, wirelength,
 //! temperature). This crate carries the small amount of setup code both
-//! share.
+//! share, plus the bench-regression machinery CI runs: [`report`] defines
+//! the `rlplanner.bench/v1` document and the >25%-median gate, [`minijson`]
+//! the tiny JSON reader it needs, and the `bench_gate` binary the CLI over
+//! both.
+
+pub mod minijson;
+pub mod report;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -4,20 +4,24 @@
 //! [`rlp_engine::CampaignEngine`].
 //!
 //! ```text
-//! rlplanner_cli <system> <method> [budget] [--json]
+//! rlplanner_cli <system> <method> [budget] [--train-parallel <n>] [--json]
 //!
 //!   <system>   multi-gpu | cpu-dram | ascend910 | case1..case5
 //!   <method>   rl | rl-rnd | sa-hotspot | sa-fast
 //!   [budget]   candidate floorplans to evaluate: RL training episodes or
 //!              SA objective evaluations (default 100); must be a positive
 //!              integer — anything else is a usage error
+//!   --train-parallel  rollout workers collecting RL training episodes;
+//!              parallel collection is trajectory-invariant, so any value
+//!              produces the byte-identical result, only faster (default:
+//!              the method config's `parallel_envs`, i.e. 1)
 //!   --json     print the full outcome document (placement, reward
 //!              breakdown, telemetry, reproducibility manifest) as JSON
 //!              instead of the human-readable summary
 //!
 //! rlplanner_cli sweep [--systems <s,...>] [--methods <m,...>]
 //!                     [--seeds <n,...>] [--budget <n>] [--parallel <n>]
-//!                     [--json]
+//!                     [--train-parallel <n>] [--json]
 //!
 //!   --systems  comma-separated systems axis       (default: case1)
 //!   --methods  comma-separated method columns     (default: rl)
@@ -25,6 +29,8 @@
 //!   --budget   candidate floorplans per run       (default: 50)
 //!   --parallel worker threads; parallelism never changes outcomes, only
 //!              wall-clock                         (default: 1)
+//!   --train-parallel  rollout workers inside every RL run; also
+//!              outcome-invariant                  (default: 1)
 //!   --json     print the campaign document (`rlplanner.campaign/v1`)
 //!              instead of the human-readable cell table
 //! ```
@@ -51,9 +57,10 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rlplanner_cli <multi-gpu|cpu-dram|ascend910|case1..case5> \
-         <rl|rl-rnd|sa-hotspot|sa-fast> [budget] [--json]\n\
+         <rl|rl-rnd|sa-hotspot|sa-fast> [budget] [--train-parallel <n>] [--json]\n\
          \x20      rlplanner_cli sweep [--systems <s,...>] [--methods <m,...>] \
-         [--seeds <n,...>] [--budget <n>] [--parallel <n>] [--json]"
+         [--seeds <n,...>] [--budget <n>] [--parallel <n>] \
+         [--train-parallel <n>] [--json]"
     );
     ExitCode::from(2)
 }
@@ -105,6 +112,7 @@ struct SweepArgs {
     seeds: Vec<u64>,
     budget: usize,
     parallel: usize,
+    train_parallel: Option<usize>,
     json: bool,
 }
 
@@ -115,6 +123,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
         seeds: vec![7],
         budget: 50,
         parallel: 1,
+        train_parallel: None,
         json: false,
     };
     let mut iter = args.iter().peekable();
@@ -169,6 +178,19 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
                             format!("invalid parallelism `{value}`: expected a positive integer")
                         })?;
             }
+            "--train-parallel" => {
+                parsed.train_parallel = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            format!(
+                                "invalid rollout parallelism `{value}`: expected a positive integer"
+                            )
+                        })?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -187,6 +209,9 @@ fn run_sweep(args: &[String]) -> ExitCode {
         .budget(Budget::Evaluations(parsed.budget))
         .parallelism(parsed.parallel)
         .seeds(parsed.seeds.iter().copied());
+    if let Some(train_parallel) = parsed.train_parallel {
+        spec = spec.train_parallel(train_parallel);
+    }
     for name in &parsed.systems {
         let Some(system) = load_system(name) else {
             eprintln!("unknown system `{name}`");
@@ -228,7 +253,7 @@ fn run_sweep(args: &[String]) -> ExitCode {
             report.cache.characterization_time,
         );
         println!(
-            "{:<12}{:<12}{:>8}{:>12}{:>12}{:>12}{:>12}{:>10}{:>12}{:>14}",
+            "{:<12}{:<12}{:>8}{:>12}{:>12}{:>12}{:>12}{:>10}{:>12}{:>10}{:>14}",
             "system",
             "method",
             "seeds",
@@ -238,11 +263,15 @@ fn run_sweep(args: &[String]) -> ExitCode {
             "best seed",
             "evals",
             "us/eval",
+            "eps/s",
             "eval engine"
         );
         for cell in &report.cells {
+            let episodes_per_s = cell
+                .episodes_per_s
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.1}"));
             println!(
-                "{:<12}{:<12}{:>8}{:>12.4}{:>12.4}{:>12.4}{:>12}{:>10}{:>12.1}{:>14}",
+                "{:<12}{:<12}{:>8}{:>12.4}{:>12.4}{:>12.4}{:>12}{:>10}{:>12.1}{:>10}{:>14}",
                 cell.system,
                 cell.method,
                 cell.seeds.len(),
@@ -252,6 +281,7 @@ fn run_sweep(args: &[String]) -> ExitCode {
                 report.runs[cell.best_run].seed,
                 cell.eval_counts.total(),
                 cell.mean_eval_time.as_secs_f64() * 1e6,
+                episodes_per_s,
                 cell.eval_counts.mode().label(),
             );
         }
@@ -265,15 +295,47 @@ fn main() -> ExitCode {
         return run_sweep(&args[1..]);
     }
 
-    let (flags, positional): (Vec<&String>, Vec<&String>) =
-        args.iter().partition(|a| a.starts_with("--"));
-
     let mut json = false;
-    for flag in flags {
-        match flag.as_str() {
-            "--json" => json = true,
+    let mut train_parallel: Option<usize> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let Some(rest) = arg.strip_prefix("--") else {
+            positional.push(arg);
+            continue;
+        };
+        let (flag, inline) = match rest.split_once('=') {
+            Some((flag, value)) => (flag, Some(value.to_string())),
+            None => (rest, None),
+        };
+        match flag {
+            "json" => {
+                if inline.is_some() {
+                    eprintln!("--json takes no value");
+                    return usage();
+                }
+                json = true;
+            }
+            "train-parallel" => {
+                let value = match inline.or_else(|| iter.next().cloned()) {
+                    Some(value) => value,
+                    None => {
+                        eprintln!("--train-parallel needs a value");
+                        return usage();
+                    }
+                };
+                train_parallel = match value.parse::<usize>() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => {
+                        eprintln!(
+                            "invalid rollout parallelism `{value}`: expected a positive integer"
+                        );
+                        return usage();
+                    }
+                };
+            }
             other => {
-                eprintln!("unknown flag `{other}`");
+                eprintln!("unknown flag `--{other}`");
                 return usage();
             }
         }
@@ -301,13 +363,15 @@ fn main() -> ExitCode {
         None => 100,
     };
 
-    let request = match FloorplanRequest::builder()
+    let mut builder = FloorplanRequest::builder()
         .system(system)
         .method(method)
         .thermal(thermal)
-        .budget(Budget::Evaluations(budget))
-        .build()
-    {
+        .budget(Budget::Evaluations(budget));
+    if let Some(train_parallel) = train_parallel {
+        builder = builder.parallel_envs(train_parallel);
+    }
+    let request = match builder.build() {
         Ok(request) => request,
         Err(err) => {
             eprintln!("invalid request: {err}");

@@ -24,7 +24,7 @@
 //!       "best_seed": 8, "mean_reward": -1.9, "min_reward": -2.4,
 //!       "max_reward": -1.6, "total_runtime_s": 30.1,
 //!       "evaluations": 1800, "full_evals": 3, "incremental_evals": 1797,
-//!       "mean_eval_us": 16.7,
+//!       "mean_eval_us": 16.7, "episodes_per_s": 59.8,
 //!       "best": { "schema": "rlplanner.outcome/v1", ... }
 //!     }
 //!   ],
@@ -51,6 +51,9 @@
 //! `full_evals`/`incremental_evals` split it by evaluation engine, and
 //! `mean_eval_us` is the mean wall-clock per candidate evaluation in
 //! microseconds — the number the incremental engine exists to shrink.
+//! `episodes_per_s` is the cell's training throughput (total episodes over
+//! total runtime) — the number the parallel rollout engine exists to grow;
+//! it is `null` for cells without rollout telemetry (the SA baseline).
 //! `runs` holds one compact record per run, also in grid order, with the
 //! per-run evaluation-engine and cache telemetry that the cell and
 //! campaign levels aggregate.
@@ -110,6 +113,11 @@ pub struct CellSummary {
     /// (`total_runtime / eval_counts.total()`); zero when no evaluations
     /// ran. The per-move speed metric the incremental engine targets.
     pub mean_eval_time: Duration,
+    /// Training throughput across the cell's runs: total episodes divided
+    /// by total optimisation runtime, in episodes per second. `None` for
+    /// cells whose runs report no rollout telemetry (the SA baseline). The
+    /// per-episode speed metric the parallel rollout engine targets.
+    pub episodes_per_s: Option<f64>,
 }
 
 /// The aggregated result of one campaign; see the [module docs](self).
@@ -187,6 +195,7 @@ fn cell_json(report: &CampaignReport, cell: &CellSummary) -> String {
          \"full_evals\": {},\n\
          \"incremental_evals\": {},\n\
          \"mean_eval_us\": {},\n\
+         \"episodes_per_s\": {},\n\
          \"best\": {}",
         json_escape(&cell.system),
         json_escape(&cell.method),
@@ -200,6 +209,7 @@ fn cell_json(report: &CampaignReport, cell: &CellSummary) -> String {
         cell.eval_counts.full,
         cell.eval_counts.incremental,
         json_num(cell.mean_eval_time.as_secs_f64() * 1e6),
+        cell.episodes_per_s.map_or("null".to_string(), json_num),
         indent(
             &outcome_json(&report.systems[cell.system_index], &best.outcome),
             0

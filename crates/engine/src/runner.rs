@@ -227,6 +227,21 @@ fn aggregate(spec: &CampaignSpec, records: &[RunRecord]) -> Vec<CellSummary> {
                 0 => Duration::ZERO,
                 evals => Duration::from_secs_f64(total_runtime.as_secs_f64() / evals as f64),
             };
+            // Training throughput over the runs that report rollout
+            // telemetry (RL methods): total episodes / their total runtime.
+            let training_runs: Vec<&RunRecord> = members
+                .iter()
+                .filter(|(_, r)| r.outcome.training.is_some())
+                .map(|(_, r)| *r)
+                .collect();
+            let episodes_per_s = (!training_runs.is_empty()).then(|| {
+                let episodes: usize = training_runs.iter().map(|r| r.outcome.evaluations).sum();
+                let runtime: f64 = training_runs
+                    .iter()
+                    .map(|r| r.outcome.runtime.as_secs_f64())
+                    .sum();
+                episodes as f64 / runtime.max(f64::MIN_POSITIVE)
+            });
             cells.push(CellSummary {
                 system: system.name().to_string(),
                 system_index,
@@ -239,6 +254,7 @@ fn aggregate(spec: &CampaignSpec, records: &[RunRecord]) -> Vec<CellSummary> {
                 total_runtime,
                 eval_counts,
                 mean_eval_time,
+                episodes_per_s,
             });
         }
     }

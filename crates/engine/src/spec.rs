@@ -83,6 +83,7 @@ pub struct CampaignSpec {
     seeds: Vec<u64>,
     budget: Option<Budget>,
     parallelism: usize,
+    train_parallel: Option<usize>,
 }
 
 impl CampaignSpec {
@@ -115,6 +116,13 @@ impl CampaignSpec {
     /// Number of worker threads the engine uses for this campaign.
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Rollout-parallelism override applied to every RL run of the grid
+    /// (`None` leaves each method config's own `parallel_envs`). Like run
+    /// parallelism, it never changes outcomes, only wall-clock.
+    pub fn train_parallel(&self) -> Option<usize> {
+        self.train_parallel
     }
 
     /// Total number of runs the grid expands to.
@@ -170,6 +178,9 @@ impl CampaignSpec {
         if let Some(seed) = run.seed {
             builder = builder.seed(seed);
         }
+        if let Some(train_parallel) = self.train_parallel {
+            builder = builder.parallel_envs(train_parallel);
+        }
         builder.build()
     }
 }
@@ -182,6 +193,7 @@ pub struct CampaignSpecBuilder {
     seeds: Vec<u64>,
     budget: Option<Budget>,
     parallelism: usize,
+    train_parallel: Option<usize>,
 }
 
 impl Default for CampaignSpecBuilder {
@@ -192,6 +204,7 @@ impl Default for CampaignSpecBuilder {
             seeds: Vec::new(),
             budget: None,
             parallelism: 1,
+            train_parallel: None,
         }
     }
 }
@@ -254,6 +267,15 @@ impl CampaignSpecBuilder {
         self
     }
 
+    /// Rollout workers inside every RL run of the grid (default: each
+    /// method config's own `parallel_envs`). Parallel rollout collection
+    /// is trajectory-invariant, so this never changes outcomes either.
+    #[must_use]
+    pub fn train_parallel(mut self, train_parallel: usize) -> Self {
+        self.train_parallel = Some(train_parallel);
+        self
+    }
+
     /// Validates the axes and every (system, method) request of the grid.
     ///
     /// # Errors
@@ -291,12 +313,19 @@ impl CampaignSpecBuilder {
                 });
             }
         }
+        if self.train_parallel == Some(0) {
+            return Err(ConfigError::ExpectedPositive {
+                field: "train_parallel",
+                value: 0.0,
+            });
+        }
         let spec = CampaignSpec {
             methods: self.methods,
             systems: self.systems,
             seeds: self.seeds,
             budget: self.budget,
             parallelism: self.parallelism,
+            train_parallel: self.train_parallel,
         };
         // Validate the whole grid up front; seeds never invalidate a
         // request, so one probe per (system, method) cell suffices.
@@ -399,6 +428,27 @@ mod tests {
             spec.request(runs[1], None).unwrap().budget(),
             Some(Budget::Evaluations(5))
         );
+    }
+
+    #[test]
+    fn train_parallel_flows_into_every_grid_request() {
+        let spec = CampaignSpec::builder()
+            .system(tiny_system("s"))
+            .method(CampaignMethod::new("rl", Method::rl(), grid_backend()))
+            .train_parallel(3)
+            .build()
+            .unwrap();
+        assert_eq!(spec.train_parallel(), Some(3));
+        let request = spec.request(spec.expand()[0], None).unwrap();
+        assert_eq!(request.parallel_envs(), Some(3));
+
+        let err = CampaignSpec::builder()
+            .system(tiny_system("s"))
+            .method(CampaignMethod::new("rl", Method::rl(), grid_backend()))
+            .train_parallel(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "train_parallel");
     }
 
     #[test]

@@ -44,6 +44,10 @@ impl Layer for ReLU {
     }
 
     fn visit_parameters(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+
+    fn clone_box(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
+    }
 }
 
 /// Hyperbolic tangent activation.
@@ -84,6 +88,10 @@ impl Layer for Tanh {
     }
 
     fn visit_parameters(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+
+    fn clone_box(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -217,6 +217,10 @@ impl Layer for Conv2d {
         f(&mut self.weight);
         f(&mut self.bias);
     }
+
+    fn clone_box(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

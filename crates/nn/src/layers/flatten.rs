@@ -39,6 +39,10 @@ impl Layer for Flatten {
     }
 
     fn visit_parameters(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+
+    fn clone_box(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

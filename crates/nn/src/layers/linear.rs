@@ -111,6 +111,10 @@ impl Layer for Linear {
         f(&mut self.weight);
         f(&mut self.bias);
     }
+
+    fn clone_box(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,11 @@ use crate::{Parameter, Tensor};
 /// Gradients of trainable parameters are **accumulated** into
 /// [`Parameter::grad`]; call [`Layer::zero_grad`] (or
 /// [`crate::Adam::zero_grad`]) between optimisation steps.
+///
+/// Layers are `Send`-compatible plain data: [`Layer::clone_box`] produces an
+/// independent deep copy, which is how parallel rollout workers obtain their
+/// own policy network replica (`Box<dyn Layer + Send>` implements [`Clone`]
+/// through it).
 pub trait Layer {
     /// Runs the layer on a batch of inputs.
     ///
@@ -44,6 +49,10 @@ pub trait Layer {
     /// order.
     fn visit_parameters(&mut self, f: &mut dyn FnMut(&mut Parameter));
 
+    /// Returns an independent deep copy of the layer behind a boxed trait
+    /// object (parameters copied, cached activations included as-is).
+    fn clone_box(&self) -> Box<dyn Layer + Send>;
+
     /// Zeroes the gradients of all parameters.
     fn zero_grad(&mut self) {
         self.visit_parameters(&mut |p| p.zero_grad());
@@ -54,5 +63,11 @@ pub trait Layer {
         let mut count = 0;
         self.visit_parameters(&mut |p| count += p.value.len());
         count
+    }
+}
+
+impl Clone for Box<dyn Layer + Send> {
+    fn clone(&self) -> Self {
+        self.as_ref().clone_box()
     }
 }

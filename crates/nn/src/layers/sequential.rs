@@ -16,9 +16,9 @@ use crate::{Parameter, Tensor};
 /// let y = mlp.forward(&Tensor::zeros(vec![3, 2]), false);
 /// assert_eq!(y.shape(), &[3, 1]);
 /// ```
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct Sequential {
-    layers: Vec<Box<dyn Layer>>,
+    layers: Vec<Box<dyn Layer + Send>>,
 }
 
 impl Sequential {
@@ -28,7 +28,7 @@ impl Sequential {
     }
 
     /// Appends a layer to the end of the stack.
-    pub fn push(&mut self, layer: impl Layer + 'static) {
+    pub fn push(&mut self, layer: impl Layer + Send + 'static) {
         self.layers.push(Box::new(layer));
     }
 
@@ -73,6 +73,10 @@ impl Layer for Sequential {
             layer.visit_parameters(f);
         }
     }
+
+    fn clone_box(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +113,19 @@ mod tests {
         let y = seq.forward(&x, true);
         let grad = seq.backward(&Tensor::full(y.shape().to_vec(), 1.0));
         assert_eq!(grad.shape(), x.shape());
+    }
+
+    #[test]
+    fn cloned_network_is_an_independent_deep_copy() {
+        let mut seq = Sequential::new();
+        seq.push(Linear::new(2, 2, 0));
+        seq.push(ReLU::new());
+        let mut clone = seq.clone();
+        let x = Tensor::from_vec(vec![1.0, -1.0], vec![1, 2]);
+        assert_eq!(seq.forward(&x, false), clone.forward(&x, false));
+        // Mutating the clone's parameters leaves the original untouched.
+        clone.visit_parameters(&mut |p| p.value.data_mut()[0] += 1.0);
+        assert_ne!(seq.forward(&x, false), clone.forward(&x, false));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use rlp_nn::{Parameter, Tensor};
 /// works on the concatenated `[logits | value]` tensor, while
 /// [`ActorCritic::evaluate`] and [`ActorCritic::backward_heads`] offer a
 /// typed interface.
+#[derive(Clone)]
 pub struct ActorCritic {
     encoder: Sequential,
     policy_head: Linear,
@@ -124,6 +125,10 @@ impl Layer for ActorCritic {
         self.encoder.visit_parameters(f);
         self.policy_head.visit_parameters(f);
         self.value_head.visit_parameters(f);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
     }
 }
 

@@ -1,10 +1,12 @@
-//! Typed configuration errors.
+//! Typed configuration and runtime errors.
 //!
 //! Validation across the optimisation stack ([`crate::PpoConfig`], the
 //! planner-level configs in the `rlplanner` crate) reports the first invalid
 //! field through [`ConfigError`] instead of a bare `String`, so callers can
 //! match on the failure mode and error chains compose with
-//! [`std::error::Error`].
+//! [`std::error::Error`]. Runtime misuse of the training machinery (an
+//! update on an empty rollout, a rollout pool with no environments) is
+//! reported through [`RlError`] instead of panicking.
 
 use std::error::Error;
 use std::fmt;
@@ -104,6 +106,36 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// A runtime error from the training machinery.
+///
+/// The enum is `#[non_exhaustive]`: future training-loop failure modes may
+/// add variants without a breaking release, so downstream `match`es need a
+/// wildcard arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RlError {
+    /// [`crate::PpoAgent::update`] was called on an empty rollout buffer —
+    /// there is nothing to estimate advantages or gradients from.
+    EmptyRollout,
+    /// A [`crate::VecEnvPool`] was constructed with no environments.
+    EmptyPool,
+}
+
+impl fmt::Display for RlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlError::EmptyRollout => {
+                write!(f, "cannot run a PPO update on an empty rollout buffer")
+            }
+            RlError::EmptyPool => {
+                write!(f, "a rollout pool needs at least one environment")
+            }
+        }
+    }
+}
+
+impl Error for RlError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +169,14 @@ mod tests {
     fn errors_implement_std_error() {
         let err: Box<dyn Error> = Box::new(ConfigError::NotFinite { field: "alpha" });
         assert!(err.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn rl_errors_display_and_implement_std_error() {
+        let err: Box<dyn Error> = Box::new(RlError::EmptyRollout);
+        assert!(err.to_string().contains("empty rollout"));
+        let err: Box<dyn Error> = Box::new(RlError::EmptyPool);
+        assert!(err.to_string().contains("at least one environment"));
     }
 
     #[test]

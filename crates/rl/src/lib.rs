@@ -12,6 +12,10 @@
 //!   estimation (GAE).
 //! * [`PpoAgent`] — proximal policy optimisation with clipped surrogate
 //!   objective, entropy bonus, value loss and gradient clipping.
+//! * [`VecEnvPool`] — N independent environments plus the per-episode
+//!   seeding discipline that makes
+//!   [`PpoAgent::collect_episodes_parallel`] produce the bit-identical
+//!   trajectory at any parallelism level.
 //! * [`RandomNetworkDistillation`] — the RND exploration bonus used by the
 //!   "RLPlanner (RND)" variant.
 //! * [`TrainingObserver`] — streaming progress hook training loops report
@@ -40,11 +44,13 @@ pub mod error;
 pub mod ppo;
 pub mod progress;
 pub mod rnd;
+pub mod vec_env;
 
 pub use actor_critic::ActorCritic;
 pub use buffer::{RolloutBuffer, Transition};
 pub use env::{Environment, Observation, StepResult};
-pub use error::ConfigError;
+pub use error::{ConfigError, RlError};
 pub use ppo::{ActionSample, PpoAgent, PpoConfig, PpoStats};
 pub use progress::{NullTrainingObserver, TrainingObserver};
 pub use rnd::RandomNetworkDistillation;
+pub use vec_env::{episode_rng, ParallelEpisode, VecEnvPool};

@@ -3,8 +3,9 @@
 use crate::actor_critic::ActorCritic;
 use crate::buffer::{RolloutBuffer, Transition};
 use crate::env::{Environment, Observation};
-use crate::error::ConfigError;
+use crate::error::{ConfigError, RlError};
 use crate::rnd::RandomNetworkDistillation;
+use crate::vec_env::{episode_rng, ParallelEpisode, VecEnvPool};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -133,6 +134,10 @@ pub struct PpoStats {
     pub gradient_steps: usize,
 }
 
+/// One worker-collected episode: (slot, transitions, extrinsic reward,
+/// caller artifact).
+type CollectedEpisode<T> = (usize, Vec<Transition>, f64, T);
+
 /// A PPO agent wrapping an [`ActorCritic`] model.
 pub struct PpoAgent {
     model: ActorCritic,
@@ -179,17 +184,27 @@ impl PpoAgent {
         observation.state.reshape(shape)
     }
 
-    /// Samples an action from the masked policy for a single observation.
-    pub fn select_action(&mut self, observation: &Observation) -> ActionSample {
+    /// Samples a masked action for one observation with an explicit model
+    /// and rng — the kernel shared by the serial and parallel collectors.
+    fn sample_masked(
+        model: &mut ActorCritic,
+        observation: &Observation,
+        rng: &mut ChaCha8Rng,
+    ) -> ActionSample {
         let states = Self::batch_of_one(observation);
-        let (logits, values) = self.model.evaluate(&states, false);
+        let (logits, values) = model.evaluate(&states, false);
         let dist = Categorical::from_logits(logits.row(0).data(), Some(&observation.action_mask));
-        let action = dist.sample(&mut self.rng);
+        let action = dist.sample(rng);
         ActionSample {
             action,
             log_prob: dist.log_prob(action),
             value: values.get(&[0, 0]),
         }
+    }
+
+    /// Samples an action from the masked policy for a single observation.
+    pub fn select_action(&mut self, observation: &Observation) -> ActionSample {
+        Self::sample_masked(&mut self.model, observation, &mut self.rng)
     }
 
     /// Picks the most probable feasible action (no exploration).
@@ -259,14 +274,187 @@ impl PpoAgent {
         episode_reward
     }
 
+    /// Plays one episode on one environment with a dedicated policy replica
+    /// and per-episode rng; the worker body of the parallel collector.
+    fn run_episode<E: Environment>(
+        model: &mut ActorCritic,
+        env: &mut E,
+        rng: &mut ChaCha8Rng,
+    ) -> (Vec<Transition>, f64) {
+        let mut observation = env.reset();
+        let mut transitions = Vec::new();
+        let mut episode_reward = 0.0;
+        loop {
+            let sample = Self::sample_masked(model, &observation, rng);
+            let step = env.step(sample.action);
+            episode_reward += step.reward;
+            transitions.push(Transition {
+                state: observation.state.clone(),
+                action_mask: observation.action_mask.clone(),
+                action: sample.action,
+                log_prob: sample.log_prob,
+                value: sample.value,
+                reward: step.reward,
+                intrinsic_reward: 0.0,
+                done: step.done,
+            });
+            if step.done {
+                break;
+            }
+            observation = step
+                .observation
+                .expect("non-terminal step must produce an observation");
+        }
+        (transitions, episode_reward)
+    }
+
+    /// Collects `episodes` episodes across the pool's environments with a
+    /// `std::thread::scope` worker per environment, appending all
+    /// transitions to `buffer` **in episode order**.
+    ///
+    /// Episode `pool.episodes_started() + s` runs on environment
+    /// `s % pool.env_count()` with its own action-sampling stream
+    /// ([`episode_rng`]), and each worker steps a private clone of the
+    /// policy network (a single-environment pool skips the threads and
+    /// clones entirely and steps the agent's model inline). Consequently
+    /// the collected trajectory — transitions, rewards, everything — is
+    /// bit-identical for *any* pool size, and deterministic run-for-run
+    /// under a fixed run seed (provided the environments are reset-pure;
+    /// see [`VecEnvPool`]).
+    ///
+    /// When an RND module is supplied, intrinsic rewards and predictor
+    /// updates are applied in a serial post-pass in episode order, which
+    /// reproduces exactly what [`PpoAgent::collect_episode`] would have done
+    /// episode by episode (action sampling never depends on the bonuses).
+    ///
+    /// `artifact` is called on each environment right after it finishes an
+    /// episode (from the worker thread), letting callers extract per-episode
+    /// results — e.g. the final placement — without owning the environments.
+    ///
+    /// Returns one [`ParallelEpisode`] per episode, in episode order.
+    pub fn collect_episodes_parallel<E, T, F>(
+        &mut self,
+        pool: &mut VecEnvPool<E>,
+        episodes: usize,
+        buffer: &mut RolloutBuffer,
+        rnd: Option<&mut RandomNetworkDistillation>,
+        artifact: F,
+    ) -> Vec<ParallelEpisode<T>>
+    where
+        E: Environment + Send,
+        T: Send,
+        F: Fn(&E) -> T + Sync,
+    {
+        if episodes == 0 {
+            return Vec::new();
+        }
+        let workers = pool.env_count().min(episodes);
+        let base = pool.episodes_started();
+        let run_seed = pool.run_seed();
+
+        // Worker w owns environment w and runs episode slots w, w+workers,
+        // w+2*workers, ... — a static round-robin, so the slot→env map is
+        // independent of scheduling.
+        let per_worker: Vec<Vec<CollectedEpisode<T>>> = if workers == 1 {
+            // Single-worker fast path: step the agent's own model inline,
+            // skipping the thread spawn and the per-batch policy clone.
+            // Identical output to the threaded path — the per-episode
+            // streams make the trajectory worker-independent (asserted by
+            // the pool-size invariance tests).
+            let env = &mut pool.envs_mut()[0];
+            let mut collected = Vec::with_capacity(episodes);
+            for slot in 0..episodes {
+                let mut rng = episode_rng(run_seed, base + slot as u64);
+                let (transitions, reward) = Self::run_episode(&mut self.model, env, &mut rng);
+                collected.push((slot, transitions, reward, artifact(&*env)));
+            }
+            vec![collected]
+        } else {
+            let model = &self.model;
+            let artifact = &artifact;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = pool
+                    .envs_mut()
+                    .iter_mut()
+                    .take(workers)
+                    .enumerate()
+                    .map(|(w, env)| {
+                        let mut model = model.clone();
+                        scope.spawn(move || {
+                            let mut collected = Vec::new();
+                            let mut slot = w;
+                            while slot < episodes {
+                                let mut rng = episode_rng(run_seed, base + slot as u64);
+                                let (transitions, reward) =
+                                    Self::run_episode(&mut model, env, &mut rng);
+                                collected.push((slot, transitions, reward, artifact(&*env)));
+                                slot += workers;
+                            }
+                            collected
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("rollout worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Merge back into episode order.
+        let mut ordered: Vec<Option<CollectedEpisode<T>>> = (0..episodes).map(|_| None).collect();
+        for (w, collected) in per_worker.into_iter().enumerate() {
+            for (slot, transitions, reward, art) in collected {
+                ordered[slot] = Some((w, transitions, reward, art));
+            }
+        }
+
+        // RND post-pass: bonuses and predictor updates in episode order,
+        // replicating the serial collector's exact call sequence.
+        if let Some(rnd) = rnd {
+            for entry in ordered.iter_mut() {
+                let (_, transitions, _, _) = entry.as_mut().expect("every slot was collected");
+                if transitions.len() > 1 {
+                    let visited: Vec<Tensor> =
+                        transitions[1..].iter().map(|t| t.state.clone()).collect();
+                    for (j, state) in visited.iter().enumerate() {
+                        transitions[j].intrinsic_reward = rnd.bonus(state);
+                    }
+                    let refs: Vec<&Tensor> = visited.iter().collect();
+                    rnd.update(&refs);
+                }
+            }
+        }
+
+        let mut reports = Vec::with_capacity(episodes);
+        for (slot, entry) in ordered.into_iter().enumerate() {
+            let (env, transitions, reward, art) = entry.expect("every slot was collected");
+            let count = transitions.len();
+            for transition in transitions {
+                buffer.push(transition);
+            }
+            reports.push(ParallelEpisode {
+                episode: base + slot as u64,
+                env,
+                reward,
+                transitions: count,
+                artifact: art,
+            });
+        }
+        pool.advance(episodes as u64);
+        reports
+    }
+
     /// Runs a PPO update on the collected rollout and clears nothing — the
     /// caller decides when to clear the buffer.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the buffer is empty.
-    pub fn update(&mut self, buffer: &mut RolloutBuffer) -> PpoStats {
-        assert!(!buffer.is_empty(), "cannot update from an empty rollout");
+    /// Returns [`RlError::EmptyRollout`] if the buffer is empty.
+    pub fn update(&mut self, buffer: &mut RolloutBuffer) -> Result<PpoStats, RlError> {
+        if buffer.is_empty() {
+            return Err(RlError::EmptyRollout);
+        }
         buffer.compute_gae(self.config.gamma, self.config.gae_lambda, 0.0);
         let n = buffer.len();
         let mut indices: Vec<usize> = (0..n).collect();
@@ -349,7 +537,7 @@ impl PpoAgent {
         if entropy_samples > 0 {
             stats.entropy = accumulated_entropy / entropy_samples as f32;
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -434,7 +622,7 @@ mod tests {
             for _ in 0..16 {
                 agent.collect_episode(&mut env, &mut buffer, None);
             }
-            agent.update(&mut buffer);
+            agent.update(&mut buffer).expect("non-empty rollout");
         }
         let obs = env.reset();
         assert_eq!(
@@ -454,7 +642,7 @@ mod tests {
             for _ in 0..8 {
                 agent.collect_episode(&mut env, &mut buffer, None);
             }
-            agent.update(&mut buffer);
+            agent.update(&mut buffer).expect("non-empty rollout");
         }
         let obs = env.reset();
         let action = agent.greedy_action(&obs);
@@ -470,7 +658,7 @@ mod tests {
             for _ in 0..16 {
                 agent.collect_episode(&mut env, &mut buffer, None);
             }
-            agent.update(&mut buffer);
+            agent.update(&mut buffer).expect("non-empty rollout");
         }
         let obs = env.reset();
         let value = agent.value_of(&obs);
@@ -486,7 +674,7 @@ mod tests {
         for _ in 0..8 {
             agent.collect_episode(&mut env, &mut buffer, None);
         }
-        let stats = agent.update(&mut buffer);
+        let stats = agent.update(&mut buffer).expect("non-empty rollout");
         assert!(stats.gradient_steps > 0);
         assert!(stats.entropy > 0.0);
         assert!(stats.value_loss >= 0.0);
@@ -503,10 +691,148 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty rollout")]
-    fn update_requires_data() {
+    fn update_on_an_empty_rollout_is_a_typed_error() {
         let mut agent = bandit_agent(0);
-        agent.update(&mut RolloutBuffer::new());
+        let err = agent.update(&mut RolloutBuffer::new()).unwrap_err();
+        assert_eq!(err, RlError::EmptyRollout);
+    }
+
+    /// All trainable scalars of the agent's model, flattened.
+    fn policy_parameters(agent: &mut PpoAgent) -> Vec<f32> {
+        let mut params = Vec::new();
+        agent
+            .model_mut()
+            .visit_parameters(&mut |p| params.extend_from_slice(p.value.data()));
+        params
+    }
+
+    /// A chain whose episode length depends on the sampled actions: each
+    /// step advances by `action + 1` positions and the episode ends at
+    /// position 4. Variable lengths stress the order-stable merge.
+    struct Chain {
+        pos: usize,
+    }
+
+    impl Chain {
+        fn new() -> Self {
+            Self { pos: 0 }
+        }
+        fn observe(&self) -> Observation {
+            Observation::new(
+                Tensor::from_vec(vec![self.pos as f32 / 4.0, 1.0], vec![2]),
+                vec![true; 3],
+            )
+        }
+    }
+
+    impl Environment for Chain {
+        fn reset(&mut self) -> Observation {
+            self.pos = 0;
+            self.observe()
+        }
+        fn step(&mut self, action: usize) -> StepResult {
+            self.pos += action + 1;
+            if self.pos >= 4 {
+                StepResult {
+                    observation: None,
+                    reward: f64::from(self.pos as u32),
+                    done: true,
+                }
+            } else {
+                StepResult {
+                    observation: Some(self.observe()),
+                    reward: -0.1,
+                    done: false,
+                }
+            }
+        }
+        fn action_count(&self) -> usize {
+            3
+        }
+        fn observation_shape(&self) -> Vec<usize> {
+            vec![2]
+        }
+    }
+
+    #[test]
+    fn parallel_collection_is_pool_size_invariant() {
+        let run = |pool_size: usize, use_rnd: bool| {
+            let mut agent = bandit_agent(11);
+            let mut rnd = use_rnd.then(|| crate::RandomNetworkDistillation::new(2, 8, 4, 0.5, 3));
+            let envs: Vec<Chain> = (0..pool_size).map(|_| Chain::new()).collect();
+            let mut pool = VecEnvPool::new(envs, 99).unwrap();
+            let mut buffer = RolloutBuffer::new();
+            let reports =
+                agent.collect_episodes_parallel(&mut pool, 8, &mut buffer, rnd.as_mut(), |_| ());
+            agent.update(&mut buffer).unwrap();
+            let rewards: Vec<f64> = reports.iter().map(|r| r.reward).collect();
+            (
+                rewards,
+                buffer.transitions().to_vec(),
+                policy_parameters(&mut agent),
+            )
+        };
+        for use_rnd in [false, true] {
+            let serial = run(1, use_rnd);
+            assert_eq!(
+                serial,
+                run(2, use_rnd),
+                "pool of 2 diverged (rnd={use_rnd})"
+            );
+            assert_eq!(
+                serial,
+                run(4, use_rnd),
+                "pool of 4 diverged (rnd={use_rnd})"
+            );
+        }
+        // The chain really produces multi-step episodes (otherwise the RND
+        // post-pass would be vacuous).
+        let (_, transitions, _) = run(2, true);
+        assert!(transitions.len() > 8);
+        assert!(transitions.iter().any(|t| t.intrinsic_reward != 0.0));
+    }
+
+    #[test]
+    fn parallel_reports_are_in_episode_order_with_round_robin_envs() {
+        let mut agent = bandit_agent(4);
+        let envs: Vec<Bandit> = (0..3).map(|_| Bandit::new()).collect();
+        let mut pool = VecEnvPool::new(envs, 5).unwrap();
+        let mut buffer = RolloutBuffer::new();
+        let reports = agent.collect_episodes_parallel(&mut pool, 7, &mut buffer, None, |_| ());
+        assert_eq!(reports.len(), 7);
+        assert_eq!(buffer.len(), 7);
+        for (slot, report) in reports.iter().enumerate() {
+            assert_eq!(report.episode, slot as u64);
+            assert_eq!(report.env, slot % 3);
+            assert_eq!(report.transitions, 1);
+        }
+        assert_eq!(pool.episodes_started(), 7);
+        // A second pass continues the global episode numbering.
+        let reports = agent.collect_episodes_parallel(&mut pool, 2, &mut buffer, None, |_| ());
+        assert_eq!(reports[0].episode, 7);
+        assert_eq!(reports[1].episode, 8);
+    }
+
+    #[test]
+    fn parallel_collection_extracts_artifacts_from_the_finished_env() {
+        let mut agent = bandit_agent(6);
+        let mut pool = VecEnvPool::new(vec![Bandit::new(), Bandit::new()], 1).unwrap();
+        let mut buffer = RolloutBuffer::new();
+        let reports =
+            agent.collect_episodes_parallel(&mut pool, 4, &mut buffer, None, |env| env.mask.len());
+        assert!(reports.iter().all(|r| r.artifact == 3));
+    }
+
+    #[test]
+    fn parallel_collection_of_zero_episodes_is_a_no_op() {
+        let mut agent = bandit_agent(6);
+        let mut pool = VecEnvPool::new(vec![Bandit::new()], 1).unwrap();
+        let mut buffer = RolloutBuffer::new();
+        let reports: Vec<crate::ParallelEpisode<()>> =
+            agent.collect_episodes_parallel(&mut pool, 0, &mut buffer, None, |_| ());
+        assert!(reports.is_empty());
+        assert!(buffer.is_empty());
+        assert_eq!(pool.episodes_started(), 0);
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub trait TrainingObserver {
     fn on_update(&mut self, stats: &PpoStats) {
         let _ = stats;
     }
+
+    /// Called once per episode collected by a parallel rollout pass, in
+    /// episode order, naming the pool environment that ran it. Serial
+    /// training loops never emit this event; parallel loops emit it right
+    /// before the episode's [`TrainingObserver::on_episode`].
+    fn on_env_episode(&mut self, env_index: usize, episode_index: usize, reward: f64) {
+        let _ = (env_index, episode_index, reward);
+    }
 }
 
 /// An observer that ignores every event; the default when a caller does not
@@ -56,6 +64,7 @@ mod tests {
         let mut observer = NullTrainingObserver;
         observer.on_episode(0, -1.0, -1.0);
         observer.on_update(&PpoStats::default());
+        observer.on_env_episode(0, 0, -1.0);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! caller.
 
 use crate::baseline::Tap25dBaseline;
-use crate::outcome::{EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample};
+use crate::outcome::{
+    EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample, TrainingTelemetry,
+};
 use crate::planner::RlPlanner;
 use crate::request::{FloorplanRequest, Method};
 use rlp_rl::{ConfigError, PpoStats, TrainingObserver};
@@ -207,6 +209,11 @@ impl Planner for PpoPlanner {
                     incremental: 0,
                 },
             },
+            training: Some(TrainingTelemetry {
+                parallel_envs: result.parallel_envs,
+                episodes_per_s: result.episodes_per_s,
+                merge_order_hash: result.merge_order_hash,
+            }),
             runtime: result.runtime,
             thermal_prep,
             manifest: manifest_for(request, resolved),
@@ -249,6 +256,8 @@ impl Planner for SaBaselinePlanner {
                 mode: result.eval_counts.mode(),
                 counts: result.eval_counts,
             },
+            // The SA baseline has no rollout pool to report on.
+            training: None,
             runtime: result.runtime,
             thermal_prep,
             manifest: manifest_for(request, resolved),

@@ -96,7 +96,9 @@ pub use agent::AgentConfig;
 pub use baseline::{Tap25dBaseline, Tap25dResult};
 pub use env::{EnvConfig, FloorplanEnv};
 pub use facade::{planner_for, PlanError, Planner, PpoPlanner, SaBaselinePlanner};
-pub use outcome::{EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample};
+pub use outcome::{
+    EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample, TrainingTelemetry,
+};
 pub use planner::{RlPlanner, RlPlannerConfig, TrainingResult, TrainingStalled};
 pub use request::{Budget, FloorplanRequest, FloorplanRequestBuilder, Method, PrebuiltThermal};
 pub use reward::{DeltaRewardObjective, RewardBreakdown, RewardCalculator, RewardConfig};

@@ -30,6 +30,25 @@ pub struct EvalTelemetry {
     pub counts: EvalCounts,
 }
 
+/// Rollout telemetry of a training run: how the episodes were collected.
+///
+/// Only RL methods produce this (the SA baseline has no rollout pool). The
+/// JSON report surfaces it as the `training` object. Because parallel
+/// collection is trajectory-invariant — every episode's action stream is
+/// keyed by `(seed, episode index)` and transitions merge in episode order —
+/// `parallel_envs` changes only `episodes_per_s`, never the outcome, and
+/// `merge_order_hash` fingerprints the merge sequence so an order
+/// regression is immediately visible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingTelemetry {
+    /// Environments the rollout pool stepped concurrently.
+    pub parallel_envs: usize,
+    /// Episodes collected per wall-clock second.
+    pub episodes_per_s: f64,
+    /// FNV-1a hash over the `(episode index, env index)` merge sequence.
+    pub merge_order_hash: u64,
+}
+
 /// One telemetry point: a candidate floorplan evaluated during the run.
 ///
 /// For RL methods a sample is one training episode; for SA it is one
@@ -84,6 +103,9 @@ pub struct FloorplanOutcome {
     /// Which evaluation engine served the candidates, and how many each
     /// engine handled; see [`EvalTelemetry`].
     pub evaluation: EvalTelemetry,
+    /// Rollout-collection telemetry; `Some` for RL methods, `None` for the
+    /// SA baseline. See [`TrainingTelemetry`].
+    pub training: Option<TrainingTelemetry>,
     /// Wall-clock runtime of the optimisation (excluding thermal-backend
     /// characterisation, which [`FloorplanOutcome::thermal_prep`] accounts
     /// for separately).
@@ -152,6 +174,7 @@ mod tests {
                     incremental: 0,
                 },
             },
+            training: None,
             telemetry,
             runtime: Duration::from_millis(1),
             thermal_prep: ThermalPrep::default(),

@@ -6,7 +6,7 @@ use crate::reward::{RewardBreakdown, RewardCalculator, RewardConfig};
 use rlp_chiplet::{ChipletSystem, Placement};
 use rlp_rl::{
     ConfigError, Environment, NullTrainingObserver, PpoAgent, PpoConfig, RandomNetworkDistillation,
-    RolloutBuffer, TrainingObserver,
+    RolloutBuffer, TrainingObserver, VecEnvPool,
 };
 use rlp_thermal::ThermalAnalyzer;
 use serde::{Deserialize, Serialize};
@@ -20,6 +20,12 @@ pub struct RlPlannerConfig {
     pub episodes: usize,
     /// Episodes collected per PPO update.
     pub episodes_per_update: usize,
+    /// Environments stepped concurrently while collecting episodes (1 =
+    /// one rollout worker). Parallelism never changes results: every
+    /// episode's action stream is keyed by `(seed, episode index)` and
+    /// transitions merge in episode order, so any value produces the
+    /// bit-identical trajectory — only wall-clock changes.
+    pub parallel_envs: usize,
     /// Enables the RND exploration bonus (the "RLPlanner (RND)" variant).
     pub use_rnd: bool,
     /// PPO hyper-parameters.
@@ -39,6 +45,7 @@ impl Default for RlPlannerConfig {
         Self {
             episodes: 600,
             episodes_per_update: 8,
+            parallel_envs: 1,
             use_rnd: false,
             ppo: PpoConfig {
                 learning_rate: 1e-3,
@@ -69,6 +76,12 @@ impl RlPlannerConfig {
         if self.episodes_per_update == 0 {
             return Err(ConfigError::ExpectedPositive {
                 field: "episodes_per_update",
+                value: 0.0,
+            });
+        }
+        if self.parallel_envs == 0 {
+            return Err(ConfigError::ExpectedPositive {
+                field: "parallel_envs",
                 value: 0.0,
             });
         }
@@ -107,6 +120,15 @@ pub struct TrainingResult {
     pub episodes_run: usize,
     /// Wall-clock training time.
     pub runtime: Duration,
+    /// Environments the rollout pool stepped concurrently.
+    pub parallel_envs: usize,
+    /// Training throughput: episodes collected per wall-clock second.
+    pub episodes_per_s: f64,
+    /// FNV-1a hash over the `(episode index, environment index)` merge
+    /// sequence — a fingerprint of the order transitions entered the
+    /// rollout buffer. Fixed seed + fixed `parallel_envs` always reproduce
+    /// the same hash, making merge-order regressions visible in telemetry.
+    pub merge_order_hash: u64,
 }
 
 impl TrainingResult {
@@ -118,15 +140,21 @@ impl TrainingResult {
     }
 }
 
-/// The RLPlanner: a PPO agent training on the floorplanning environment.
+/// The RLPlanner: a PPO agent training on a pool of floorplanning
+/// environments.
+///
+/// The pool holds `config.parallel_envs` replicas of the environment, each
+/// wrapping a clone of the (typically cache-served) thermal analyzer, so
+/// expensive characterisation still happens once upstream — see
+/// [`crate::PrebuiltThermal`].
 pub struct RlPlanner<A> {
-    env: FloorplanEnv<A>,
+    pool: VecEnvPool<FloorplanEnv<A>>,
     agent: PpoAgent,
     rnd: Option<RandomNetworkDistillation>,
     config: RlPlannerConfig,
 }
 
-impl<A: ThermalAnalyzer> RlPlanner<A> {
+impl<A: ThermalAnalyzer + Clone + Send> RlPlanner<A> {
     /// Builds a planner for a system with the given thermal backend.
     ///
     /// # Errors
@@ -142,9 +170,12 @@ impl<A: ThermalAnalyzer> RlPlanner<A> {
         config.validate()?;
         reward_config.validate()?;
         let reward = RewardCalculator::new(system, analyzer, reward_config);
-        let env = FloorplanEnv::new(reward, config.env);
-        let observation_shape = env.observation_shape();
-        let action_count = env.action_count();
+        let envs: Vec<FloorplanEnv<A>> = (0..config.parallel_envs)
+            .map(|_| FloorplanEnv::new(reward.clone(), config.env))
+            .collect();
+        let observation_shape = envs[0].observation_shape();
+        let action_count = envs[0].action_count();
+        let pool = VecEnvPool::new(envs, config.seed).expect("parallel_envs validated positive");
         let model = build_actor_critic(&observation_shape, action_count, &config.agent);
         let agent = PpoAgent::new(model, config.ppo.clone(), config.seed);
         let rnd = if config.use_rnd {
@@ -153,7 +184,7 @@ impl<A: ThermalAnalyzer> RlPlanner<A> {
             None
         };
         Ok(Self {
-            env,
+            pool,
             agent,
             rnd,
             config,
@@ -165,9 +196,10 @@ impl<A: ThermalAnalyzer> RlPlanner<A> {
         &self.config
     }
 
-    /// The underlying environment (e.g. to inspect the reward calculator).
+    /// The first pooled environment (e.g. to inspect the reward
+    /// calculator); all pool members are interchangeable replicas.
     pub fn env(&self) -> &FloorplanEnv<A> {
-        &self.env
+        &self.pool.envs()[0]
     }
 
     /// Runs the training loop and returns the best floorplan found.
@@ -186,6 +218,13 @@ impl<A: ThermalAnalyzer> RlPlanner<A> {
     /// Runs the training loop like [`RlPlanner::train`], reporting every
     /// finished episode and every PPO update to `observer` as it happens.
     ///
+    /// Episodes are collected through the vectorised rollout engine
+    /// ([`rlp_rl::PpoAgent::collect_episodes_parallel`]) over the pool's
+    /// `parallel_envs` environments; transitions merge in episode order, so
+    /// the trajectory (and everything downstream) is independent of the
+    /// parallelism level. The wall-clock budget is checked once per
+    /// collection batch.
+    ///
     /// # Errors
     ///
     /// Returns [`TrainingStalled`] if training never produces a complete
@@ -200,48 +239,62 @@ impl<A: ThermalAnalyzer> RlPlanner<A> {
         let mut best_episode_reward = f64::NEG_INFINITY;
         let mut buffer = RolloutBuffer::new();
         let mut episodes_run = 0usize;
+        let mut merge_order_hash = FNV_OFFSET;
 
-        'training: while episodes_run < self.config.episodes {
-            buffer.clear();
-            for _ in 0..self.config.episodes_per_update {
-                if episodes_run >= self.config.episodes {
+        while episodes_run < self.config.episodes {
+            if let Some(budget) = self.config.time_budget {
+                if start.elapsed() > budget {
                     break;
                 }
-                if let Some(budget) = self.config.time_budget {
-                    if start.elapsed() > budget {
-                        break 'training;
-                    }
-                }
-                let episode_reward =
-                    self.agent
-                        .collect_episode(&mut self.env, &mut buffer, self.rnd.as_mut());
+            }
+            let batch = (self.config.episodes - episodes_run).min(self.config.episodes_per_update);
+            buffer.clear();
+            let reports = self.agent.collect_episodes_parallel(
+                &mut self.pool,
+                batch,
+                &mut buffer,
+                self.rnd.as_mut(),
+                |env| env.last_breakdown().map(|b| (env.placement().clone(), b)),
+            );
+            for report in reports {
+                let index = episodes_run;
                 episodes_run += 1;
-                reward_history.push(episode_reward);
-                best_episode_reward = best_episode_reward.max(episode_reward);
-                observer.on_episode(episodes_run - 1, episode_reward, best_episode_reward);
-                if let Some(breakdown) = self.env.last_breakdown() {
+                merge_order_hash = fnv1a_mix(merge_order_hash, report.episode);
+                merge_order_hash = fnv1a_mix(merge_order_hash, report.env as u64);
+                reward_history.push(report.reward);
+                best_episode_reward = best_episode_reward.max(report.reward);
+                observer.on_env_episode(report.env, index, report.reward);
+                observer.on_episode(index, report.reward, best_episode_reward);
+                if let Some((placement, breakdown)) = report.artifact {
                     let is_better = best
                         .as_ref()
                         .map(|(_, b)| breakdown.reward > b.reward)
                         .unwrap_or(true);
                     if is_better {
-                        best = Some((self.env.placement().clone(), breakdown));
+                        best = Some((placement, breakdown));
                     }
                 }
             }
             if !buffer.is_empty() {
-                let stats = self.agent.update(&mut buffer);
+                let stats = self
+                    .agent
+                    .update(&mut buffer)
+                    .expect("a collected batch holds at least one transition");
                 observer.on_update(&stats);
             }
         }
 
+        let runtime = start.elapsed();
         let (best_placement, best_breakdown) = best.ok_or(TrainingStalled)?;
         Ok(TrainingResult {
             best_placement,
             best_breakdown,
             reward_history,
             episodes_run,
-            runtime: start.elapsed(),
+            runtime,
+            parallel_envs: self.config.parallel_envs,
+            episodes_per_s: episodes_run as f64 / runtime.as_secs_f64().max(f64::MIN_POSITIVE),
+            merge_order_hash,
         })
     }
 
@@ -249,18 +302,32 @@ impl<A: ThermalAnalyzer> RlPlanner<A> {
     /// its breakdown, or `None` if the greedy episode failed to complete a
     /// placement.
     pub fn evaluate_greedy(&mut self) -> Option<RewardBreakdown> {
-        let mut observation = self.env.reset();
+        let env = &mut self.pool.envs_mut()[0];
+        let mut observation = env.reset();
         loop {
             let action = self.agent.greedy_action(&observation);
-            let step = self.env.step(action);
+            let step = env.step(action);
             if step.done {
-                return self.env.last_breakdown();
+                return env.last_breakdown();
             }
             observation = step
                 .observation
                 .expect("non-terminal step has an observation");
         }
     }
+}
+
+/// FNV-1a offset basis (64 bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one value into an FNV-1a hash, byte by byte.
+fn fnv1a_mix(hash: u64, value: u64) -> u64 {
+    let mut hash = hash;
+    for byte in value.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
 }
 
 impl<A> std::fmt::Debug for RlPlanner<A> {
@@ -387,6 +454,88 @@ mod tests {
         .unwrap();
         let result = planner.train();
         assert!(result.episodes_run < 1000);
+    }
+
+    #[test]
+    fn parallel_envs_never_change_the_training_result() {
+        let train = |parallel_envs: usize, use_rnd: bool| {
+            let mut planner = RlPlanner::new(
+                small_system(),
+                fast_model(36.0),
+                RewardConfig::default(),
+                RlPlannerConfig {
+                    parallel_envs,
+                    ..quick_config(8, use_rnd)
+                },
+            )
+            .unwrap();
+            let result = planner.train();
+            (
+                result.best_placement,
+                result.best_breakdown,
+                result.reward_history,
+            )
+        };
+        for use_rnd in [false, true] {
+            let serial = train(1, use_rnd);
+            assert_eq!(serial, train(2, use_rnd), "2 envs diverged (rnd={use_rnd})");
+            assert_eq!(serial, train(3, use_rnd), "3 envs diverged (rnd={use_rnd})");
+        }
+    }
+
+    #[test]
+    fn training_result_reports_rollout_telemetry() {
+        let run = || {
+            let mut planner = RlPlanner::new(
+                small_system(),
+                fast_model(36.0),
+                RewardConfig::default(),
+                RlPlannerConfig {
+                    parallel_envs: 2,
+                    ..quick_config(8, false)
+                },
+            )
+            .unwrap();
+            planner.train()
+        };
+        let result = run();
+        assert_eq!(result.parallel_envs, 2);
+        assert!(result.episodes_per_s > 0.0);
+        // The merge-order fingerprint is reproducible run for run.
+        assert_eq!(result.merge_order_hash, run().merge_order_hash);
+    }
+
+    #[test]
+    fn observer_receives_per_env_episode_events() {
+        #[derive(Default)]
+        struct EnvRecorder {
+            events: Vec<(usize, usize)>,
+        }
+        impl TrainingObserver for EnvRecorder {
+            fn on_env_episode(&mut self, env_index: usize, episode_index: usize, _reward: f64) {
+                self.events.push((env_index, episode_index));
+            }
+        }
+
+        let mut planner = RlPlanner::new(
+            small_system(),
+            fast_model(36.0),
+            RewardConfig::default(),
+            RlPlannerConfig {
+                parallel_envs: 2,
+                ..quick_config(8, false)
+            },
+        )
+        .unwrap();
+        let mut recorder = EnvRecorder::default();
+        let result = planner.train_observed(&mut recorder).unwrap();
+        assert_eq!(recorder.events.len(), result.episodes_run);
+        // Episode indices are dense and env indices round-robin the pool
+        // (each batch of 4 episodes alternates between the 2 envs).
+        for (i, &(env_index, episode_index)) in recorder.events.iter().enumerate() {
+            assert_eq!(episode_index, i);
+            assert_eq!(env_index, i % 2);
+        }
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //!                  "eval_mode": "full" | "incremental" },
 //!   "evaluations": 600,
 //!   "evaluation": { "mode": "full" | "incremental", "full_evals": 1, "incremental_evals": 599 },
+//!   "training": { "parallel_envs": 4, "episodes_per_s": 48.2,
+//!                 "merge_order_hash": "0x0f3a9c41d2e8b765" },
 //!   "runtime_s": 12.5,
 //!   "thermal_prep": { "cache_hits": 0, "cache_misses": 1, "characterization_s": 0.8 },
 //!   "placement": { "chiplets": [ ... ] },
@@ -51,7 +53,13 @@
 //! the propose/commit/reject engine served `incremental_evals` move
 //! evaluations (bit-identical to full evaluation, so results never depend
 //! on the mode), `"full"` that every candidate was evaluated from scratch.
-//! `thermal_prep` records how the run's
+//! `training` describes how an RL run's episodes were collected —
+//! `parallel_envs` rollout workers at `episodes_per_s` throughput, with
+//! `merge_order_hash` fingerprinting (as a hex string, since the value is a
+//! full 64-bit hash) the order transitions entered the rollout buffer;
+//! parallel collection is trajectory-invariant, so the knob changes only
+//! throughput, never results. The field is `null` for SA runs, which have
+//! no rollout pool. `thermal_prep` records how the run's
 //! thermal analyzer was obtained — characterised from scratch
 //! (`cache_misses`) or served from a shared characterisation cache
 //! (`cache_hits`) — and the analyzer-construction wall-clock, so cache
@@ -215,6 +223,7 @@ fn rl_method_json(kind: &str, config: &RlPlannerConfig) -> String {
         "\"kind\": \"{kind}\",\n\
          \"episodes\": {},\n\
          \"episodes_per_update\": {},\n\
+         \"parallel_envs\": {},\n\
          \"use_rnd\": {},\n\
          \"seed\": {},\n\
          \"time_budget_s\": {},\n\
@@ -223,6 +232,7 @@ fn rl_method_json(kind: &str, config: &RlPlannerConfig) -> String {
          \"env\": {{ \"grid\": [{}, {}], \"min_spacing_mm\": {} }}",
         config.episodes,
         config.episodes_per_update,
+        config.parallel_envs,
         config.use_rnd,
         config.seed,
         opt_duration_s(config.time_budget),
@@ -327,12 +337,21 @@ pub fn outcome_json(system: &ChipletSystem, outcome: &FloorplanOutcome) -> Strin
     } else {
         format!("[\n  {}\n]", indent(&telemetry, 2))
     };
+    let training = outcome.training.map_or("null".to_string(), |t| {
+        format!(
+            "{{ \"parallel_envs\": {}, \"episodes_per_s\": {}, \"merge_order_hash\": \"{:#018x}\" }}",
+            t.parallel_envs,
+            num(t.episodes_per_s),
+            t.merge_order_hash,
+        )
+    });
     let fields = format!(
         "\"schema\": \"{}\",\n\
          \"system\": {{ \"name\": \"{}\", \"chiplets\": {}, \"interposer_mm\": [{}, {}] }},\n\
          \"breakdown\": {{ \"reward\": {}, \"wirelength_mm\": {}, \"max_temperature_c\": {}, \"eval_mode\": \"{}\" }},\n\
          \"evaluations\": {},\n\
          \"evaluation\": {{ \"mode\": \"{}\", \"full_evals\": {}, \"incremental_evals\": {} }},\n\
+         \"training\": {},\n\
          \"runtime_s\": {},\n\
          \"thermal_prep\": {{ \"cache_hits\": {}, \"cache_misses\": {}, \"characterization_s\": {} }},\n\
          \"placement\": {},\n\
@@ -351,6 +370,7 @@ pub fn outcome_json(system: &ChipletSystem, outcome: &FloorplanOutcome) -> Strin
         outcome.evaluation.mode.label(),
         outcome.evaluation.counts.full,
         outcome.evaluation.counts.incremental,
+        training,
         num(outcome.runtime.as_secs_f64()),
         outcome.thermal_prep.cache_hits,
         outcome.thermal_prep.cache_misses,
@@ -398,6 +418,11 @@ mod tests {
                     incremental: 1,
                 },
             },
+            training: Some(crate::outcome::TrainingTelemetry {
+                parallel_envs: 2,
+                episodes_per_s: 16.5,
+                merge_order_hash: 0x0123_4567_89ab_cdef,
+            }),
             telemetry: vec![
                 TelemetrySample {
                     index: 0,
@@ -484,6 +509,7 @@ mod tests {
             "\"breakdown\"",
             "\"evaluations\"",
             "\"evaluation\"",
+            "\"training\"",
             "\"runtime_s\"",
             "\"thermal_prep\"",
             "\"placement\"",
@@ -505,6 +531,12 @@ mod tests {
         assert!(json.contains(
             "\"evaluation\": { \"mode\": \"incremental\", \"full_evals\": 1, \"incremental_evals\": 1 }"
         ));
+        assert!(json.contains(
+            "\"training\": { \"parallel_envs\": 2, \"episodes_per_s\": 16.5, \
+             \"merge_order_hash\": \"0x0123456789abcdef\" }"
+        ));
+        // The manifest records the rollout-parallelism knob for replay.
+        assert!(json.contains("\"parallel_envs\": 1"));
         assert!(json
             .contains("\"thermal_prep\": { \"cache_hits\": 1, \"cache_misses\": 0, \"characterization_s\": 0 }"));
         assert!(json.contains("\"kind\": \"rl-rnd\""));
@@ -522,10 +554,13 @@ mod tests {
         let (sys, placement) = system_with(&["cpu"]);
         let outcome = outcome_for(&sys, placement.clone());
         assert_eq!(outcome_json(&sys, &outcome), outcome_json(&sys, &outcome));
-        // An SA manifest renders its own stable shape.
+        // An SA manifest renders its own stable shape, and an SA outcome
+        // (no rollout pool) renders a null training object.
         let mut sa_outcome = outcome_for(&sys, placement);
         sa_outcome.manifest.method = Method::sa();
+        sa_outcome.training = None;
         let json = outcome_json(&sys, &sa_outcome);
+        assert!(json.contains("\"training\": null"));
         let kind = json.find("\"kind\": \"sa\"").unwrap();
         let cooling = json.find("\"cooling_rate\"").unwrap();
         let max_evals = json.find("\"max_evaluations\"").unwrap();

@@ -184,6 +184,7 @@ pub struct FloorplanRequest {
     reward: RewardConfig,
     budget: Option<Budget>,
     seed: Option<u64>,
+    parallel_envs: Option<usize>,
 }
 
 impl FloorplanRequest {
@@ -284,6 +285,13 @@ impl FloorplanRequest {
         self.seed
     }
 
+    /// The rollout-parallelism override, if any. Only RL methods consume
+    /// it; parallel collection never changes results, so this is a
+    /// wall-clock knob (still recorded in the manifest for transparency).
+    pub fn parallel_envs(&self) -> Option<usize> {
+        self.parallel_envs
+    }
+
     /// Solves the request with the planner matching its method.
     ///
     /// # Errors
@@ -309,6 +317,9 @@ impl FloorplanRequest {
                 }
                 if let Some(seed) = self.seed {
                     config.seed = seed;
+                }
+                if let Some(parallel_envs) = self.parallel_envs {
+                    config.parallel_envs = parallel_envs;
                 }
                 if config.use_rnd {
                     Method::RlRnd { config }
@@ -350,6 +361,7 @@ pub struct FloorplanRequestBuilder {
     reward: RewardConfig,
     budget: Option<Budget>,
     seed: Option<u64>,
+    parallel_envs: Option<usize>,
 }
 
 impl Default for FloorplanRequestBuilder {
@@ -362,6 +374,7 @@ impl Default for FloorplanRequestBuilder {
             reward: RewardConfig::default(),
             budget: None,
             seed: None,
+            parallel_envs: None,
         }
     }
 }
@@ -420,6 +433,16 @@ impl FloorplanRequestBuilder {
         self
     }
 
+    /// Rollout-parallelism override applied on top of an RL method
+    /// configuration (ignored by SA). Parallel collection is
+    /// trajectory-invariant, so this only changes wall-clock; the value is
+    /// still folded into the manifest for transparency.
+    #[must_use]
+    pub fn parallel_envs(mut self, parallel_envs: usize) -> Self {
+        self.parallel_envs = Some(parallel_envs);
+        self
+    }
+
     /// Validates every nested configuration and builds the request.
     ///
     /// # Errors
@@ -450,6 +473,12 @@ impl FloorplanRequestBuilder {
         if let Some(Budget::Evaluations(0)) = self.budget {
             return Err(ConfigError::ExpectedPositive {
                 field: "budget.evaluations",
+                value: 0.0,
+            });
+        }
+        if self.parallel_envs == Some(0) {
+            return Err(ConfigError::ExpectedPositive {
+                field: "parallel_envs",
                 value: 0.0,
             });
         }
@@ -490,6 +519,7 @@ impl FloorplanRequestBuilder {
             reward: self.reward,
             budget: self.budget,
             seed: self.seed,
+            parallel_envs: self.parallel_envs,
         })
     }
 }
@@ -595,6 +625,38 @@ mod tests {
         };
         assert_eq!(config.time_budget, Some(Duration::from_millis(5)));
         assert_eq!(request.resolved_seed(), SaConfig::default().seed);
+    }
+
+    #[test]
+    fn parallel_envs_override_folds_into_rl_methods_only() {
+        let request = FloorplanRequest::builder()
+            .system(tiny_system())
+            .method(Method::rl())
+            .parallel_envs(4)
+            .build()
+            .unwrap();
+        assert_eq!(request.parallel_envs(), Some(4));
+        let Method::Rl { config } = request.resolved_method() else {
+            panic!("method variant must be preserved");
+        };
+        assert_eq!(config.parallel_envs, 4);
+
+        // SA ignores the knob (it has no rollout pool).
+        let request = FloorplanRequest::builder()
+            .system(tiny_system())
+            .method(Method::sa())
+            .parallel_envs(4)
+            .build()
+            .unwrap();
+        assert!(matches!(request.resolved_method(), Method::Sa { .. }));
+
+        // Zero workers is rejected at build time.
+        let err = FloorplanRequest::builder()
+            .system(tiny_system())
+            .parallel_envs(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "parallel_envs");
     }
 
     #[test]

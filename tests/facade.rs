@@ -172,6 +172,55 @@ fn rl_manifest_reproduces_the_same_result_under_the_same_seed() {
 }
 
 #[test]
+fn parallel_envs_produce_the_identical_outcome_through_the_facade() {
+    let system = synthetic_case(1);
+    let solve_with = |parallel_envs: usize| {
+        FloorplanRequest::builder()
+            .system(system.clone())
+            .method(tiny_rl_method(false))
+            .thermal(tiny_fast_backend())
+            .budget(Budget::Evaluations(4))
+            .seed(17)
+            .parallel_envs(parallel_envs)
+            .build()
+            .unwrap()
+            .solve()
+            .unwrap()
+    };
+    let serial = solve_with(1);
+    let parallel = solve_with(3);
+    assert_eq!(serial.placement, parallel.placement);
+    assert_eq!(serial.breakdown, parallel.breakdown);
+    assert_eq!(serial.telemetry, parallel.telemetry);
+
+    // Both outcomes carry rollout telemetry; only the knob itself (and
+    // wall-clock-derived throughput) may differ.
+    let serial_training = serial.training.expect("RL outcomes report training");
+    let parallel_training = parallel.training.expect("RL outcomes report training");
+    assert_eq!(serial_training.parallel_envs, 1);
+    assert_eq!(parallel_training.parallel_envs, 3);
+    assert!(serial_training.episodes_per_s > 0.0);
+    // The manifest records the knob, so a manifest replay reuses it.
+    let replayed = FloorplanRequest::from_manifest(system, &parallel.manifest).unwrap();
+    let Method::Rl { config } = replayed.resolved_method() else {
+        panic!("method variant must be preserved");
+    };
+    assert_eq!(config.parallel_envs, 3);
+}
+
+#[test]
+fn sa_outcomes_have_no_training_telemetry() {
+    let request = FloorplanRequest::builder()
+        .system(synthetic_case(1))
+        .method(Method::sa())
+        .thermal(tiny_fast_backend())
+        .budget(Budget::Evaluations(10))
+        .build()
+        .unwrap();
+    assert!(request.solve().unwrap().training.is_none());
+}
+
+#[test]
 fn sa_manifest_reproduces_the_same_result_under_the_same_seed() {
     let system = synthetic_case(2);
     let request = FloorplanRequest::builder()

@@ -5,10 +5,15 @@
 //! `iter`/`iter_batched`, `BenchmarkId`, `BatchSize` and the
 //! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
 //! "warm up, then time batches until a wall-clock budget is spent" loop that
-//! reports mean / min / max per iteration — adequate for the relative
-//! comparisons the workspace's tables need (fast model vs grid solver, SA
-//! burst vs RL episode), without criterion's statistical machinery, plots
-//! or saved baselines.
+//! reports median / mean / min / max per iteration — adequate for the
+//! relative comparisons the workspace's tables need (fast model vs grid
+//! solver, SA burst vs RL episode), without criterion's statistical
+//! machinery or plots. Two CI-oriented extensions beyond the crates.io
+//! surface: `--quick` caps sample counts and measurement time for fast
+//! smoke timings, and `--save-json <path>` appends one JSON record per
+//! completed benchmark (id + nanosecond statistics) to `path` — the raw
+//! shards the workspace's `bench_gate` tool assembles into a
+//! `rlplanner.bench/v1` document and gates regressions against.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -22,6 +27,12 @@ pub struct Criterion {
     filter: Option<String>,
     /// When true (`--test`), run each routine once and report nothing.
     test_mode: bool,
+    /// When true (`--quick`), cap samples and measurement time so a full
+    /// bench binary finishes in seconds (CI smoke timings).
+    quick: bool,
+    /// When set (`--save-json <path>`), append one JSON record per
+    /// completed benchmark to the file.
+    save_json: Option<String>,
 }
 
 impl Default for Criterion {
@@ -32,6 +43,8 @@ impl Default for Criterion {
             warm_up_iters: 2,
             filter: None,
             test_mode: false,
+            quick: false,
+            save_json: None,
         }
     }
 }
@@ -45,6 +58,8 @@ impl Criterion {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--test" => self.test_mode = true,
+                "--quick" => self.quick = true,
+                "--save-json" => self.save_json = args.next(),
                 "--sample-size" => {
                     if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
                         self.sample_size = v;
@@ -120,6 +135,11 @@ impl Criterion {
                 return;
             }
         }
+        let (sample_size, time) = if self.quick {
+            (sample_size.min(10), time.min(Duration::from_millis(300)))
+        } else {
+            (sample_size, time)
+        };
         let mut bencher = Bencher {
             samples: Vec::with_capacity(sample_size),
             sample_size,
@@ -133,6 +153,13 @@ impl Criterion {
             return;
         }
         bencher.report(label);
+        if let Some(path) = &self.save_json {
+            if let Some(record) = bencher.json_record(label) {
+                if let Err(err) = append_line(path, &record) {
+                    eprintln!("warning: could not append to {path}: {err}");
+                }
+            }
+        }
     }
 }
 
@@ -317,22 +344,82 @@ impl Bencher {
         }
     }
 
-    fn report(&self, label: &str) {
+    /// Per-iteration statistics of the collected samples, in nanoseconds;
+    /// `None` before any sample was recorded (e.g. in `--test` mode).
+    fn stats_ns(&self) -> Option<BenchStats> {
         if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.samples.iter().map(|d| d.as_nanos() as f64).collect();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(BenchStats {
+            median_ns: median,
+            mean_ns: sorted.iter().sum::<f64>() / n as f64,
+            min_ns: sorted[0],
+            max_ns: sorted[n - 1],
+            samples: n as u64,
+        })
+    }
+
+    /// One JSON object (a `--save-json` shard line) for the collected
+    /// samples; `None` when nothing was measured.
+    fn json_record(&self, label: &str) -> Option<String> {
+        let stats = self.stats_ns()?;
+        // Labels are code-controlled; escape the JSON-special characters
+        // anyway so a hostile id cannot break the document.
+        let escaped: String = label
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c => vec![c],
+            })
+            .collect();
+        Some(format!(
+            "{{ \"id\": \"{escaped}\", \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {} }}",
+            stats.median_ns, stats.mean_ns, stats.min_ns, stats.max_ns, stats.samples
+        ))
+    }
+
+    fn report(&self, label: &str) {
+        let Some(stats) = self.stats_ns() else {
             println!("{label:<60} (no samples)");
             return;
-        }
-        let total: Duration = self.samples.iter().sum();
-        let mean = total / self.samples.len() as u32;
-        let min = self.samples.iter().min().unwrap();
-        let max = self.samples.iter().max().unwrap();
+        };
         println!(
-            "{label:<60} time: [{} {} {}]",
-            fmt_duration(*min),
-            fmt_duration(mean),
-            fmt_duration(*max)
+            "{label:<60} time: [{} {} {}] median: {}",
+            fmt_duration(Duration::from_nanos(stats.min_ns as u64)),
+            fmt_duration(Duration::from_nanos(stats.mean_ns as u64)),
+            fmt_duration(Duration::from_nanos(stats.max_ns as u64)),
+            fmt_duration(Duration::from_nanos(stats.median_ns as u64)),
         );
     }
+}
+
+/// Per-iteration timing statistics, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BenchStats {
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: u64,
+}
+
+/// Appends `line` (plus a newline) to the file at `path`.
+fn append_line(path: &str, line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{line}")
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -394,6 +481,68 @@ mod tests {
             group.finish();
         }
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn stats_report_median_and_extremes() {
+        let bencher = Bencher {
+            samples: [30u64, 10, 20, 40].map(Duration::from_nanos).to_vec(),
+            sample_size: 4,
+            measurement_time: Duration::ZERO,
+            warm_up_iters: 0,
+            test_mode: false,
+        };
+        let stats = bencher.stats_ns().unwrap();
+        assert_eq!(stats.median_ns, 25.0);
+        assert_eq!(stats.min_ns, 10.0);
+        assert_eq!(stats.max_ns, 40.0);
+        assert_eq!(stats.samples, 4);
+        let record = bencher.json_record("group/fn").unwrap();
+        assert!(record.contains("\"id\": \"group/fn\""));
+        assert!(record.contains("\"median_ns\": 25"));
+        // Hostile ids stay inside their string literal.
+        let hostile = bencher.json_record("a\"b\\c").unwrap();
+        assert!(hostile.contains("\"id\": \"a\\\"b\\\\c\""));
+    }
+
+    #[test]
+    fn save_json_appends_one_record_per_benchmark() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion-shard-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path_str = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+
+        let mut c = Criterion {
+            save_json: Some(path_str),
+            ..Criterion::default()
+        };
+        c.sample_size(2).measurement_time(Duration::from_millis(2));
+        c.bench_function("first", |b| b.iter(|| 1 + 1));
+        c.bench_function("second", |b| b.iter(|| 2 + 2));
+
+        let written = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = written.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"id\": \"first\""));
+        assert!(lines[1].contains("\"id\": \"second\""));
+        assert!(lines.iter().all(|l| l.contains("\"samples\": 2")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn quick_mode_caps_samples() {
+        let mut c = Criterion {
+            quick: true,
+            ..Criterion::default()
+        };
+        c.sample_size(20).measurement_time(Duration::from_secs(5));
+        let start = Instant::now();
+        c.bench_function("quick", |b| b.iter(|| std::hint::black_box(3 * 3)));
+        // 150 ms budget + warm-up, not the configured 5 s.
+        assert!(start.elapsed() < Duration::from_secs(2));
     }
 
     #[test]
