@@ -164,6 +164,18 @@ pub enum GateFinding {
         /// Benchmark id.
         id: String,
     },
+    /// A median was NaN or infinite, so the regression ratio is
+    /// meaningless. Without this finding a NaN median would sail through
+    /// the gate: `NaN > threshold` is false, so the comparison alone never
+    /// flags it.
+    NonFinite {
+        /// Benchmark id.
+        id: String,
+        /// Baseline median, nanoseconds.
+        baseline_ns: f64,
+        /// Current median, nanoseconds.
+        current_ns: f64,
+    },
 }
 
 impl fmt::Display for GateFinding {
@@ -185,6 +197,14 @@ impl fmt::Display for GateFinding {
                     "{id}: present in the baseline but not in the current report"
                 )
             }
+            GateFinding::NonFinite {
+                id,
+                baseline_ns,
+                current_ns,
+            } => write!(
+                f,
+                "{id}: non-finite median ({baseline_ns} ns -> {current_ns} ns) cannot be gated"
+            ),
         }
     }
 }
@@ -206,6 +226,17 @@ pub fn compare(
             });
             continue;
         };
+        // Reject non-finite medians before forming the ratio: a NaN on
+        // either side makes `ratio > threshold` false, which would wave
+        // a meaningless measurement through the gate.
+        if !base.median_ns.is_finite() || !now.median_ns.is_finite() {
+            findings.push(GateFinding::NonFinite {
+                id: base.id.clone(),
+                baseline_ns: base.median_ns,
+                current_ns: now.median_ns,
+            });
+            continue;
+        }
         let ratio = now.median_ns / base.median_ns.max(f64::MIN_POSITIVE);
         if ratio > 1.0 + max_regression {
             findings.push(GateFinding::Regressed {
@@ -295,5 +326,32 @@ mod tests {
         assert!(compare(&baseline, &baseline, 0.25).is_empty());
         let faster = vec![record("a", 10.0), record("b", 5.0), record("c", 1.0)];
         assert!(compare(&baseline, &faster, 0.25).is_empty());
+    }
+
+    #[test]
+    fn non_finite_medians_fail_the_gate_instead_of_passing_silently() {
+        let baseline = vec![record("a", 1000.0), record("b", 500.0)];
+        // A NaN current median makes `ratio > threshold` false, so without
+        // the explicit check this would produce zero findings.
+        let current = vec![record("a", f64::NAN), record("b", 600.0)];
+        let findings = compare(&baseline, &current, 0.25);
+        assert_eq!(findings.len(), 1);
+        assert!(matches!(
+            &findings[0],
+            GateFinding::NonFinite { id, current_ns, .. } if id == "a" && current_ns.is_nan()
+        ));
+        assert!(findings[0].to_string().contains("cannot be gated"));
+
+        // Infinite and NaN baselines are rejected the same way.
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let poisoned = vec![record("a", bad), record("b", 500.0)];
+            let findings = compare(&poisoned, &current, 0.25);
+            assert!(
+                findings
+                    .iter()
+                    .any(|f| matches!(f, GateFinding::NonFinite { id, .. } if id == "a")),
+                "baseline median {bad} must fail the gate"
+            );
+        }
     }
 }

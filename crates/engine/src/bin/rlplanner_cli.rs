@@ -21,7 +21,7 @@
 //!
 //! rlplanner_cli sweep [--systems <s,...>] [--methods <m,...>]
 //!                     [--seeds <n,...>] [--budget <n>] [--parallel <n>]
-//!                     [--train-parallel <n>] [--json]
+//!                     [--train-parallel <n>] [--stream <path>] [--json]
 //!
 //!   --systems  comma-separated systems axis       (default: case1)
 //!   --methods  comma-separated method columns     (default: rl)
@@ -31,6 +31,11 @@
 //!              wall-clock                         (default: 1)
 //!   --train-parallel  rollout workers inside every RL run; also
 //!              outcome-invariant                  (default: 1)
+//!   --stream   append each finished run to <path> as one
+//!              `rlplanner.campaign-run/v1` JSONL record, flushed per run.
+//!              If <path> already holds records from an interrupted sweep
+//!              of the same grid, those runs are loaded instead of
+//!              re-executed (resume)
 //!   --json     print the campaign document (`rlplanner.campaign/v1`)
 //!              instead of the human-readable cell table
 //! ```
@@ -38,16 +43,18 @@
 //! A sweep runs the full systems × methods × seeds grid through one shared
 //! thermal-characterisation cache: each distinct package configuration is
 //! characterised exactly once, however many runs and threads need it.
+//! Sweeps are fail-soft: a run whose solve fails is reported (and exits
+//! nonzero) without discarding the completed cells.
 //!
 //! Without `--json`, the single-run mode prints the reward breakdown on
 //! stdout followed by the placement as JSON (the `rlplanner::report`
 //! placement document), and the sweep mode prints one summary line per
 //! (system, method) cell. Exit codes: 0 on success, 2 on usage errors, 1
-//! when a solve fails.
+//! when a solve fails (single-run) or any sweep run fails.
 
 use rlp_benchmarks::{ascend910_system, cpu_dram_system, multi_gpu_system, synthetic_case};
 use rlp_chiplet::ChipletSystem;
-use rlp_engine::{campaign_json, CampaignEngine, CampaignMethod, CampaignSpec};
+use rlp_engine::{campaign_json, CampaignEngine, CampaignMethod, CampaignSpec, JsonlSink};
 use rlp_sa::SaConfig;
 use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
 use rlplanner::report::{outcome_json, placement_json};
@@ -60,7 +67,7 @@ fn usage() -> ExitCode {
          <rl|rl-rnd|sa-hotspot|sa-fast> [budget] [--train-parallel <n>] [--json]\n\
          \x20      rlplanner_cli sweep [--systems <s,...>] [--methods <m,...>] \
          [--seeds <n,...>] [--budget <n>] [--parallel <n>] \
-         [--train-parallel <n>] [--json]"
+         [--train-parallel <n>] [--stream <path>] [--json]"
     );
     ExitCode::from(2)
 }
@@ -113,6 +120,7 @@ struct SweepArgs {
     budget: usize,
     parallel: usize,
     train_parallel: Option<usize>,
+    stream: Option<String>,
     json: bool,
 }
 
@@ -124,6 +132,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
         budget: 50,
         parallel: 1,
         train_parallel: None,
+        stream: None,
         json: false,
     };
     let mut iter = args.iter().peekable();
@@ -191,6 +200,12 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
                         })?,
                 );
             }
+            "--stream" => {
+                if value.is_empty() {
+                    return Err("--stream needs a non-empty path".to_string());
+                }
+                parsed.stream = Some(value);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -233,19 +248,44 @@ fn run_sweep(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match CampaignEngine::new().run(&spec) {
-        Ok(report) => report,
-        Err(err) => {
-            eprintln!("sweep failed: {err}");
-            return ExitCode::FAILURE;
+    let engine = CampaignEngine::new();
+    let report = if let Some(path) = &parsed.stream {
+        let mut sink = match JsonlSink::open(path) {
+            Ok(sink) => sink,
+            Err(err) => {
+                eprintln!("cannot open stream file `{path}`: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if sink.prior_len() > 0 {
+            eprintln!(
+                "resuming from {} record(s) already in `{path}`",
+                sink.prior_len()
+            );
+        }
+        match engine.run_streamed(&spec, &mut sink) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("sweep failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match engine.run(&spec) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("sweep failed: {err}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     if parsed.json {
         println!("{}", campaign_json(&report));
     } else {
         eprintln!(
-            "{} runs on {} worker(s) in {:.2?}; cache: {} hit(s), {} characterisation(s) ({:.2?})",
-            report.runs.len(),
+            "{} runs ({} resumed) on {} worker(s) in {:.2?}; cache: {} hit(s), {} characterisation(s) ({:.2?})",
+            report.runs.len() + report.failures.len(),
+            report.resumed_runs,
             report.parallelism,
             report.wall_clock,
             report.cache.hits,
@@ -285,6 +325,18 @@ fn run_sweep(args: &[String]) -> ExitCode {
                 cell.eval_counts.mode().label(),
             );
         }
+    }
+    // Fail-soft: completed cells were reported above (and streamed), but a
+    // sweep with failed runs still exits nonzero.
+    if !report.failures.is_empty() {
+        eprintln!("{} run(s) failed:", report.failures.len());
+        for failure in &report.failures {
+            eprintln!(
+                "  run {} `{}` on `{}` (seed {}): {}",
+                failure.index, failure.method, failure.system, failure.seed, failure.error
+            );
+        }
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -22,9 +22,18 @@
 //!   to a serial one under fixed seeds (wall-clock budgets being the
 //!   documented exception).
 //! * [`CampaignReport`] aggregates the outcomes — best-of-seeds run per
-//!   (system, method) cell, mean/min/max reward, wall-clock and cache
-//!   telemetry — and [`report::campaign_json`] renders it as the
+//!   (system, method) cell, mean/min/max reward, wall-clock, cache and
+//!   scheduler telemetry — and [`report::campaign_json`] renders it as the
 //!   documented `rlplanner.campaign/v1` JSON document.
+//!
+//! Campaigns are **fail-soft, streaming and resumable**: a failed solve
+//! becomes an entry in [`CampaignReport::failures`] instead of discarding
+//! every completed cell; [`CampaignEngine::run_streamed`] emits each
+//! finished run as one `rlplanner.campaign-run/v1` JSONL record through a
+//! pluggable [`RunSink`] (a file-backed [`JsonlSink`] behind the CLI's
+//! `--stream` flag), flushed per record; and reopening a streamed file
+//! resumes the campaign, re-executing only the grid cells the file does
+//! not already hold. See [`sink`] and [`runner`].
 //!
 //! # Example
 //!
@@ -70,8 +79,13 @@
 
 pub mod report;
 pub mod runner;
+pub mod sink;
 pub mod spec;
 
-pub use report::{campaign_json, CampaignReport, CellSummary, RunRecord, CAMPAIGN_SCHEMA};
+pub use report::{
+    campaign_json, CampaignReport, CellSummary, DrainEvent, RunFailure, RunRecord,
+    SchedulerTelemetry, WorkerTelemetry, CAMPAIGN_SCHEMA,
+};
 pub use runner::{CampaignEngine, CampaignError};
+pub use sink::{JsonlSink, MemorySink, NullSink, RunEvent, RunSink, RUN_RECORD_SCHEMA};
 pub use spec::{CampaignMethod, CampaignSpec, CampaignSpecBuilder};

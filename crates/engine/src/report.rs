@@ -16,8 +16,13 @@
 //! {
 //!   "schema": "rlplanner.campaign/v1",
 //!   "parallelism": 2,
+//!   "resumed_runs": 0,
 //!   "wall_clock_s": 12.5,
 //!   "cache": { "hits": 15, "misses": 3, "characterization_s": 4.2 },
+//!   "scheduler": {
+//!     "workers": [ { "worker": 0, "busy_s": 11.9, "executed": 3 } ],
+//!     "drain": [ { "index": 0, "worker": 0, "started_s": 0.1, "finished_s": 4.0 } ]
+//!   },
 //!   "cells": [
 //!     {
 //!       "system": "multi-gpu", "method": "rl", "seeds": [7, 8, 9],
@@ -30,11 +35,17 @@
 //!   ],
 //!   "runs": [
 //!     {
-//!       "system": "multi-gpu", "method": "rl", "seed": 7, "reward": -2.4,
-//!       "wirelength_mm": 6200, "max_temperature_c": 78.4,
+//!       "index": 0, "system": "multi-gpu", "method": "rl", "seed": 7,
+//!       "reward": -2.4, "wirelength_mm": 6200, "max_temperature_c": 78.4,
 //!       "evaluations": 600, "eval_mode": "incremental",
 //!       "full_evals": 1, "incremental_evals": 599, "runtime_s": 10.0,
 //!       "cache_hits": 1, "cache_misses": 0
+//!     }
+//!   ],
+//!   "failures": [
+//!     {
+//!       "index": 3, "system": "multi-gpu", "system_index": 0,
+//!       "method": "sa", "seed": 8, "error": "initial placement failed: ..."
 //!     }
 //!   ]
 //! }
@@ -54,14 +65,20 @@
 //! `episodes_per_s` is the cell's training throughput (total episodes over
 //! total runtime) — the number the parallel rollout engine exists to grow;
 //! it is `null` for cells without rollout telemetry (the SA baseline).
-//! `runs` holds one compact record per run, also in grid order, with the
-//! per-run evaluation-engine and cache telemetry that the cell and
-//! campaign levels aggregate.
+//! `runs` holds one compact record per completed run, also in grid order,
+//! with the per-run evaluation-engine and cache telemetry that the cell and
+//! campaign levels aggregate; each record's `index` is its position in the
+//! spec's canonical grid. `failures` lists the grid cells whose solve
+//! failed (the campaign is fail-soft: completed cells survive a failure);
+//! `resumed_runs` counts runs reconstructed from a streamed
+//! `rlplanner.campaign-run/v1` file instead of executed; `scheduler`
+//! carries per-worker busy time and the queue-drain timeline for the runs
+//! this execution performed.
 
 use rlp_chiplet::ChipletSystem;
 use rlp_thermal::ThermalCacheStats;
 use rlplanner::report::{json_escape, json_num, outcome_json};
-use rlplanner::{EvalCounts, FloorplanOutcome};
+use rlplanner::{EvalCounts, FloorplanOutcome, PlanError};
 use std::time::Duration;
 
 /// Identifier of the campaign-document layout produced by
@@ -71,6 +88,10 @@ pub const CAMPAIGN_SCHEMA: &str = "rlplanner.campaign/v1";
 /// One executed run of the campaign grid.
 #[derive(Debug, Clone)]
 pub struct RunRecord {
+    /// Index of the run in the spec's canonical grid order. With failures
+    /// removed from [`CampaignReport::runs`], this is what still ties a
+    /// record to its grid cell (and to its line in a streamed JSONL file).
+    pub index: usize,
     /// Name of the run's system.
     pub system: String,
     /// Index of the system in [`CampaignReport::systems`].
@@ -82,6 +103,63 @@ pub struct RunRecord {
     pub seed: u64,
     /// The run's full outcome.
     pub outcome: FloorplanOutcome,
+}
+
+/// One failed run of the campaign grid. Failures no longer abort the
+/// campaign: completed cells keep their results and every failure is
+/// reported here (and emitted as an error record on a streaming sink, so a
+/// resumed campaign retries it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunFailure {
+    /// Index of the run in the spec's canonical grid order.
+    pub index: usize,
+    /// Name of the run's system.
+    pub system: String,
+    /// Index of the system in [`CampaignReport::systems`].
+    pub system_index: usize,
+    /// Label of the run's method column.
+    pub method: String,
+    /// The seed the run was executed with — resolved exactly like a
+    /// successful run's manifest seed (the seeds-axis override, or the
+    /// method config's own seed), so the two paths always report the same
+    /// number for the same grid cell.
+    pub seed: u64,
+    /// The underlying solve error.
+    pub error: PlanError,
+}
+
+/// Per-worker utilisation of one campaign execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerTelemetry {
+    /// Wall-clock this worker spent inside solves (queue-wait excluded).
+    pub busy: Duration,
+    /// Runs this worker executed (resumed runs are skipped, not executed).
+    pub runs: usize,
+}
+
+/// One run draining off the shared queue: which worker took it and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainEvent {
+    /// Index of the run in the spec's canonical grid order.
+    pub index: usize,
+    /// Worker that executed the run.
+    pub worker: usize,
+    /// Offset from campaign start when the solve began.
+    pub started: Duration,
+    /// Offset from campaign start when the solve finished.
+    pub finished: Duration,
+}
+
+/// Scheduler-utilisation telemetry: how evenly the grid drained across the
+/// worker pool. Events appear in completion order (the order records hit a
+/// streaming sink); all values are wall-clock telemetry, never inputs to
+/// results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerTelemetry {
+    /// One entry per worker thread, in worker order.
+    pub workers: Vec<WorkerTelemetry>,
+    /// The queue-drain timeline, in completion order.
+    pub drain: Vec<DrainEvent>,
 }
 
 /// Per-(system, method) aggregation over the seeds axis — one table cell.
@@ -126,14 +204,25 @@ pub struct CampaignReport {
     /// The spec's systems axis (cloned so the report is self-contained and
     /// can render placement documents).
     pub systems: Vec<ChipletSystem>,
-    /// Every run in grid order.
+    /// Every completed run in grid order. Failed grid cells are absent here
+    /// and present in [`failures`](Self::failures); each record's
+    /// [`index`](RunRecord::index) ties it back to the grid.
     pub runs: Vec<RunRecord>,
-    /// Per-(system, method) summaries in grid order.
+    /// Every failed run in grid order. Empty when the whole grid completed.
+    pub failures: Vec<RunFailure>,
+    /// Per-(system, method) summaries in grid order. A cell whose runs all
+    /// failed has no summary.
     pub cells: Vec<CellSummary>,
     /// Wall-clock of the whole campaign, prewarm and aggregation included.
     pub wall_clock: Duration,
     /// Worker threads the campaign ran with.
     pub parallelism: usize,
+    /// Runs reconstructed from a streaming sink's prior records instead of
+    /// executed (zero for a fresh campaign).
+    pub resumed_runs: usize,
+    /// Scheduler-utilisation telemetry for the runs this execution actually
+    /// performed.
+    pub scheduler: SchedulerTelemetry,
     /// The shared characterisation cache's telemetry delta for this
     /// campaign: `misses` counts characterisations actually performed —
     /// with a warm cache it is zero, and it never exceeds the number of
@@ -220,7 +309,8 @@ fn cell_json(report: &CampaignReport, cell: &CellSummary) -> String {
 
 fn run_json(run: &RunRecord) -> String {
     format!(
-        "{{ \"system\": \"{}\", \"method\": \"{}\", \"seed\": {}, \"reward\": {}, \"wirelength_mm\": {}, \"max_temperature_c\": {}, \"evaluations\": {}, \"eval_mode\": \"{}\", \"full_evals\": {}, \"incremental_evals\": {}, \"runtime_s\": {}, \"cache_hits\": {}, \"cache_misses\": {} }}",
+        "{{ \"index\": {}, \"system\": \"{}\", \"method\": \"{}\", \"seed\": {}, \"reward\": {}, \"wirelength_mm\": {}, \"max_temperature_c\": {}, \"evaluations\": {}, \"eval_mode\": \"{}\", \"full_evals\": {}, \"incremental_evals\": {}, \"runtime_s\": {}, \"cache_hits\": {}, \"cache_misses\": {} }}",
+        run.index,
         json_escape(&run.system),
         json_escape(&run.method),
         run.seed,
@@ -235,6 +325,53 @@ fn run_json(run: &RunRecord) -> String {
         run.outcome.thermal_prep.cache_hits,
         run.outcome.thermal_prep.cache_misses,
     )
+}
+
+fn failure_json(failure: &RunFailure) -> String {
+    format!(
+        "{{ \"index\": {}, \"system\": \"{}\", \"system_index\": {}, \"method\": \"{}\", \"seed\": {}, \"error\": \"{}\" }}",
+        failure.index,
+        json_escape(&failure.system),
+        failure.system_index,
+        json_escape(&failure.method),
+        failure.seed,
+        json_escape(&failure.error.to_string()),
+    )
+}
+
+fn scheduler_json(scheduler: &SchedulerTelemetry) -> String {
+    let workers = array_json(
+        scheduler
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(worker, telemetry)| {
+                format!(
+                    "{{ \"worker\": {}, \"busy_s\": {}, \"executed\": {} }}",
+                    worker,
+                    json_num(telemetry.busy.as_secs_f64()),
+                    telemetry.runs,
+                )
+            })
+            .collect(),
+    );
+    let drain = array_json(
+        scheduler
+            .drain
+            .iter()
+            .map(|event| {
+                format!(
+                    "{{ \"index\": {}, \"worker\": {}, \"started_s\": {}, \"finished_s\": {} }}",
+                    event.index,
+                    event.worker,
+                    json_num(event.started.as_secs_f64()),
+                    json_num(event.finished.as_secs_f64()),
+                )
+            })
+            .collect(),
+    );
+    let fields = format!("\"workers\": {workers},\n\"drain\": {drain}");
+    format!("{{\n  {}\n}}", indent(&fields, 2))
 }
 
 fn array_json(items: Vec<String>) -> String {
@@ -255,21 +392,28 @@ pub fn campaign_json(report: &CampaignReport) -> String {
             .collect(),
     );
     let runs = array_json(report.runs.iter().map(run_json).collect());
+    let failures = array_json(report.failures.iter().map(failure_json).collect());
     let fields = format!(
         "\"schema\": \"{}\",\n\
          \"parallelism\": {},\n\
+         \"resumed_runs\": {},\n\
          \"wall_clock_s\": {},\n\
          \"cache\": {{ \"hits\": {}, \"misses\": {}, \"characterization_s\": {} }},\n\
+         \"scheduler\": {},\n\
          \"cells\": {},\n\
-         \"runs\": {}",
+         \"runs\": {},\n\
+         \"failures\": {}",
         CAMPAIGN_SCHEMA,
         report.parallelism,
+        report.resumed_runs,
         json_num(report.wall_clock.as_secs_f64()),
         report.cache.hits,
         report.cache.misses,
         json_num(report.cache.characterization_time.as_secs_f64()),
+        indent(&scheduler_json(&report.scheduler), 2),
         cells,
         runs,
+        failures,
     );
     format!("{{\n  {}\n}}", indent(&fields, 2))
 }
@@ -315,10 +459,13 @@ mod tests {
         let keys = [
             "\"schema\"",
             "\"parallelism\"",
+            "\"resumed_runs\"",
             "\"wall_clock_s\"",
             "\"cache\"",
+            "\"scheduler\"",
             "\"cells\"",
             "\"runs\"",
+            "\"failures\"",
         ];
         let positions: Vec<usize> = keys
             .iter()
@@ -341,6 +488,31 @@ mod tests {
         // report full evaluation.
         assert!(json.contains("\"eval_mode\": \"full\""));
         assert_eq!(json.matches("\"seed\": ").count(), 2 + 2); // runs + embedded manifests
+                                                               // An all-green campaign still renders the failure and scheduler
+                                                               // sections (empty / populated respectively).
+        assert!(json.contains("\"failures\": []"));
+        assert!(json.contains("\"busy_s\""));
+        assert!(json.contains("\"drain\""));
+    }
+
+    #[test]
+    fn scheduler_telemetry_accounts_for_every_executed_run() {
+        let report = tiny_report();
+        assert_eq!(report.resumed_runs, 0);
+        assert!(report.failures.is_empty());
+        assert!(!report.scheduler.workers.is_empty());
+        let executed: usize = report.scheduler.workers.iter().map(|w| w.runs).sum();
+        assert_eq!(executed, report.runs.len());
+        assert_eq!(report.scheduler.drain.len(), report.runs.len());
+        for event in &report.scheduler.drain {
+            assert!(event.index < report.runs.len());
+            assert!(event.worker < report.scheduler.workers.len());
+            assert!(event.finished >= event.started);
+        }
+        // Run records carry their grid index; a single-cell serial campaign
+        // drains in grid order.
+        let indices: Vec<usize> = report.runs.iter().map(|r| r.index).collect();
+        assert_eq!(indices, vec![0, 1]);
     }
 
     #[test]

@@ -195,10 +195,17 @@ fn warm_cache_makes_repeat_campaigns_characterisation_free() {
 }
 
 #[test]
-fn failing_run_is_reported_with_its_grid_coordinates() {
-    // An SA grid too coarse for the system: no legal initial placement.
+fn failing_run_keeps_completed_cells_and_reports_the_failure() {
+    // An SA grid too coarse for the system (no legal initial placement)
+    // next to a healthy SA column: the campaign must complete fail-soft,
+    // keeping the healthy cell's results.
     let spec = CampaignSpec::builder()
         .system(standard_benchmarks().remove(0))
+        .method(CampaignMethod::new(
+            "sa-fast",
+            quick_sa_method(),
+            quick_fast_backend(),
+        ))
         .method(CampaignMethod::new(
             "sa-tiny-grid",
             Method::Sa {
@@ -212,9 +219,51 @@ fn failing_run_is_reported_with_its_grid_coordinates() {
         .seeds([5])
         .build()
         .unwrap();
-    let err = CampaignEngine::new().run(&spec).unwrap_err();
-    let message = err.to_string();
-    assert!(message.contains("sa-tiny-grid"), "got: {message}");
-    assert!(message.contains("multi-gpu"), "got: {message}");
-    assert!(message.contains("seed 5"), "got: {message}");
+    let report = CampaignEngine::new()
+        .run(&spec)
+        .expect("fail-soft campaign");
+
+    // The healthy column completed and aggregated...
+    assert_eq!(report.runs.len(), 1);
+    assert_eq!(report.runs[0].method, "sa-fast");
+    assert_eq!(report.runs[0].index, 0);
+    assert!(report.cell("multi-gpu", "sa-fast").is_some());
+    // ...the failed cell has no summary...
+    assert!(report.cell("multi-gpu", "sa-tiny-grid").is_none());
+    // ...and the failure carries its grid coordinates and the effective
+    // seed, resolved exactly like a successful run's manifest seed.
+    assert_eq!(report.failures.len(), 1);
+    let failure = &report.failures[0];
+    assert_eq!(failure.system, "multi-gpu");
+    assert_eq!(failure.method, "sa-tiny-grid");
+    assert_eq!(failure.index, 1);
+    assert_eq!(failure.seed, 5);
+    assert_eq!(report.runs[0].seed, 5);
+}
+
+#[test]
+fn failure_without_a_seeds_axis_reports_the_method_config_seed() {
+    // With no seeds axis, a successful run's manifest reports the method
+    // config's own seed; the failure path must resolve the same number
+    // instead of reporting nothing.
+    let config = SaConfig {
+        grid: (2, 2),
+        ..SaConfig::default()
+    };
+    let expected_seed = config.seed;
+    let spec = CampaignSpec::builder()
+        .system(standard_benchmarks().remove(0))
+        .method(CampaignMethod::new(
+            "sa-tiny-grid",
+            Method::Sa { config },
+            quick_fast_backend(),
+        ))
+        .build()
+        .unwrap();
+    let report = CampaignEngine::new()
+        .run(&spec)
+        .expect("fail-soft campaign");
+    assert!(report.runs.is_empty());
+    assert_eq!(report.failures.len(), 1);
+    assert_eq!(report.failures[0].seed, expected_seed);
 }

@@ -210,6 +210,7 @@ impl Planner for PpoPlanner {
                 },
             },
             training: Some(TrainingTelemetry {
+                episodes: result.episodes_run,
                 parallel_envs: result.parallel_envs,
                 episodes_per_s: result.episodes_per_s,
                 merge_order_hash: result.merge_order_hash,

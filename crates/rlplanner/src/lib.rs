@@ -86,7 +86,9 @@ pub mod agent;
 pub mod baseline;
 pub mod env;
 pub mod facade;
+pub mod minijson;
 pub mod outcome;
+pub mod parse;
 pub mod planner;
 pub mod report;
 pub mod request;
@@ -99,6 +101,7 @@ pub use facade::{planner_for, PlanError, Planner, PpoPlanner, SaBaselinePlanner}
 pub use outcome::{
     EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample, TrainingTelemetry,
 };
+pub use parse::{outcome_from_json, outcome_from_value, OutcomeParseError};
 pub use planner::{RlPlanner, RlPlannerConfig, TrainingResult, TrainingStalled};
 pub use request::{Budget, FloorplanRequest, FloorplanRequestBuilder, Method, PrebuiltThermal};
 pub use reward::{DeltaRewardObjective, RewardBreakdown, RewardCalculator, RewardConfig};

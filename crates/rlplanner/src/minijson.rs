@@ -1,12 +1,13 @@
-//! A minimal JSON value parser for the bench-regression gate.
+//! A minimal JSON value parser for the documents the workspace reads back.
 //!
 //! The workspace builds offline against a no-op vendored `serde`, so the
-//! documents it *writes* are rendered by hand — and the one place that must
-//! *read* JSON back (comparing `rlplanner.bench/v1` reports) parses with
+//! documents it *writes* are rendered by hand — and the places that must
+//! *read* JSON back (resuming `rlplanner.campaign-run/v1` streams, parsing
+//! outcome documents, comparing `rlplanner.bench/v1` reports) parse with
 //! this module instead. It is a straightforward recursive-descent parser
 //! over the RFC 8259 grammar: objects, arrays, strings (with escapes),
 //! numbers, booleans and `null`. Numbers are surfaced as `f64`, which is
-//! exact for every value the bench reports contain.
+//! exact for every value those documents contain.
 
 use std::fmt;
 
@@ -79,6 +80,64 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Renders the value back as compact single-line JSON, preserving
+    /// member order. Two structurally-equal values render identically, so
+    /// `parse` + `render` is a canonical form for comparing documents that
+    /// may differ only in whitespace.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => out.push_str(&format!("{n}")),
+            Value::Str(s) => render_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Escapes and quotes a string per RFC 8259 §7.
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if c.is_control() => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A parse failure: what went wrong and where.
@@ -331,6 +390,19 @@ mod tests {
             assert!(!err.message.is_empty(), "{bad}");
             assert!(err.to_string().contains("at byte"), "{bad}");
         }
+    }
+
+    #[test]
+    fn render_round_trips_and_is_canonical() {
+        let pretty = "{\n  \"a\": [1, 2.5, null],\n  \"s\": \"x\\ny\",\n  \"ok\": true\n}";
+        let compact = "{\"a\":[1,2.5,null],\"s\":\"x\\ny\",\"ok\":true}";
+        let value = Value::parse(pretty).unwrap();
+        assert_eq!(value.render(), compact);
+        // Canonical: parsing the render reproduces the same value and the
+        // same bytes.
+        let reparsed = Value::parse(&value.render()).unwrap();
+        assert_eq!(reparsed, value);
+        assert_eq!(reparsed.render(), compact);
     }
 
     #[test]

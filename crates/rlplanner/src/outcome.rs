@@ -41,6 +41,11 @@ pub struct EvalTelemetry {
 /// regression is immediately visible.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainingTelemetry {
+    /// Training episodes the run actually collected (may be fewer than
+    /// configured under a wall-clock budget). This — not
+    /// [`FloorplanOutcome::evaluations`], which counts objective
+    /// evaluations — is the numerator of every episodes-per-second figure.
+    pub episodes: usize,
     /// Environments the rollout pool stepped concurrently.
     pub parallel_envs: usize,
     /// Episodes collected per wall-clock second.

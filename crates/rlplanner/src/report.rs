@@ -31,7 +31,7 @@
 //!                  "eval_mode": "full" | "incremental" },
 //!   "evaluations": 600,
 //!   "evaluation": { "mode": "full" | "incremental", "full_evals": 1, "incremental_evals": 599 },
-//!   "training": { "parallel_envs": 4, "episodes_per_s": 48.2,
+//!   "training": { "episodes": 600, "parallel_envs": 4, "episodes_per_s": 48.2,
 //!                 "merge_order_hash": "0x0f3a9c41d2e8b765" },
 //!   "runtime_s": 12.5,
 //!   "thermal_prep": { "cache_hits": 0, "cache_misses": 1, "characterization_s": 0.8 },
@@ -54,7 +54,10 @@
 //! evaluations (bit-identical to full evaluation, so results never depend
 //! on the mode), `"full"` that every candidate was evaluated from scratch.
 //! `training` describes how an RL run's episodes were collected —
-//! `parallel_envs` rollout workers at `episodes_per_s` throughput, with
+//! `episodes` the count actually collected (the numerator of
+//! `episodes_per_s`; distinct from the top-level `evaluations`, which
+//! counts objective evaluations), `parallel_envs` rollout workers at
+//! `episodes_per_s` throughput, with
 //! `merge_order_hash` fingerprinting (as a hex string, since the value is a
 //! full 64-bit hash) the order transitions entered the rollout buffer;
 //! parallel collection is trajectory-invariant, so the knob changes only
@@ -339,7 +342,8 @@ pub fn outcome_json(system: &ChipletSystem, outcome: &FloorplanOutcome) -> Strin
     };
     let training = outcome.training.map_or("null".to_string(), |t| {
         format!(
-            "{{ \"parallel_envs\": {}, \"episodes_per_s\": {}, \"merge_order_hash\": \"{:#018x}\" }}",
+            "{{ \"episodes\": {}, \"parallel_envs\": {}, \"episodes_per_s\": {}, \"merge_order_hash\": \"{:#018x}\" }}",
+            t.episodes,
             t.parallel_envs,
             num(t.episodes_per_s),
             t.merge_order_hash,
@@ -419,6 +423,7 @@ mod tests {
                 },
             },
             training: Some(crate::outcome::TrainingTelemetry {
+                episodes: 33,
                 parallel_envs: 2,
                 episodes_per_s: 16.5,
                 merge_order_hash: 0x0123_4567_89ab_cdef,
@@ -532,7 +537,7 @@ mod tests {
             "\"evaluation\": { \"mode\": \"incremental\", \"full_evals\": 1, \"incremental_evals\": 1 }"
         ));
         assert!(json.contains(
-            "\"training\": { \"parallel_envs\": 2, \"episodes_per_s\": 16.5, \
+            "\"training\": { \"episodes\": 33, \"parallel_envs\": 2, \"episodes_per_s\": 16.5, \
              \"merge_order_hash\": \"0x0123456789abcdef\" }"
         ));
         // The manifest records the rollout-parallelism knob for replay.

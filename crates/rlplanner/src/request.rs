@@ -94,6 +94,16 @@ impl Method {
         }
     }
 
+    /// The seed baked into the method's own configuration — what a run
+    /// uses when the request carries no seed override (see
+    /// [`FloorplanRequest::resolved_seed`]).
+    pub fn config_seed(&self) -> u64 {
+        match self {
+            Method::Rl { config } | Method::RlRnd { config } => config.seed,
+            Method::Sa { config } => config.seed,
+        }
+    }
+
     /// Validates the method's nested configuration.
     fn validate(&self) -> Result<(), ConfigError> {
         match self {
@@ -344,10 +354,7 @@ impl FloorplanRequest {
 
     /// The seed the run actually uses (override, or the method config's).
     pub fn resolved_seed(&self) -> u64 {
-        self.seed.unwrap_or(match &self.method {
-            Method::Rl { config } | Method::RlRnd { config } => config.seed,
-            Method::Sa { config } => config.seed,
-        })
+        self.seed.unwrap_or(self.method.config_seed())
     }
 }
 

@@ -109,6 +109,11 @@ fn main() {
             .build()
             .expect("valid RL campaign");
         let rl_report = engine.run(&rl_spec).expect("RL campaign failed");
+        assert!(
+            rl_report.failures.is_empty(),
+            "RL runs failed: {:?}",
+            rl_report.failures
+        );
 
         // ...whose wall-clock then budgets the SA baselines (the paper's
         // comparison protocol).
@@ -136,6 +141,11 @@ fn main() {
             .build()
             .expect("valid SA campaign");
         let sa_report = engine.run(&sa_spec).expect("SA campaign failed");
+        assert!(
+            sa_report.failures.is_empty(),
+            "SA runs failed: {:?}",
+            sa_report.failures
+        );
 
         let rows: Vec<Row> = rl_report
             .runs

@@ -85,6 +85,11 @@ fn main() {
             .build()
             .expect("valid RL campaign");
         let rl_report = engine.run(&rl_spec).expect("RL campaign failed");
+        assert!(
+            rl_report.failures.is_empty(),
+            "RL runs failed: {:?}",
+            rl_report.failures
+        );
         let rl_runtime = rl_report
             .runs
             .iter()
@@ -110,6 +115,11 @@ fn main() {
             .build()
             .expect("valid SA campaign");
         let sa_report = engine.run(&sa_spec).expect("SA campaign failed");
+        assert!(
+            sa_report.failures.is_empty(),
+            "SA runs failed: {:?}",
+            sa_report.failures
+        );
 
         for (method_index, method) in methods.iter().enumerate() {
             let report = if method_index < 2 {
