@@ -51,6 +51,6 @@ pub use buffer::{RolloutBuffer, Transition};
 pub use env::{Environment, Observation, StepResult};
 pub use error::{ConfigError, RlError};
 pub use ppo::{ActionSample, PpoAgent, PpoConfig, PpoStats};
-pub use progress::{NullTrainingObserver, TrainingObserver};
+pub use progress::{NullTrainingObserver, TeeTrainingObserver, TrainingObserver};
 pub use rnd::RandomNetworkDistillation;
 pub use vec_env::{episode_rng, ParallelEpisode, VecEnvPool};

@@ -40,6 +40,41 @@ pub struct NullTrainingObserver;
 
 impl TrainingObserver for NullTrainingObserver {}
 
+/// Forwards every training event to two observers, `first` before `second`.
+///
+/// Training loops accept exactly one observer; `TeeTrainingObserver` is how
+/// a caller attaches two independent consumers to the same run — e.g. the
+/// facade's telemetry collector plus a serving layer streaming progress
+/// frames to a client mid-solve.
+#[derive(Debug)]
+pub struct TeeTrainingObserver<'a, A: ?Sized, B: ?Sized> {
+    /// Receives each event first.
+    pub first: &'a mut A,
+    /// Receives each event second.
+    pub second: &'a mut B,
+}
+
+impl<A, B> TrainingObserver for TeeTrainingObserver<'_, A, B>
+where
+    A: TrainingObserver + ?Sized,
+    B: TrainingObserver + ?Sized,
+{
+    fn on_episode(&mut self, index: usize, reward: f64, best_reward: f64) {
+        self.first.on_episode(index, reward, best_reward);
+        self.second.on_episode(index, reward, best_reward);
+    }
+
+    fn on_update(&mut self, stats: &PpoStats) {
+        self.first.on_update(stats);
+        self.second.on_update(stats);
+    }
+
+    fn on_env_episode(&mut self, env_index: usize, episode_index: usize, reward: f64) {
+        self.first.on_env_episode(env_index, episode_index, reward);
+        self.second.on_env_episode(env_index, episode_index, reward);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +111,23 @@ mod tests {
         assert_eq!(recorder.episodes.len(), 2);
         assert_eq!(recorder.episodes[1], (1, -1.0, -1.0));
         assert_eq!(recorder.updates, 1);
+    }
+
+    #[test]
+    fn tee_forwards_every_event_to_both_observers() {
+        let mut a = Recorder::default();
+        let mut b = Recorder::default();
+        {
+            let mut tee = TeeTrainingObserver {
+                first: &mut a,
+                second: &mut b,
+            };
+            tee.on_episode(0, -2.0, -2.0);
+            tee.on_env_episode(1, 0, -2.0);
+            tee.on_update(&PpoStats::default());
+        }
+        assert_eq!(a.episodes, b.episodes);
+        assert_eq!(a.episodes, vec![(0, -2.0, -2.0)]);
+        assert_eq!((a.updates, b.updates), (1, 1));
     }
 }

@@ -15,8 +15,8 @@ use crate::outcome::{
 };
 use crate::planner::RlPlanner;
 use crate::request::{FloorplanRequest, Method};
-use rlp_rl::{ConfigError, PpoStats, TrainingObserver};
-use rlp_sa::{AnnealObserver, EvalCounts, EvalMode, InitialPlacementError};
+use rlp_rl::{ConfigError, PpoStats, TeeTrainingObserver, TrainingObserver};
+use rlp_sa::{AnnealObserver, EvalCounts, EvalMode, InitialPlacementError, TeeAnnealObserver};
 use rlp_thermal::ThermalError;
 use std::error::Error;
 use std::fmt;
@@ -95,6 +95,52 @@ impl From<InitialPlacementError> for PlanError {
     }
 }
 
+/// Receives method-agnostic progress events from a solve in flight.
+///
+/// Both optimisers already expose per-candidate hooks
+/// ([`TrainingObserver::on_episode`], [`AnnealObserver::on_evaluation`]);
+/// `SolveObserver` unifies them behind one callback so a caller — e.g. a
+/// serving layer streaming progress frames to a client — does not need to
+/// know which method a request resolved to. Events fire on the thread
+/// running the solve, so a slow observer slows the run.
+pub trait SolveObserver {
+    /// Called after each evaluated candidate with its 0-based index, the
+    /// candidate's reward (SA objectives are negated costs, so higher is
+    /// better for both methods), and the best reward seen so far.
+    fn on_candidate(&mut self, index: usize, reward: f64, best_reward: f64) {
+        let _ = (index, reward, best_reward);
+    }
+}
+
+/// An observer that ignores every event; what [`Planner::solve`] uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSolveObserver;
+
+impl SolveObserver for NullSolveObserver {}
+
+/// Adapts a [`SolveObserver`] to either optimiser's native observer trait.
+struct ForwardToSolveObserver<'a> {
+    observer: &'a mut dyn SolveObserver,
+}
+
+impl TrainingObserver for ForwardToSolveObserver<'_> {
+    fn on_episode(&mut self, index: usize, reward: f64, best_reward: f64) {
+        self.observer.on_candidate(index, reward, best_reward);
+    }
+}
+
+impl AnnealObserver for ForwardToSolveObserver<'_> {
+    fn on_evaluation(
+        &mut self,
+        index: usize,
+        objective: f64,
+        best_objective: f64,
+        _accepted: bool,
+    ) {
+        self.observer.on_candidate(index, objective, best_objective);
+    }
+}
+
 /// A floorplanning method behind the unified request/outcome API.
 pub trait Planner {
     /// Human-readable name of the planner implementation.
@@ -104,12 +150,30 @@ pub trait Planner {
     /// optimisation and packages the best placement, telemetry and
     /// reproducibility manifest into a [`FloorplanOutcome`].
     ///
+    /// Equivalent to [`Planner::solve_observed`] with a
+    /// [`NullSolveObserver`]; the observer never influences the run, so
+    /// both entry points produce identical outcomes for a fixed seed.
+    ///
     /// # Errors
     ///
     /// Returns a [`PlanError`] if the backend cannot be built, the method
     /// does not match this planner, or the run produces no complete
     /// placement.
-    fn solve(&self, request: &FloorplanRequest) -> Result<FloorplanOutcome, PlanError>;
+    fn solve(&self, request: &FloorplanRequest) -> Result<FloorplanOutcome, PlanError> {
+        self.solve_observed(request, &mut NullSolveObserver)
+    }
+
+    /// Like [`Planner::solve`], but reports every evaluated candidate to
+    /// `observer` while the run is in flight.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Planner::solve`].
+    fn solve_observed(
+        &self,
+        request: &FloorplanRequest,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<FloorplanOutcome, PlanError>;
 }
 
 /// Returns the planner implementing a method.
@@ -176,7 +240,11 @@ impl Planner for PpoPlanner {
         "ppo"
     }
 
-    fn solve(&self, request: &FloorplanRequest) -> Result<FloorplanOutcome, PlanError> {
+    fn solve_observed(
+        &self,
+        request: &FloorplanRequest,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<FloorplanOutcome, PlanError> {
         let resolved = request.resolved_method();
         let (Method::Rl { config } | Method::RlRnd { config }) = &resolved else {
             return Err(PlanError::UnsupportedMethod {
@@ -192,9 +260,16 @@ impl Planner for PpoPlanner {
             config.clone(),
         )?;
         let mut telemetry = TelemetryCollector::default();
-        let result = planner
-            .train_observed(&mut telemetry)
-            .map_err(|_| PlanError::Incomplete)?;
+        let result = {
+            let mut forward = ForwardToSolveObserver { observer };
+            let mut tee = TeeTrainingObserver {
+                first: &mut telemetry,
+                second: &mut forward,
+            };
+            planner
+                .train_observed(&mut tee)
+                .map_err(|_| PlanError::Incomplete)?
+        };
         Ok(FloorplanOutcome {
             placement: result.best_placement,
             breakdown: result.best_breakdown,
@@ -231,7 +306,11 @@ impl Planner for SaBaselinePlanner {
         "sa-baseline"
     }
 
-    fn solve(&self, request: &FloorplanRequest) -> Result<FloorplanOutcome, PlanError> {
+    fn solve_observed(
+        &self,
+        request: &FloorplanRequest,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<FloorplanOutcome, PlanError> {
         let resolved = request.resolved_method();
         let Method::Sa { config } = &resolved else {
             return Err(PlanError::UnsupportedMethod {
@@ -247,7 +326,14 @@ impl Planner for SaBaselinePlanner {
             config.clone(),
         )?;
         let mut telemetry = TelemetryCollector::default();
-        let result = baseline.run_observed(&mut telemetry)?;
+        let result = {
+            let mut forward = ForwardToSolveObserver { observer };
+            let mut tee = TeeAnnealObserver {
+                first: &mut telemetry,
+                second: &mut forward,
+            };
+            baseline.run_observed(&mut tee)?
+        };
         Ok(FloorplanOutcome {
             placement: result.best_placement,
             breakdown: result.best_breakdown,

@@ -97,11 +97,16 @@ pub mod reward;
 pub use agent::AgentConfig;
 pub use baseline::{Tap25dBaseline, Tap25dResult};
 pub use env::{EnvConfig, FloorplanEnv};
-pub use facade::{planner_for, PlanError, Planner, PpoPlanner, SaBaselinePlanner};
+pub use facade::{
+    planner_for, NullSolveObserver, PlanError, Planner, PpoPlanner, SaBaselinePlanner,
+    SolveObserver,
+};
 pub use outcome::{
     EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample, TrainingTelemetry,
 };
-pub use parse::{outcome_from_json, outcome_from_value, OutcomeParseError};
+pub use parse::{
+    outcome_from_json, outcome_from_value, request_from_json, request_from_value, OutcomeParseError,
+};
 pub use planner::{RlPlanner, RlPlannerConfig, TrainingResult, TrainingStalled};
 pub use request::{Budget, FloorplanRequest, FloorplanRequestBuilder, Method, PrebuiltThermal};
 pub use reward::{DeltaRewardObjective, RewardBreakdown, RewardCalculator, RewardConfig};
@@ -116,4 +121,4 @@ pub use rlp_sa::{EvalCounts, EvalMode};
 
 // Re-exported so facade users can share characterisations across requests
 // and read outcome telemetry without depending on `rlp_thermal` directly.
-pub use rlp_thermal::{ThermalCacheStats, ThermalModelCache, ThermalPrep};
+pub use rlp_thermal::{ThermalCacheSnapshot, ThermalCacheStats, ThermalModelCache, ThermalPrep};

@@ -8,8 +8,24 @@
 //! over the RFC 8259 grammar: objects, arrays, strings (with escapes),
 //! numbers, booleans and `null`. Numbers are surfaced as `f64`, which is
 //! exact for every value those documents contain.
+//!
+//! The parser also faces untrusted input: the `rlp-serve` daemon feeds it
+//! bytes straight off a TCP socket. Because descent recurses once per
+//! container level, an adversarial document like `[[[[...` would otherwise
+//! translate attacker-controlled input size into stack depth and crash the
+//! process with a stack overflow. Nesting is therefore bounded at
+//! [`MAX_DEPTH`] containers; documents deeper than that return a regular
+//! [`ParseError`] instead. Every document this workspace writes nests a
+//! handful of levels, so the bound is invisible to legitimate traffic.
 
 use std::fmt;
+
+/// Maximum container (object/array) nesting depth [`Value::parse`] accepts.
+///
+/// Deeper documents fail with a parse error naming this limit rather than
+/// recursing towards a stack overflow. 128 is orders of magnitude beyond
+/// any document the workspace emits (outcome documents nest 5 levels).
+pub const MAX_DEPTH: usize = 128;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +55,7 @@ impl Value {
         let mut parser = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         parser.skip_whitespace();
         let value = parser.value()?;
@@ -160,6 +177,8 @@ impl std::error::Error for ParseError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -211,12 +230,24 @@ impl Parser<'_> {
         }
     }
 
+    fn enter_container(&mut self) -> Result<(), ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error(&format!(
+                "document nests deeper than {MAX_DEPTH} containers"
+            )));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, ParseError> {
+        self.enter_container()?;
         self.expect(b'{')?;
         let mut members = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(members));
         }
         loop {
@@ -231,6 +262,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(members));
                 }
                 _ => return Err(self.error("expected `,` or `}` in object")),
@@ -239,11 +271,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
+        self.enter_container()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -254,6 +288,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.error("expected `,` or `]` in array")),
@@ -403,6 +438,34 @@ mod tests {
         let reparsed = Value::parse(&value.render()).unwrap();
         assert_eq!(reparsed, value);
         assert_eq!(reparsed.render(), compact);
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // A 10k-deep array must come back as a parse error, not recurse the
+        // parser into a stack overflow — this is socket-facing code.
+        let hostile = "[".repeat(10_000);
+        let err = Value::parse(&hostile).unwrap_err();
+        assert!(
+            err.message.contains("nests deeper"),
+            "unexpected error: {err}"
+        );
+        let hostile_objects = "{\"k\":".repeat(10_000);
+        let err = Value::parse(&hostile_objects).unwrap_err();
+        assert!(
+            err.message.contains("nests deeper"),
+            "unexpected error: {err}"
+        );
+
+        // The limit counts *nesting*, not total containers: a long but flat
+        // document parses fine...
+        let flat = format!("[{}]", vec!["[]"; 1000].join(","));
+        assert!(Value::parse(&flat).is_ok());
+        // ...as does a document exactly at the bound.
+        let at_limit = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Value::parse(&at_limit).is_ok());
+        let over_limit = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(Value::parse(&over_limit).is_err());
     }
 
     #[test]

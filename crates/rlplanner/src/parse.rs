@@ -1,4 +1,4 @@
-//! Parsing outcome documents back into [`FloorplanOutcome`] values.
+//! Parsing outcome and request documents back into facade values.
 //!
 //! [`crate::report::outcome_json`] renders a run as the documented
 //! `rlplanner.outcome/v1` document; this module is the inverse, used by
@@ -7,6 +7,15 @@
 //! document carries the fully-resolved manifest, so the reconstruction is
 //! complete: every configuration field, the placement, the telemetry
 //! history and the evaluation counts come back exactly as rendered.
+//!
+//! [`request_from_json`] is the matching inverse of
+//! [`crate::report::request_json`]: it rebuilds a full
+//! [`FloorplanRequest`] — system included — from an
+//! `rlplanner.request/v1` document, which is how the `rlp-serve` daemon
+//! receives work over a socket. Every construction contract that panics in
+//! the typed API (non-positive footprints, out-of-range net endpoints,
+//! zero-wire nets, invalid configurations) is surfaced as a parse error
+//! here, so adversarial documents cannot crash the receiving process.
 //!
 //! Two encodings are lossy by design and documented here rather than
 //! hidden: JSON has no non-finite numbers, so the writer emits `null` for
@@ -21,12 +30,12 @@ use crate::outcome::{
     EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample, TrainingTelemetry,
 };
 use crate::planner::RlPlannerConfig;
-use crate::report::OUTCOME_SCHEMA;
-use crate::request::Method;
+use crate::report::{OUTCOME_SCHEMA, REQUEST_SCHEMA};
+use crate::request::{Budget, FloorplanRequest, Method};
 use crate::reward::{RewardBreakdown, RewardConfig};
 use crate::{AgentConfig, EnvConfig};
 use rlp_chiplet::bumps::BumpConfig;
-use rlp_chiplet::{ChipletSystem, Placement, Position, Rotation};
+use rlp_chiplet::{Chiplet, ChipletId, ChipletSystem, Net, Placement, Position, Rotation};
 use rlp_rl::PpoConfig;
 use rlp_sa::{EvalCounts, EvalMode, SaConfig};
 use rlp_thermal::{
@@ -137,6 +146,145 @@ pub fn outcome_from_value(
         thermal_prep,
         manifest,
     })
+}
+
+/// Parses an `rlplanner.request/v1` document into a ready-to-solve
+/// [`FloorplanRequest`].
+///
+/// The document inlines the system, so no benchmark registry is needed;
+/// the request comes back exactly as the sender built it (method, backend,
+/// reward, and the budget/seed/parallel-envs overrides), validated through
+/// [`FloorplanRequest::builder`]. Re-rendering the parsed request with
+/// [`crate::report::request_json`] reproduces the document byte for byte.
+///
+/// # Errors
+///
+/// Returns an [`OutcomeParseError`] naming the first malformed, missing or
+/// invalid field (including JSON syntax errors and configuration errors the
+/// builder rejects).
+pub fn request_from_json(text: &str) -> Result<FloorplanRequest, OutcomeParseError> {
+    let doc = Value::parse(text).map_err(|e| OutcomeParseError {
+        message: e.to_string(),
+    })?;
+    request_from_value(&doc)
+}
+
+/// Parses an already-decoded request document; see [`request_from_json`].
+///
+/// # Errors
+///
+/// Returns an [`OutcomeParseError`] naming the first malformed, missing or
+/// invalid field.
+pub fn request_from_value(doc: &Value) -> Result<FloorplanRequest, OutcomeParseError> {
+    let schema = str_field(doc, "schema")?;
+    if schema != REQUEST_SCHEMA {
+        return err(format!(
+            "unsupported schema `{schema}` (expected `{REQUEST_SCHEMA}`)"
+        ));
+    }
+    let system = system_from(field(doc, "system")?)?;
+    let mut builder = FloorplanRequest::builder()
+        .system(system)
+        .method(method_from(field(doc, "method")?)?)
+        .thermal(thermal_from(field(doc, "thermal")?)?)
+        .reward(reward_from(field(doc, "reward")?)?);
+    match field(doc, "budget")? {
+        Value::Null => {}
+        value => builder = builder.budget(budget_from(value)?),
+    }
+    if !matches!(field(doc, "seed")?, Value::Null) {
+        builder = builder.seed(u64_field(doc, "seed")?);
+    }
+    if !matches!(field(doc, "parallel_envs")?, Value::Null) {
+        builder = builder.parallel_envs(usize_field(doc, "parallel_envs")?);
+    }
+    builder.build().map_err(|e| OutcomeParseError {
+        message: format!("invalid request configuration: {e}"),
+    })
+}
+
+fn system_from(obj: &Value) -> Result<ChipletSystem, OutcomeParseError> {
+    let name = str_field(obj, "system.name")?;
+    let Some(outline) = field(obj, "system.interposer_mm")?.as_array() else {
+        return err("field `system.interposer_mm` must be a two-element array");
+    };
+    if outline.len() != 2 {
+        return err("field `system.interposer_mm` must be a two-element array");
+    }
+    let (Some(width), Some(height)) = (outline[0].as_f64(), outline[1].as_f64()) else {
+        return err("field `system.interposer_mm` must hold numbers");
+    };
+    // `ChipletSystem::new` panics on a non-positive outline; reject first.
+    if !(width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite()) {
+        return err("field `system.interposer_mm` must hold positive finite dimensions");
+    }
+    let mut system = ChipletSystem::new(name, width, height);
+
+    let Some(records) = field(obj, "system.chiplets")?.as_array() else {
+        return err("field `system.chiplets` must be an array");
+    };
+    for record in records {
+        let name = str_field(record, "system.chiplets[].name")?;
+        let width_mm = f64_field(record, "system.chiplets[].width_mm")?;
+        let height_mm = f64_field(record, "system.chiplets[].height_mm")?;
+        let power_w = f64_field(record, "system.chiplets[].power_w")?;
+        // `Chiplet::new` panics on these contracts; turn them into errors.
+        if !(width_mm > 0.0 && height_mm > 0.0 && width_mm.is_finite() && height_mm.is_finite()) {
+            return err(format!(
+                "chiplet `{name}` must have a positive finite footprint"
+            ));
+        }
+        if !(power_w >= 0.0 && power_w.is_finite()) {
+            return err(format!(
+                "chiplet `{name}` must have non-negative finite power"
+            ));
+        }
+        system.add_chiplet(Chiplet::new(name, width_mm, height_mm, power_w));
+    }
+
+    let Some(records) = field(obj, "system.nets")?.as_array() else {
+        return err("field `system.nets` must be an array");
+    };
+    for record in records {
+        let from = usize_field(record, "system.nets[].from")?;
+        let to = usize_field(record, "system.nets[].to")?;
+        let wires = usize_field(record, "system.nets[].wires")?;
+        // `Net::new`/`add_net` panic on these contracts; reject first.
+        if from >= system.chiplet_count() || to >= system.chiplet_count() {
+            return err(format!(
+                "net endpoints ({from}, {to}) must index the system's {} chiplets",
+                system.chiplet_count()
+            ));
+        }
+        if from == to {
+            return err(format!("net ({from}, {to}) must connect distinct chiplets"));
+        }
+        if wires == 0 || wires > u32::MAX as usize {
+            return err(format!(
+                "net ({from}, {to}) must carry between 1 and {} wires",
+                u32::MAX
+            ));
+        }
+        system.add_net(Net::new(
+            ChipletId::from_index(from),
+            ChipletId::from_index(to),
+            wires as u32,
+        ));
+    }
+    Ok(system)
+}
+
+fn budget_from(obj: &Value) -> Result<Budget, OutcomeParseError> {
+    if obj.get("evaluations").is_some() {
+        Ok(Budget::Evaluations(usize_field(obj, "budget.evaluations")?))
+    } else if obj.get("time_limit_s").is_some() {
+        Ok(Budget::TimeLimit(duration_field(
+            obj,
+            "budget.time_limit_s",
+        )?))
+    } else {
+        err("field `budget` must be null or hold `evaluations` or `time_limit_s`")
+    }
 }
 
 fn field<'a>(obj: &'a Value, key: &str) -> Result<&'a Value, OutcomeParseError> {
@@ -636,6 +784,132 @@ mod tests {
         let bad_schema = json.replace("rlplanner.outcome/v1", "rlplanner.outcome/v0");
         let error = outcome_from_json(&bad_schema, &sys).unwrap_err();
         assert!(error.to_string().contains("unsupported schema"), "{error}");
+    }
+
+    #[test]
+    fn request_round_trips_byte_for_byte() {
+        use crate::report::request_json;
+        let mut sys = ChipletSystem::new("req-test", 33.5, 30.25);
+        let a = sys.add_chiplet(Chiplet::new("cpu", 8.125, 8.0, 25.5));
+        let b = sys.add_chiplet(Chiplet::new("gpu", 6.0, 6.75, 10.0));
+        sys.add_net(Net::new(a, b, 64));
+        let request = FloorplanRequest::builder()
+            .system(sys)
+            .method(Method::sa())
+            .thermal(ThermalBackend::grid())
+            .budget(Budget::Evaluations(40))
+            .seed(11)
+            .build()
+            .unwrap();
+        let json = request_json(&request);
+        let parsed = request_from_json(&json).expect("parses");
+        assert_eq!(request_json(&parsed), json);
+        assert_eq!(parsed.method(), request.method());
+        assert_eq!(parsed.budget(), request.budget());
+        assert_eq!(parsed.seed(), Some(11));
+        assert_eq!(parsed.system().net_count(), 1);
+
+        // A minimal RL request with no overrides round-trips too (null
+        // budget/seed/parallel_envs stay unset).
+        let mut sys = ChipletSystem::new("req-rl", 20.0, 20.0);
+        sys.add_chiplet(Chiplet::new("solo", 5.0, 5.0, 10.0));
+        let request = FloorplanRequest::builder()
+            .system(sys)
+            .method(Method::rl_rnd())
+            .build()
+            .unwrap();
+        let json = request_json(&request);
+        let parsed = request_from_json(&json).expect("parses");
+        assert_eq!(request_json(&parsed), json);
+        assert!(parsed.budget().is_none());
+        assert!(parsed.seed().is_none());
+        assert!(parsed.parallel_envs().is_none());
+    }
+
+    #[test]
+    fn request_time_budget_and_parallel_envs_round_trip() {
+        use crate::report::request_json;
+        let mut sys = ChipletSystem::new("req-t", 20.0, 20.0);
+        sys.add_chiplet(Chiplet::new("solo", 5.0, 5.0, 10.0));
+        let request = FloorplanRequest::builder()
+            .system(sys)
+            .method(Method::rl())
+            .budget(Budget::TimeLimit(Duration::from_millis(1250)))
+            .parallel_envs(4)
+            .build()
+            .unwrap();
+        let json = request_json(&request);
+        assert!(json.contains("\"time_limit_s\": 1.25"));
+        let parsed = request_from_json(&json).expect("parses");
+        assert_eq!(request_json(&parsed), json);
+        assert_eq!(
+            parsed.budget(),
+            Some(Budget::TimeLimit(Duration::from_millis(1250)))
+        );
+        assert_eq!(parsed.parallel_envs(), Some(4));
+    }
+
+    #[test]
+    fn hostile_request_documents_are_errors_not_panics() {
+        use crate::report::request_json;
+        let mut sys = ChipletSystem::new("req-h", 20.0, 20.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 5.0, 5.0, 10.0));
+        let b = sys.add_chiplet(Chiplet::new("b", 5.0, 5.0, 10.0));
+        sys.add_net(Net::new(a, b, 8));
+        let request = FloorplanRequest::builder().system(sys).build().unwrap();
+        let json = request_json(&request);
+
+        // Every typed-API panic path comes back as a named parse error.
+        for (needle, replacement, expect) in [
+            (
+                "rlplanner.request/v1",
+                "rlplanner.request/v0",
+                "unsupported schema",
+            ),
+            (
+                "\"width_mm\": 5",
+                "\"width_mm\": -5",
+                "positive finite footprint",
+            ),
+            (
+                "\"power_w\": 10",
+                "\"power_w\": -1",
+                "non-negative finite power",
+            ),
+            (
+                "\"interposer_mm\": [20, 20]",
+                "\"interposer_mm\": [0, 20]",
+                "positive finite dimensions",
+            ),
+            ("\"wires\": 8", "\"wires\": 0", "between 1 and"),
+            ("\"to\": 1", "\"to\": 7", "must index the system's"),
+            (
+                "\"from\": 0, \"to\": 1",
+                "\"from\": 1, \"to\": 1",
+                "distinct chiplets",
+            ),
+            (
+                "\"budget\": null",
+                "\"budget\": { \"moves\": 3 }",
+                "`evaluations` or `time_limit_s`",
+            ),
+        ] {
+            let doc = json.replace(needle, replacement);
+            assert_ne!(doc, json, "replacement `{needle}` did not apply");
+            let error = request_from_json(&doc).unwrap_err();
+            assert!(
+                error.to_string().contains(expect),
+                "expected `{expect}` in `{error}`"
+            );
+        }
+
+        // An invalid configuration is caught by the builder, not a panic.
+        let doc = json.replace("\"episodes\": 600", "\"episodes\": 0");
+        let error = request_from_json(&doc).unwrap_err();
+        assert!(
+            error.to_string().contains("invalid request configuration"),
+            "{error}"
+        );
     }
 
     #[test]

@@ -72,10 +72,42 @@
 //! alone (`method.kind` selects which method fields follow, mirroring
 //! [`crate::Method`]; `thermal.kind` mirrors
 //! [`rlp_thermal::ThermalBackend`]).
+//!
+//! # Request document ([`request_json`])
+//!
+//! ```json
+//! {
+//!   "schema": "rlplanner.request/v1",
+//!   "system": {
+//!     "name": "...",
+//!     "interposer_mm": [40, 40],
+//!     "chiplets": [ { "name": "cpu", "width_mm": 8, "height_mm": 8, "power_w": 25 } ],
+//!     "nets": [ { "from": 0, "to": 1, "wires": 64 } ]
+//!   },
+//!   "method": { "kind": "rl" | "rl-rnd" | "sa", ... },
+//!   "thermal": { "kind": "grid" | "fast", ... },
+//!   "reward": { "lambda": 0.0003, ... },
+//!   "budget": null | { "evaluations": 600 } | { "time_limit_s": 30 },
+//!   "seed": null | 7,
+//!   "parallel_envs": null | 4
+//! }
+//! ```
+//!
+//! The wire form of a [`crate::FloorplanRequest`] — what a client sends an
+//! `rlp-serve` daemon. Unlike the outcome document, the system is inlined
+//! in full (chiplet footprints/powers at full precision, nets by chiplet
+//! index in insertion order), so the receiver needs no out-of-band
+//! benchmark registry. `method`/`thermal`/`reward` reuse the manifest
+//! object shapes above; `budget`, `seed` and `parallel_envs` are the
+//! *request-level overrides* (`null` when unset), not the resolved values —
+//! rendering a parsed request reproduces the original document byte for
+//! byte. A request carrying a prebuilt analyzer renders only its backend
+//! description; the analyzer itself never crosses the wire (the serving
+//! side re-attaches one from its own cache).
 
 use crate::outcome::{FloorplanOutcome, RunManifest};
 use crate::planner::RlPlannerConfig;
-use crate::request::Method;
+use crate::request::{Budget, FloorplanRequest, Method};
 use crate::reward::RewardConfig;
 use rlp_chiplet::{ChipletSystem, Placement};
 use rlp_sa::SaConfig;
@@ -84,6 +116,9 @@ use std::time::Duration;
 
 /// Identifier of the outcome-document layout produced by [`outcome_json`].
 pub const OUTCOME_SCHEMA: &str = "rlplanner.outcome/v1";
+
+/// Identifier of the request-document layout produced by [`request_json`].
+pub const REQUEST_SCHEMA: &str = "rlplanner.request/v1";
 
 /// Escapes a string for embedding in a JSON string literal: quotes,
 /// backslashes and control characters (RFC 8259 §7).
@@ -316,6 +351,92 @@ fn manifest_json(manifest: &RunManifest) -> String {
         method_json(&manifest.method),
         thermal_json(&manifest.thermal),
         reward_json(&manifest.reward),
+    );
+    format!("{{\n  {}\n}}", indent(&fields, 2))
+}
+
+fn system_json(system: &ChipletSystem) -> String {
+    let chiplets = system
+        .chiplet_ids()
+        .map(|id| {
+            let c = system.chiplet(id);
+            format!(
+                "{{ \"name\": \"{}\", \"width_mm\": {}, \"height_mm\": {}, \"power_w\": {} }}",
+                json_escape(c.name()),
+                num(c.width()),
+                num(c.height()),
+                num(c.power())
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let chiplets = if chiplets.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n  {}\n]", indent(&chiplets, 2))
+    };
+    let nets = system
+        .nets()
+        .map(|n| {
+            format!(
+                "{{ \"from\": {}, \"to\": {}, \"wires\": {} }}",
+                n.from.index(),
+                n.to.index(),
+                n.wires
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let nets = if nets.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n  {}\n]", indent(&nets, 2))
+    };
+    let fields = format!(
+        "\"name\": \"{}\",\n\"interposer_mm\": [{}, {}],\n\"chiplets\": {},\n\"nets\": {}",
+        json_escape(system.name()),
+        num(system.interposer_width()),
+        num(system.interposer_height()),
+        chiplets,
+        nets
+    );
+    format!("{{\n  {}\n}}", indent(&fields, 2))
+}
+
+fn budget_json(budget: Option<Budget>) -> String {
+    match budget {
+        None => "null".to_string(),
+        Some(Budget::Evaluations(n)) => format!("{{ \"evaluations\": {n} }}"),
+        Some(Budget::TimeLimit(limit)) => {
+            format!("{{ \"time_limit_s\": {} }}", num(limit.as_secs_f64()))
+        }
+        // `Budget` is non-exhaustive for downstream code; this crate owns
+        // the full variant list.
+        #[allow(unreachable_patterns)]
+        Some(_) => unreachable!("unrendered budget variant"),
+    }
+}
+
+/// Renders a request as the documented request document — the wire form an
+/// `rlp-serve` client sends. [`crate::request_from_json`] is the inverse.
+pub fn request_json(request: &FloorplanRequest) -> String {
+    let fields = format!(
+        "\"schema\": \"{}\",\n\
+         \"system\": {},\n\
+         \"method\": {},\n\
+         \"thermal\": {},\n\
+         \"reward\": {},\n\
+         \"budget\": {},\n\
+         \"seed\": {},\n\
+         \"parallel_envs\": {}",
+        REQUEST_SCHEMA,
+        system_json(request.system()),
+        method_json(request.method()),
+        thermal_json(request.thermal()),
+        reward_json(request.reward()),
+        budget_json(request.budget()),
+        request.seed().map_or("null".to_string(), |s| s.to_string()),
+        opt_usize(request.parallel_envs()),
     );
     format!("{{\n  {}\n}}", indent(&fields, 2))
 }

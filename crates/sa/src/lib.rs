@@ -28,4 +28,4 @@ pub mod progress;
 pub use anneal::{SaConfig, SaPlanner, SaResult};
 pub use moves::{InitialPlacementError, Move, MoveUndo};
 pub use objective::{DeltaObjective, EvalCounts, EvalMode, Objective};
-pub use progress::{AnnealObserver, NullAnnealObserver};
+pub use progress::{AnnealObserver, NullAnnealObserver, TeeAnnealObserver};

@@ -26,6 +26,30 @@ pub struct NullAnnealObserver;
 
 impl AnnealObserver for NullAnnealObserver {}
 
+/// Forwards every annealing event to two observers, `first` before
+/// `second` — how a caller attaches two independent consumers (say, a
+/// telemetry collector and a progress-streaming serving layer) to one run.
+#[derive(Debug)]
+pub struct TeeAnnealObserver<'a, A: ?Sized, B: ?Sized> {
+    /// Receives each event first.
+    pub first: &'a mut A,
+    /// Receives each event second.
+    pub second: &'a mut B,
+}
+
+impl<A, B> AnnealObserver for TeeAnnealObserver<'_, A, B>
+where
+    A: AnnealObserver + ?Sized,
+    B: AnnealObserver + ?Sized,
+{
+    fn on_evaluation(&mut self, index: usize, objective: f64, best_objective: f64, accepted: bool) {
+        self.first
+            .on_evaluation(index, objective, best_objective, accepted);
+        self.second
+            .on_evaluation(index, objective, best_objective, accepted);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +81,21 @@ mod tests {
         recorder.on_evaluation(1, -2.0, -2.0, true);
         assert_eq!(recorder.0.len(), 2);
         assert_eq!(recorder.0[1], (1, -2.0, -2.0, true));
+    }
+
+    #[test]
+    fn tee_forwards_every_event_to_both_observers() {
+        let mut a = Recorder::default();
+        let mut b = Recorder::default();
+        {
+            let mut tee = TeeAnnealObserver {
+                first: &mut a,
+                second: &mut b,
+            };
+            tee.on_evaluation(0, -3.0, -3.0, true);
+            tee.on_evaluation(1, -2.0, -2.0, false);
+        }
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.0.len(), 2);
     }
 }

@@ -1,0 +1,105 @@
+//! `rlp_serve` — the floorplanning daemon.
+//!
+//! ```text
+//! rlp_serve [--addr <host:port>] [--workers <n>] [--capacity <n>]
+//!
+//!   --addr      listen address (default 127.0.0.1:7878; port 0 lets the
+//!               OS pick — the resolved address is printed either way)
+//!   --workers   solver threads sharing one thermal-model cache (default 2)
+//!   --capacity  bounded job-queue capacity; a full queue answers `busy`
+//!               (default 16)
+//! ```
+//!
+//! On startup the daemon prints one readiness line to stdout:
+//!
+//! ```text
+//! rlp-serve listening on 127.0.0.1:7878 (workers=2, capacity=16)
+//! ```
+//!
+//! and then serves `rlplanner.rpc/v1` until a client sends `shutdown`,
+//! which drains in-flight jobs and exits 0. See the `rlp_serve::protocol`
+//! docs for the wire format.
+
+use rlp_serve::{Server, ServerConfig};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rlp_serve [--addr <host:port>] [--workers <n>] [--capacity <n>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let Some(rest) = arg.strip_prefix("--") else {
+            eprintln!("unexpected argument `{arg}`");
+            return usage();
+        };
+        let (flag, inline) = match rest.split_once('=') {
+            Some((flag, value)) => (flag, Some(value.to_string())),
+            None => (rest, None),
+        };
+        let Some(value) = inline.or_else(|| iter.next().cloned()) else {
+            eprintln!("flag `--{flag}` needs a value");
+            return usage();
+        };
+        match flag {
+            "addr" => config.addr = value,
+            "workers" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => {
+                    eprintln!("invalid worker count `{value}`: expected a positive integer");
+                    return usage();
+                }
+            },
+            "capacity" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => config.queue_capacity = n,
+                _ => {
+                    eprintln!("invalid capacity `{value}`: expected a positive integer");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unknown flag `--{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let (workers, capacity) = (config.workers, config.queue_capacity);
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // The readiness line scripts wait for; flushed so a piped
+            // reader sees it before the first connection.
+            println!("rlp-serve listening on {addr} (workers={workers}, capacity={capacity})");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cannot resolve listen address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            eprintln!("rlp-serve drained and shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

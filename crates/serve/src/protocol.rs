@@ -1,0 +1,476 @@
+//! The `rlplanner.rpc/v1` wire protocol: framing and message documents.
+//!
+//! # Framing
+//!
+//! Every message in either direction is one *frame*: a 4-byte big-endian
+//! unsigned length followed by that many bytes of UTF-8 JSON. Frames are
+//! bounded by [`MAX_FRAME_BYTES`]; a peer announcing a larger frame is
+//! malformed and the connection is closed. The JSON payload is parsed by
+//! the hardened `rlplanner::minijson` parser (nesting bounded by
+//! [`rlplanner::minijson::MAX_DEPTH`]), so adversarial documents fail with
+//! an error frame instead of exhausting the stack.
+//!
+//! # Client → server messages
+//!
+//! Every message carries `"schema": "rlplanner.rpc/v1"` and a `"type"`:
+//!
+//! ```json
+//! { "schema": "rlplanner.rpc/v1", "type": "solve",
+//!   "progress_every": 0, "request": { ...rlplanner.request/v1... } }
+//! { "schema": "rlplanner.rpc/v1", "type": "status",  "job": 3 }
+//! { "schema": "rlplanner.rpc/v1", "type": "cancel",  "job": 3 }
+//! { "schema": "rlplanner.rpc/v1", "type": "stats" }
+//! { "schema": "rlplanner.rpc/v1", "type": "shutdown" }
+//! ```
+//!
+//! `solve` embeds a full `rlplanner.request/v1` document (see
+//! `rlplanner::report::request_json`). `progress_every` asks the daemon to
+//! stream every Nth candidate as a progress frame while the job runs; `0`
+//! (the default) disables streaming. Progress never influences the solve.
+//!
+//! # Server → client messages
+//!
+//! ```json
+//! { "schema": "rlplanner.rpc/v1", "type": "accepted",  "job": 3 }
+//! { "schema": "rlplanner.rpc/v1", "type": "busy",      "capacity": 16 }
+//! { "schema": "rlplanner.rpc/v1", "type": "error",     "message": "..." }
+//! { "schema": "rlplanner.rpc/v1", "type": "progress",  "job": 3,
+//!   "candidate": 40, "reward": -2.1, "best_reward": -1.9 }
+//! { "schema": "rlplanner.rpc/v1", "type": "outcome",   "job": 3,
+//!   "outcome": { ...rlplanner.outcome/v1... } }
+//! { "schema": "rlplanner.rpc/v1", "type": "failed",    "job": 3, "message": "..." }
+//! { "schema": "rlplanner.rpc/v1", "type": "status",    "job": 3, "state": "queued" }
+//! { "schema": "rlplanner.rpc/v1", "type": "cancelled", "job": 3, "ok": true }
+//! { "schema": "rlplanner.rpc/v1", "type": "stats",
+//!   "cache": { "models": 1, "hits": 7, "misses": 1 },
+//!   "scheduler": { "workers": 2, "capacity": 16, "queued": 0, "running": 1,
+//!                  "admitted": 8, "completed": 7, "failed": 0, "cancelled": 0 } }
+//! { "schema": "rlplanner.rpc/v1", "type": "shutdown", "draining": 2 }
+//! ```
+//!
+//! Request/response pairs (`accepted`/`busy`/`error`, `status`,
+//! `cancelled`, `stats`, `shutdown`) are sent in request order, but
+//! job-lifecycle frames (`progress`, `outcome`, `failed`) are pushed by
+//! worker threads whenever the job produces them, so a client must be
+//! prepared to see them interleaved with any reply and demultiplex on
+//! `job`. `busy` is the backpressure signal: the job queue was full and
+//! the request was *not* admitted — retry later. Job states reported by
+//! `status` are `queued`, `running`, `done`, `failed`, `cancelled` and
+//! `unknown` (an id never admitted).
+
+use rlplanner::minijson::Value;
+use rlplanner::report::{json_escape, json_num};
+use std::io::{self, Read, Write};
+
+/// Identifier carried by every rpc message in both directions.
+pub const RPC_SCHEMA: &str = "rlplanner.rpc/v1";
+
+/// Upper bound on a frame's JSON payload. Large enough for any realistic
+/// outcome document (telemetry included), small enough that a hostile
+/// length prefix cannot make the receiver allocate unbounded memory.
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidInput` if `payload`
+/// exceeds [`MAX_FRAME_BYTES`].
+pub fn write_frame(stream: &mut impl Write, payload: &str) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds {MAX_FRAME_BYTES}", payload.len()),
+        ));
+    }
+    let len = (payload.len() as u32).to_be_bytes();
+    stream.write_all(&len)?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer closed the connection).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for an oversized length prefix or a non-UTF-8
+/// payload, `UnexpectedEof` for a connection cut mid-frame, or the
+/// underlying I/O error.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a frame of {len} bytes (limit {MAX_FRAME_BYTES})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+/// A parsed client → server message.
+#[derive(Debug)]
+pub enum ClientMessage {
+    /// Submit the embedded request; stream every Nth candidate (0 = none).
+    Solve {
+        /// The embedded `rlplanner.request/v1` document, still undecoded —
+        /// the server parses it with `rlplanner::request_from_value`.
+        request: Value,
+        /// Progress-streaming stride (0 disables streaming).
+        progress_every: usize,
+    },
+    /// Ask for a job's lifecycle state.
+    Status {
+        /// The job id being queried.
+        job: u64,
+    },
+    /// Cancel a *queued* job (running jobs cannot be interrupted).
+    Cancel {
+        /// The job id to cancel.
+        job: u64,
+    },
+    /// Ask for cache + scheduler telemetry.
+    Stats,
+    /// Begin graceful shutdown: stop admissions, drain the queue, exit 0.
+    Shutdown,
+}
+
+impl ClientMessage {
+    /// Parses one client frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation: JSON
+    /// syntax, wrong schema, unknown type or a malformed field.
+    pub fn parse(payload: &str) -> Result<ClientMessage, String> {
+        let doc = Value::parse(payload).map_err(|e| e.to_string())?;
+        let schema = doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("message has no `schema` string")?;
+        if schema != RPC_SCHEMA {
+            return Err(format!(
+                "unsupported schema `{schema}` (expected `{RPC_SCHEMA}`)"
+            ));
+        }
+        let kind = doc
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or("message has no `type` string")?;
+        let job = |doc: &Value| -> Result<u64, String> {
+            match doc.get("job").and_then(Value::as_f64) {
+                Some(v) if v.fract() == 0.0 && v >= 0.0 => Ok(v as u64),
+                _ => Err(format!("`{kind}` needs a non-negative integer `job`")),
+            }
+        };
+        match kind {
+            "solve" => {
+                let request = doc
+                    .get("request")
+                    .cloned()
+                    .ok_or("`solve` needs a `request` document")?;
+                let progress_every = match doc.get("progress_every") {
+                    None | Some(Value::Null) => 0,
+                    Some(value) => match value.as_f64() {
+                        Some(v) if v.fract() == 0.0 && v >= 0.0 => v as usize,
+                        _ => return Err("`progress_every` must be a non-negative integer".into()),
+                    },
+                };
+                Ok(ClientMessage::Solve {
+                    request,
+                    progress_every,
+                })
+            }
+            "status" => Ok(ClientMessage::Status { job: job(&doc)? }),
+            "cancel" => Ok(ClientMessage::Cancel { job: job(&doc)? }),
+            "stats" => Ok(ClientMessage::Stats),
+            "shutdown" => Ok(ClientMessage::Shutdown),
+            other => Err(format!("unknown message type `{other}`")),
+        }
+    }
+
+    /// Renders a `solve` message embedding an already-rendered
+    /// `rlplanner.request/v1` document.
+    pub fn render_solve(request_json: &str, progress_every: usize) -> String {
+        format!(
+            "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"solve\", \
+             \"progress_every\": {progress_every}, \"request\": {request_json} }}"
+        )
+    }
+
+    /// Renders a `status` query.
+    pub fn render_status(job: u64) -> String {
+        format!("{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"status\", \"job\": {job} }}")
+    }
+
+    /// Renders a `cancel` request.
+    pub fn render_cancel(job: u64) -> String {
+        format!("{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"cancel\", \"job\": {job} }}")
+    }
+
+    /// Renders a `stats` query.
+    pub fn render_stats() -> String {
+        format!("{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"stats\" }}")
+    }
+
+    /// Renders a `shutdown` request.
+    pub fn render_shutdown() -> String {
+        format!("{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"shutdown\" }}")
+    }
+}
+
+/// Scheduler-side counters reported by a `stats` frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Bounded queue capacity (jobs waiting, not counting running ones).
+    pub capacity: usize,
+    /// Jobs currently waiting in the queue.
+    pub queued: usize,
+    /// Jobs currently executing on a worker.
+    pub running: usize,
+    /// Jobs ever admitted (ids are assigned at admission).
+    pub admitted: usize,
+    /// Jobs that finished with an outcome.
+    pub completed: usize,
+    /// Jobs that finished with a solve error.
+    pub failed: usize,
+    /// Queued jobs cancelled before running.
+    pub cancelled: usize,
+}
+
+/// Server-side render helpers; one function per frame type.
+pub mod frames {
+    use super::*;
+    use rlp_thermal::ThermalCacheSnapshot;
+
+    /// `accepted` — the job was admitted under this id.
+    pub fn accepted(job: u64) -> String {
+        format!("{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"accepted\", \"job\": {job} }}")
+    }
+
+    /// `busy` — the queue was full; the request was not admitted.
+    pub fn busy(capacity: usize) -> String {
+        format!("{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"busy\", \"capacity\": {capacity} }}")
+    }
+
+    /// `error` — the request was malformed or inadmissible.
+    pub fn error(message: &str) -> String {
+        format!(
+            "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"error\", \"message\": \"{}\" }}",
+            json_escape(message)
+        )
+    }
+
+    /// `progress` — one streamed candidate from a running job.
+    pub fn progress(job: u64, candidate: usize, reward: f64, best_reward: f64) -> String {
+        format!(
+            "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"progress\", \"job\": {job}, \
+             \"candidate\": {candidate}, \"reward\": {}, \"best_reward\": {} }}",
+            json_num(reward),
+            json_num(best_reward)
+        )
+    }
+
+    /// `outcome` — the job finished; embeds the canonical outcome document.
+    pub fn outcome(job: u64, outcome_json: &str) -> String {
+        format!(
+            "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"outcome\", \"job\": {job}, \
+             \"outcome\": {outcome_json} }}"
+        )
+    }
+
+    /// `failed` — the job's solve returned an error.
+    pub fn failed(job: u64, message: &str) -> String {
+        format!(
+            "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"failed\", \"job\": {job}, \
+             \"message\": \"{}\" }}",
+            json_escape(message)
+        )
+    }
+
+    /// `status` — a job's lifecycle state.
+    pub fn status(job: u64, state: &str) -> String {
+        format!(
+            "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"status\", \"job\": {job}, \
+             \"state\": \"{state}\" }}"
+        )
+    }
+
+    /// `cancelled` — whether a cancel request removed the queued job.
+    pub fn cancelled(job: u64, ok: bool) -> String {
+        format!(
+            "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"cancelled\", \"job\": {job}, \
+             \"ok\": {ok} }}"
+        )
+    }
+
+    /// `stats` — cache + scheduler telemetry.
+    pub fn stats(cache: ThermalCacheSnapshot, scheduler: SchedulerStats) -> String {
+        format!(
+            "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"stats\", \
+             \"cache\": {{ \"models\": {}, \"hits\": {}, \"misses\": {} }}, \
+             \"scheduler\": {{ \"workers\": {}, \"capacity\": {}, \"queued\": {}, \
+             \"running\": {}, \"admitted\": {}, \"completed\": {}, \"failed\": {}, \
+             \"cancelled\": {} }} }}",
+            cache.models,
+            cache.stats.hits,
+            cache.stats.misses,
+            scheduler.workers,
+            scheduler.capacity,
+            scheduler.queued,
+            scheduler.running,
+            scheduler.admitted,
+            scheduler.completed,
+            scheduler.failed,
+            scheduler.cancelled,
+        )
+    }
+
+    /// `shutdown` — acknowledgement; `draining` jobs remained at the time.
+    pub fn shutdown(draining: usize) -> String {
+        format!(
+            "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"shutdown\", \"draining\": {draining} }}"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, "{\"a\": 1}").unwrap();
+        write_frame(&mut buffer, "second").unwrap();
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some("{\"a\": 1}")
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("second"));
+        // Clean EOF at a frame boundary is a graceful close...
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_errors() {
+        // ...but EOF mid-frame is an error.
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, "truncated payload").unwrap();
+        buffer.truncate(buffer.len() - 3);
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+
+        // A hostile length prefix is rejected before any allocation.
+        let huge = (u32::MAX).to_be_bytes().to_vec();
+        let mut cursor = io::Cursor::new(huge);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn client_messages_parse_and_render() {
+        let solve = ClientMessage::render_solve("{ \"schema\": \"rlplanner.request/v1\" }", 25);
+        match ClientMessage::parse(&solve).unwrap() {
+            ClientMessage::Solve {
+                request,
+                progress_every,
+            } => {
+                assert_eq!(progress_every, 25);
+                assert_eq!(
+                    request.get("schema").and_then(Value::as_str),
+                    Some("rlplanner.request/v1")
+                );
+            }
+            other => panic!("parsed as {other:?}"),
+        }
+        assert!(matches!(
+            ClientMessage::parse(&ClientMessage::render_status(3)).unwrap(),
+            ClientMessage::Status { job: 3 }
+        ));
+        assert!(matches!(
+            ClientMessage::parse(&ClientMessage::render_cancel(9)).unwrap(),
+            ClientMessage::Cancel { job: 9 }
+        ));
+        assert!(matches!(
+            ClientMessage::parse(&ClientMessage::render_stats()).unwrap(),
+            ClientMessage::Stats
+        ));
+        assert!(matches!(
+            ClientMessage::parse(&ClientMessage::render_shutdown()).unwrap(),
+            ClientMessage::Shutdown
+        ));
+    }
+
+    #[test]
+    fn malformed_client_messages_are_described() {
+        for (payload, needle) in [
+            ("not json", "at byte"),
+            ("{ \"type\": \"stats\" }", "no `schema`"),
+            (
+                "{ \"schema\": \"rlplanner.rpc/v0\", \"type\": \"stats\" }",
+                "unsupported schema",
+            ),
+            ("{ \"schema\": \"rlplanner.rpc/v1\" }", "no `type`"),
+            (
+                "{ \"schema\": \"rlplanner.rpc/v1\", \"type\": \"reboot\" }",
+                "unknown message type",
+            ),
+            (
+                "{ \"schema\": \"rlplanner.rpc/v1\", \"type\": \"cancel\", \"job\": -1 }",
+                "non-negative integer",
+            ),
+            (
+                "{ \"schema\": \"rlplanner.rpc/v1\", \"type\": \"solve\" }",
+                "needs a `request`",
+            ),
+        ] {
+            let error = ClientMessage::parse(payload).unwrap_err();
+            assert!(error.contains(needle), "`{error}` lacks `{needle}`");
+        }
+    }
+
+    #[test]
+    fn server_frames_carry_schema_and_type() {
+        let cache = rlp_thermal::ThermalCacheSnapshot::default();
+        let scheduler = SchedulerStats {
+            workers: 2,
+            capacity: 16,
+            ..SchedulerStats::default()
+        };
+        for (frame, kind) in [
+            (frames::accepted(1), "accepted"),
+            (frames::busy(16), "busy"),
+            (frames::error("no"), "error"),
+            (frames::progress(1, 0, -2.0, -2.0), "progress"),
+            (frames::outcome(1, "{}"), "outcome"),
+            (frames::failed(1, "oops"), "failed"),
+            (frames::status(1, "queued"), "status"),
+            (frames::cancelled(1, true), "cancelled"),
+            (frames::stats(cache, scheduler), "stats"),
+            (frames::shutdown(0), "shutdown"),
+        ] {
+            let doc = Value::parse(&frame).expect("frame renders valid JSON");
+            assert_eq!(doc.get("schema").and_then(Value::as_str), Some(RPC_SCHEMA));
+            assert_eq!(doc.get("type").and_then(Value::as_str), Some(kind));
+        }
+    }
+}

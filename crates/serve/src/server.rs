@@ -1,0 +1,342 @@
+//! The daemon: accept loop, connection handlers and the worker pool.
+//!
+//! One process-wide [`ThermalModelCache`] backs every solve, which is the
+//! point of serving: the expensive fast-model characterisation runs once
+//! per distinct thermal configuration and is amortised across all requests
+//! (cache-served analyzers are bit-identical to freshly characterised
+//! ones, so a served solve is byte-identical to a direct
+//! [`rlplanner::Planner`] call on its deterministic fields).
+//!
+//! Threading model: the accept loop polls a non-blocking listener so it can
+//! observe shutdown; each connection gets a reader thread; `workers`
+//! threads pull jobs from the shared bounded [`JobQueue`]. Progress and
+//! terminal frames are pushed to the submitting connection through a
+//! `ConnWriter` (a mutex around the socket plus a liveness flag), so a
+//! worker never races a reply and a departed connection degrades to
+//! dropped frames, never a worker crash. Connection teardown cancels that
+//! connection's *queued* jobs; running jobs always complete (planners have
+//! no interruption points), they just lose their audience.
+
+use crate::protocol::{self, frames, ClientMessage, SchedulerStats};
+use crate::queue::{AdmitError, JobQueue, JobState};
+use rlp_thermal::ThermalModelCache;
+use rlplanner::report::outcome_json;
+use rlplanner::{
+    planner_for, request_from_value, FloorplanRequest, PlanError, PrebuiltThermal, SolveObserver,
+};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How the daemon is sized; see [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to listen on; use port 0 to let the OS pick.
+    pub addr: String,
+    /// Worker threads solving jobs concurrently.
+    pub workers: usize,
+    /// Bounded queue capacity (waiting jobs beyond the running ones).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+        }
+    }
+}
+
+/// A socket writer shared between a connection's reader thread and the
+/// workers streaming that connection's job frames.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> Self {
+        ConnWriter {
+            stream: Mutex::new(stream),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    /// Writes one frame; a failed or closed connection drops the frame and
+    /// marks the writer dead so later sends return immediately.
+    fn send(&self, payload: &str) {
+        if !self.alive.load(Ordering::Acquire) {
+            return;
+        }
+        let mut stream = self.stream.lock().expect("connection writer poisoned");
+        if protocol::write_frame(&mut *stream, payload).is_err() {
+            self.alive.store(false, Ordering::Release);
+        }
+    }
+
+    fn close(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
+/// One admitted solve.
+struct Job {
+    request: FloorplanRequest,
+    progress_every: usize,
+    writer: Arc<ConnWriter>,
+    conn_id: u64,
+}
+
+struct Shared {
+    queue: JobQueue<Job>,
+    cache: ThermalModelCache,
+    workers: usize,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn scheduler_stats(&self) -> SchedulerStats {
+        let counters = self.queue.counters();
+        SchedulerStats {
+            workers: self.workers,
+            capacity: self.queue.capacity(),
+            queued: counters.queued,
+            running: counters.running,
+            admitted: counters.admitted,
+            completed: counters.completed,
+            failed: counters.failed,
+            cancelled: counters.cancelled,
+        }
+    }
+}
+
+/// Streams every Nth candidate of a running solve to the submitting
+/// connection. Observation never influences the run, so streamed and
+/// silent solves produce identical outcomes.
+struct ProgressStreamer {
+    job: u64,
+    every: usize,
+    writer: Arc<ConnWriter>,
+}
+
+impl SolveObserver for ProgressStreamer {
+    fn on_candidate(&mut self, index: usize, reward: f64, best_reward: f64) {
+        if self.every != 0 && index.is_multiple_of(self.every) {
+            self.writer
+                .send(&frames::progress(self.job, index, reward, best_reward));
+        }
+    }
+}
+
+/// A bound-but-not-yet-running daemon; [`Server::run`] serves until a
+/// client sends `shutdown`.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and sizes the worker pool and queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `queue_capacity` is zero.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        assert!(config.workers > 0, "the daemon needs at least one worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                queue: JobQueue::new(config.queue_capacity),
+                cache: ThermalModelCache::new(),
+                workers: config.workers,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying socket error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a client requests shutdown, then drains the queue,
+    /// joins the workers and returns. In-flight and queued jobs complete;
+    /// only admissions stop.
+    ///
+    /// # Errors
+    ///
+    /// Returns an accept-loop I/O error (shutdown itself is `Ok`).
+    pub fn run(self) -> io::Result<()> {
+        let workers: Vec<_> = (0..self.shared.workers)
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                thread::spawn(move || run_worker(&shared))
+            })
+            .collect();
+        let conn_ids = AtomicU64::new(1);
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let conn_id = conn_ids.fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&self.shared);
+                    thread::spawn(move || handle_connection(stream, &shared, conn_id));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if self.shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Idempotent if the shutdown handler already flipped it; makes the
+        // drain unconditional even if run() is stopped another way.
+        self.shared.queue.begin_shutdown();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+fn run_worker(shared: &Shared) {
+    while let Some((id, job)) = shared.queue.next_job() {
+        // Record the terminal state before sending the terminal frame, so a
+        // client that receives the frame never observes stale counters.
+        match solve_job(id, &job, &shared.cache) {
+            Ok(outcome) => {
+                shared.queue.finish(id, JobState::Done);
+                job.writer.send(&frames::outcome(id, &outcome));
+            }
+            Err(e) => {
+                shared.queue.finish(id, JobState::Failed);
+                job.writer.send(&frames::failed(id, &e.to_string()));
+            }
+        }
+    }
+}
+
+/// Solves one job against the process-wide cache and renders the canonical
+/// outcome document.
+fn solve_job(id: u64, job: &Job, cache: &ThermalModelCache) -> Result<String, PlanError> {
+    let request = &job.request;
+    // Route analyzer construction through the shared cache, then attach the
+    // result as a prebuilt analyzer: the solve itself is unchanged, and a
+    // cache-served model is bit-identical to a fresh characterisation.
+    let (analyzer, prep) = request.thermal().build_cached(request.system(), cache)?;
+    let mut builder = FloorplanRequest::builder()
+        .system(request.system().clone())
+        .method(request.method().clone())
+        .thermal(request.thermal().clone())
+        .reward(request.reward().clone())
+        .prebuilt_thermal(PrebuiltThermal::new(
+            request.thermal().clone(),
+            Arc::new(analyzer),
+            prep,
+        ));
+    if let Some(budget) = request.budget() {
+        builder = builder.budget(budget);
+    }
+    if let Some(seed) = request.seed() {
+        builder = builder.seed(seed);
+    }
+    if let Some(parallel_envs) = request.parallel_envs() {
+        builder = builder.parallel_envs(parallel_envs);
+    }
+    let request = builder.build()?;
+    let mut observer = ProgressStreamer {
+        job: id,
+        every: job.progress_every,
+        writer: Arc::clone(&job.writer),
+    };
+    let outcome = planner_for(request.method()).solve_observed(&request, &mut observer)?;
+    Ok(outcome_json(request.system(), &outcome))
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(ConnWriter::new(write_half));
+    let mut reader = stream;
+    // Clean close and read errors tear the connection down the same way:
+    // its queued jobs are cancelled, running ones finish.
+    while let Ok(Some(payload)) = protocol::read_frame(&mut reader) {
+        match ClientMessage::parse(&payload) {
+            Ok(message) => handle_message(message, &writer, shared, conn_id),
+            Err(description) => writer.send(&frames::error(&description)),
+        }
+    }
+    writer.close();
+    shared.queue.cancel_where(|job| job.conn_id == conn_id);
+}
+
+fn handle_message(
+    message: ClientMessage,
+    writer: &Arc<ConnWriter>,
+    shared: &Arc<Shared>,
+    conn_id: u64,
+) {
+    match message {
+        ClientMessage::Solve {
+            request,
+            progress_every,
+        } => {
+            let request = match request_from_value(&request) {
+                Ok(request) => request,
+                Err(e) => {
+                    writer.send(&frames::error(&e.to_string()));
+                    return;
+                }
+            };
+            let job = Job {
+                request,
+                progress_every,
+                writer: Arc::clone(writer),
+                conn_id,
+            };
+            match shared.queue.admit(job) {
+                Ok(id) => writer.send(&frames::accepted(id)),
+                Err(AdmitError::Busy { capacity }) => writer.send(&frames::busy(capacity)),
+                Err(AdmitError::ShuttingDown) => {
+                    writer.send(&frames::error("daemon is shutting down"));
+                }
+            }
+        }
+        ClientMessage::Status { job } => {
+            let state = shared.queue.state(job).map_or("unknown", JobState::label);
+            writer.send(&frames::status(job, state));
+        }
+        ClientMessage::Cancel { job } => {
+            writer.send(&frames::cancelled(job, shared.queue.cancel(job)));
+        }
+        ClientMessage::Stats => {
+            writer.send(&frames::stats(
+                shared.cache.snapshot(),
+                shared.scheduler_stats(),
+            ));
+        }
+        ClientMessage::Shutdown => {
+            let draining = shared.queue.begin_shutdown();
+            shared.shutdown.store(true, Ordering::Release);
+            writer.send(&frames::shutdown(draining));
+        }
+    }
+}

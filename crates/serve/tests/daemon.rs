@@ -1,0 +1,303 @@
+//! End-to-end tests driving an in-process daemon over real TCP sockets:
+//! the byte-identity contract, progress streaming, backpressure, cancel,
+//! connection teardown and graceful shutdown under load.
+
+use rlp_benchmarks::synthetic_case;
+use rlp_chiplet::ChipletSystem;
+use rlp_sa::SaConfig;
+use rlp_serve::{ClientError, ServeClient, Server, ServerConfig, Submit};
+use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
+use rlplanner::report::{outcome_json, request_json};
+use rlplanner::{outcome_from_value, Budget, FloorplanRequest, Method};
+use std::io;
+use std::net::SocketAddr;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Outcome-document lines that legitimately differ between two runs of the
+/// same solve (wall-clock measurements). Everything else must match to the
+/// byte.
+const VOLATILE: &[&str] = &["\"runtime_s\"", "\"thermal_prep\"", "\"episodes_per_s\""];
+
+fn deterministic_projection(doc: &str) -> String {
+    doc.lines()
+        .filter(|line| !VOLATILE.iter().any(|key| line.contains(key)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A small fixed-seed SA request over the fast thermal backend (the cached
+/// path) — milliseconds per solve.
+fn sa_request(budget: usize, seed: u64) -> FloorplanRequest {
+    sa_request_with_moves(budget, seed, SaConfig::default().moves_per_temperature)
+}
+
+/// A deliberately long anneal (seconds, not milliseconds): the evaluations
+/// budget only *caps* the anneal, so a slow job needs a slow natural
+/// schedule, not a large cap.
+fn slow_sa_request(seed: u64) -> FloorplanRequest {
+    sa_request_with_moves(1_000_000, seed, 400)
+}
+
+fn sa_request_with_moves(
+    budget: usize,
+    seed: u64,
+    moves_per_temperature: usize,
+) -> FloorplanRequest {
+    FloorplanRequest::builder()
+        .system(synthetic_case(1))
+        .method(Method::Sa {
+            config: SaConfig {
+                final_temperature: 1e-6,
+                moves_per_temperature,
+                ..SaConfig::default()
+            },
+        })
+        .thermal(ThermalBackend::Fast {
+            config: ThermalConfig::with_grid(16, 16),
+            characterization: CharacterizationOptions::default(),
+        })
+        .budget(Budget::Evaluations(budget))
+        .seed(seed)
+        .build()
+        .expect("test request is valid")
+}
+
+fn start_server(workers: usize, capacity: usize) -> (SocketAddr, JoinHandle<io::Result<()>>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity: capacity,
+    })
+    .expect("bind on an OS-assigned port");
+    let addr = server.local_addr().expect("bound address");
+    (addr, thread::spawn(move || server.run()))
+}
+
+/// Re-renders a daemon outcome through the canonical renderer; the parse →
+/// render pair is byte-preserving, so this is exactly the document the
+/// daemon rendered.
+fn canonical(outcome: &rlplanner::minijson::Value, system: &ChipletSystem) -> String {
+    let parsed = outcome_from_value(outcome, system).expect("daemon outcome parses");
+    outcome_json(system, &parsed)
+}
+
+/// Polls `stats` until `accept` passes or the deadline expires.
+fn wait_for_stats(
+    client: &mut ServeClient,
+    accept: impl Fn(&rlp_serve::StatsReport) -> bool,
+    what: &str,
+) -> rlp_serve::StatsReport {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().expect("stats reply");
+        if accept(&stats) {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}: {stats:?}"
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn fixed_seed_daemon_solve_is_byte_identical_to_direct_planner() {
+    let request = sa_request(400, 7);
+    let direct = outcome_json(
+        request.system(),
+        &request.solve().expect("direct solve succeeds"),
+    );
+
+    let (addr, server) = start_server(2, 4);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let document = request_json(&request);
+
+    // Two identical solves: the second must hit the shared thermal cache.
+    for round in 0..2 {
+        let Submit::Accepted(job) = client.submit(&document, 0).expect("submit") else {
+            panic!("empty daemon rejected a solve");
+        };
+        let result = client.wait_outcome(job).expect("job completes");
+        assert!(result.progress.is_empty(), "streaming was not requested");
+        let served = canonical(&result.outcome, request.system());
+        assert_eq!(
+            deterministic_projection(&served),
+            deterministic_projection(&direct),
+            "served solve diverged from the direct planner on round {round}"
+        );
+    }
+
+    let stats = client.stats().expect("stats reply");
+    assert_eq!(stats.cache_models, 1, "one distinct thermal configuration");
+    assert_eq!(stats.cache_misses, 1, "characterised exactly once");
+    assert!(stats.cache_hits >= 1, "second solve hit the cache");
+    assert_eq!(stats.scheduler.completed, 2);
+
+    assert_eq!(client.shutdown().expect("shutdown ack"), 0);
+    server.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn progress_streams_without_changing_the_outcome() {
+    let request = sa_request(300, 11);
+    let direct = outcome_json(
+        request.system(),
+        &request.solve().expect("direct solve succeeds"),
+    );
+
+    let (addr, server) = start_server(1, 4);
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let Submit::Accepted(job) = client.submit(&request_json(&request), 50).expect("submit") else {
+        panic!("empty daemon rejected a solve");
+    };
+    let result = client.wait_outcome(job).expect("job completes");
+    assert!(
+        !result.progress.is_empty(),
+        "progress_every=50 over 300 evaluations must stream samples"
+    );
+    for sample in &result.progress {
+        assert!(sample.candidate.is_multiple_of(50));
+        assert!(sample.best_reward >= sample.reward);
+    }
+    // Observation is passive: the streamed solve is the direct solve.
+    assert_eq!(
+        deterministic_projection(&canonical(&result.outcome, request.system())),
+        deterministic_projection(&direct),
+    );
+
+    client.shutdown().expect("shutdown ack");
+    server.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn full_queue_answers_busy_and_queued_jobs_cancel() {
+    // One worker, queue of one: job A runs, job B waits, job C bounces.
+    let (addr, server) = start_server(1, 1);
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    let slow = request_json(&slow_sa_request(3));
+    let Submit::Accepted(running) = client.submit(&slow, 0).expect("submit A") else {
+        panic!("empty daemon rejected job A");
+    };
+    wait_for_stats(&mut client, |s| s.scheduler.running == 1, "job A to start");
+
+    let quick = request_json(&sa_request(100, 4));
+    let Submit::Accepted(queued) = client.submit(&quick, 0).expect("submit B") else {
+        panic!("queue had a free slot for job B");
+    };
+    assert_eq!(
+        client.submit(&quick, 0).expect("submit C"),
+        Submit::Busy { capacity: 1 },
+        "a full queue must answer busy, not block"
+    );
+
+    // Cancel reaches only queued jobs; ids never admitted are unknown.
+    assert_eq!(client.status(queued).expect("status"), "queued");
+    assert!(client.cancel(queued).expect("cancel B"));
+    assert!(
+        !client.cancel(queued).expect("double cancel"),
+        "already gone"
+    );
+    assert_eq!(client.status(queued).expect("status"), "cancelled");
+    assert!(!client.cancel(running).expect("cancel A"), "A is running");
+    assert_eq!(client.status(999).expect("status"), "unknown");
+
+    client.wait_outcome(running).expect("job A completes");
+    client.shutdown().expect("shutdown ack");
+    server.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn connection_teardown_cancels_its_queued_jobs() {
+    let (addr, server) = start_server(1, 4);
+    let mut doomed = ServeClient::connect(addr).expect("connect A");
+    let mut watcher = ServeClient::connect(addr).expect("connect B");
+
+    let slow = request_json(&slow_sa_request(5));
+    let quick = request_json(&sa_request(100, 6));
+    assert!(matches!(
+        doomed.submit(&slow, 0).expect("submit slow"),
+        Submit::Accepted(_)
+    ));
+    wait_for_stats(
+        &mut watcher,
+        |s| s.scheduler.running == 1,
+        "slow job to start",
+    );
+    for _ in 0..2 {
+        assert!(matches!(
+            doomed.submit(&quick, 0).expect("submit quick"),
+            Submit::Accepted(_)
+        ));
+    }
+
+    // Dropping the connection must cancel its two queued jobs; the running
+    // one completes without an audience.
+    drop(doomed);
+    let stats = wait_for_stats(
+        &mut watcher,
+        |s| s.scheduler.cancelled == 2 && s.scheduler.running == 0 && s.scheduler.queued == 0,
+        "teardown to cancel the queued jobs",
+    );
+    assert_eq!(
+        stats.scheduler.completed, 1,
+        "only the running job finished"
+    );
+
+    watcher.shutdown().expect("shutdown ack");
+    server.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn graceful_shutdown_under_load_drains_in_flight_jobs() {
+    let (addr, server) = start_server(2, 8);
+    let mut submitter = ServeClient::connect(addr).expect("connect A");
+    let mut controller = ServeClient::connect(addr).expect("connect B");
+
+    let document = request_json(&sa_request(30_000, 9));
+    let jobs: Vec<u64> = (0..4)
+        .map(|i| match submitter.submit(&document, 0).expect("submit") {
+            Submit::Accepted(job) => job,
+            Submit::Busy { .. } => panic!("queue of 8 rejected job {i}"),
+        })
+        .collect();
+
+    // Shutdown with work still queued/running: everything already admitted
+    // must drain before the daemon exits.
+    controller.shutdown().expect("shutdown ack");
+    for job in jobs {
+        submitter.wait_outcome(job).expect("admitted job drains");
+    }
+    server.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn malformed_and_inadmissible_documents_are_remote_errors() {
+    let (addr, server) = start_server(1, 2);
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    // Not a request document at all.
+    match client.submit("{ \"schema\": \"other/v9\" }", 0) {
+        Err(ClientError::Remote(message)) => {
+            assert!(message.contains("schema"), "unhelpful error: {message}");
+        }
+        other => panic!("daemon accepted a non-request document: {other:?}"),
+    }
+    // Structurally valid but semantically hostile: a zero-evaluation
+    // budget, which the builder's validation must reject at admission.
+    let hostile =
+        request_json(&sa_request(100, 1)).replace("\"evaluations\": 100", "\"evaluations\": 0");
+    match client.submit(&hostile, 0) {
+        Err(ClientError::Remote(message)) => {
+            assert!(!message.is_empty());
+        }
+        other => panic!("daemon accepted a hostile document: {other:?}"),
+    }
+    // The connection survives rejected documents.
+    assert_eq!(client.status(1).expect("status"), "unknown");
+
+    client.shutdown().expect("shutdown ack");
+    server.join().expect("server thread").expect("clean exit");
+}

@@ -118,6 +118,21 @@ impl ThermalCacheStats {
     }
 }
 
+/// A coherent point-in-time view of a [`ThermalModelCache`]: how many
+/// distinct models it holds and the telemetry accumulated so far, read
+/// under one lock acquisition — so `stats.misses == models` holds exactly
+/// when no characterisation has ever failed, which separate
+/// [`ThermalModelCache::stats`]/[`ThermalModelCache::len`] calls cannot
+/// guarantee under concurrency. Serving telemetry (the `rlp-serve` `stats`
+/// endpoint) reports this snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThermalCacheSnapshot {
+    /// Distinct characterised models currently held.
+    pub models: usize,
+    /// Hit/miss/characterisation-time telemetry at the same instant.
+    pub stats: ThermalCacheStats,
+}
+
 struct CacheInner {
     models: HashMap<FastModelKey, Arc<FastThermalModel>>,
     stats: ThermalCacheStats,
@@ -189,6 +204,16 @@ impl ThermalModelCache {
         let model = Arc::new(model?);
         inner.models.insert(key, Arc::clone(&model));
         Ok((model, false))
+    }
+
+    /// A coherent model-count + telemetry snapshot under one lock
+    /// acquisition; see [`ThermalCacheSnapshot`].
+    pub fn snapshot(&self) -> ThermalCacheSnapshot {
+        let inner = self.inner.lock().expect("thermal cache lock poisoned");
+        ThermalCacheSnapshot {
+            models: inner.models.len(),
+            stats: inner.stats,
+        }
     }
 
     /// Snapshot of the cache telemetry.
@@ -323,6 +348,22 @@ mod tests {
         let mut other = options.clone();
         other.reference_power_w += 1.0;
         assert_ne!(key, FastModelKey::new(&config, 30.0, 30.0, &other));
+    }
+
+    #[test]
+    fn snapshot_reports_models_and_stats_coherently() {
+        let cache = ThermalModelCache::new();
+        assert_eq!(cache.snapshot(), ThermalCacheSnapshot::default());
+        let config = ThermalConfig::with_grid(8, 8);
+        cache
+            .get_or_characterize(&config, 30.0, 30.0, &quick_options())
+            .unwrap();
+        cache
+            .get_or_characterize(&config, 30.0, 30.0, &quick_options())
+            .unwrap();
+        let snapshot = cache.snapshot();
+        assert_eq!(snapshot.models, 1);
+        assert_eq!((snapshot.stats.hits, snapshot.stats.misses), (1, 1));
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub mod power;
 pub mod state;
 
 pub use backend::{AnyThermalAnalyzer, ThermalBackend};
-pub use cache::{FastModelKey, ThermalCacheStats, ThermalModelCache, ThermalPrep};
+pub use cache::{
+    FastModelKey, ThermalCacheSnapshot, ThermalCacheStats, ThermalModelCache, ThermalPrep,
+};
 pub use config::{Layer, LayerStack, ThermalConfig};
 pub use error::ThermalError;
 pub use fast::{CharacterizationOptions, FastThermalModel};
