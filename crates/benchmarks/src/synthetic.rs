@@ -103,6 +103,7 @@ impl SyntheticSystemGenerator {
     /// Generates the next random system.
     pub fn generate(&mut self) -> ChipletSystem {
         self.generated += 1;
+        rlp_obs::obs_counter!("benchmarks.synthetic.systems").inc();
         let count = self
             .rng
             .gen_range(self.config.chiplet_count.0..=self.config.chiplet_count.1);

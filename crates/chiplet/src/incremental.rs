@@ -219,6 +219,8 @@ impl IncrementalWirelength {
         // Re-sum in net order so the candidate total is bit-identical to a
         // from-scratch evaluation (a running +=delta would drift).
         self.pending_total = self.net_lengths.iter().sum();
+        rlp_obs::obs_counter!("chiplet.incremental.nets_recomputed")
+            .add(self.saved_nets.len() as u64);
     }
 
     /// Keeps the pending proposal as the new committed state.

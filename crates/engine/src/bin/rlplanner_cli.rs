@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! rlplanner_cli <system> <method> [budget] [--train-parallel <n>] [--json]
+//!               [--log-level <filter>]
 //!
 //!   <system>   multi-gpu | cpu-dram | ascend910 | case1..case5
 //!   <method>   rl | rl-rnd | sa-hotspot | sa-fast
@@ -18,6 +19,10 @@
 //!   --json     print the full outcome document (placement, reward
 //!              breakdown, telemetry, reproducibility manifest) as JSON
 //!              instead of the human-readable summary
+//!   --log-level  structured-log filter on stderr
+//!              (off|error|warn|info|debug|trace; default off, overrides
+//!              the `RLP_LOG` environment variable; valid in every mode —
+//!              `RLP_METRICS=1` and `RLP_TRACE=<path>` are also honoured)
 //!
 //! rlplanner_cli sweep [--systems <s,...>] [--methods <m,...>]
 //!                     [--seeds <n,...>] [--budget <n>] [--parallel <n>]
@@ -64,10 +69,11 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rlplanner_cli <multi-gpu|cpu-dram|ascend910|case1..case5> \
-         <rl|rl-rnd|sa-hotspot|sa-fast> [budget] [--train-parallel <n>] [--json]\n\
+         <rl|rl-rnd|sa-hotspot|sa-fast> [budget] [--train-parallel <n>] [--json] \
+         [--log-level <filter>]\n\
          \x20      rlplanner_cli sweep [--systems <s,...>] [--methods <m,...>] \
          [--seeds <n,...>] [--budget <n>] [--parallel <n>] \
-         [--train-parallel <n>] [--stream <path>] [--json]"
+         [--train-parallel <n>] [--stream <path>] [--json] [--log-level <filter>]"
     );
     ExitCode::from(2)
 }
@@ -341,8 +347,46 @@ fn run_sweep(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Strips a `--log-level <filter>` / `--log-level=<filter>` flag from
+/// `args` and applies it, overriding whatever `RLP_LOG` set. Handled
+/// before mode dispatch so the flag works for single runs and sweeps
+/// alike.
+fn apply_log_level_flag(args: &mut Vec<String>) -> Result<(), String> {
+    let Some(index) = args
+        .iter()
+        .position(|a| a == "--log-level" || a.starts_with("--log-level="))
+    else {
+        return Ok(());
+    };
+    let raw = args.remove(index);
+    let value = match raw.strip_prefix("--log-level=") {
+        Some(inline) => inline.to_string(),
+        None => {
+            if index >= args.len() {
+                return Err("--log-level needs a value".to_string());
+            }
+            args.remove(index)
+        }
+    };
+    let filter =
+        rlp_obs::Level::parse_filter(&value).map_err(|e| format!("invalid --log-level: {e}"))?;
+    rlp_obs::set_max_level(filter);
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Environment first (`RLP_LOG`, `RLP_METRICS`, `RLP_TRACE`), then an
+    // explicit `--log-level` flag overrides the environment. The CLI
+    // defaults to everything off: solves stay silent unless asked.
+    if let Err(e) = rlp_obs::init_from_env() {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = apply_log_level_flag(&mut args) {
+        eprintln!("{e}");
+        return usage();
+    }
     if args.first().map(String::as_str) == Some("sweep") {
         return run_sweep(&args[1..]);
     }

@@ -190,6 +190,14 @@ impl CampaignEngine {
         }
 
         let workers = spec.parallelism().min(runs.len()).max(1);
+        rlp_obs::obs_event!(
+            rlp_obs::Level::Info,
+            "rlp_engine",
+            "campaign started",
+            runs = runs.len(),
+            resumed = resumed_runs,
+            workers = workers,
+        );
         let next = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         let emit = Mutex::new(EmitState {
@@ -224,13 +232,42 @@ impl CampaignEngine {
                             {
                                 continue; // resumed from the sink's prior records
                             }
+                            let method = &spec.methods()[run.method];
+                            let system = &spec.systems()[run.system];
+                            // Per-run span + metrics ride alongside the
+                            // scheduler's own drain telemetry; the
+                            // campaign/v1 report path is untouched, so
+                            // reports stay byte-identical with obs on.
+                            let mut span = rlp_obs::obs_span!(
+                                rlp_obs::Level::Debug,
+                                "rlp_engine",
+                                "campaign.run",
+                                index = index,
+                                worker = worker,
+                                system = system.name(),
+                                method = method.label(),
+                            );
                             let run_started = started.elapsed();
                             let solved = self.execute(spec, run);
                             let run_finished = started.elapsed();
-                            busy += run_finished.saturating_sub(run_started);
+                            let run_elapsed = run_finished.saturating_sub(run_started);
+                            span.field("ok", solved.is_ok());
+                            span.end();
+                            if rlp_obs::metrics_enabled() {
+                                let registry = rlp_obs::registry();
+                                registry
+                                    .counter(if solved.is_ok() {
+                                        "engine.runs.completed"
+                                    } else {
+                                        "engine.runs.failed"
+                                    })
+                                    .inc();
+                                registry
+                                    .histogram("engine.run_ns")
+                                    .record_duration(run_elapsed);
+                            }
+                            busy += run_elapsed;
                             executed += 1;
-                            let method = &spec.methods()[run.method];
-                            let system = &spec.systems()[run.system];
                             let result = match solved {
                                 Ok(outcome) => Ok(RunRecord {
                                     index,
@@ -310,6 +347,14 @@ impl CampaignEngine {
         }
 
         let cells = aggregate(spec, &records);
+        rlp_obs::obs_event!(
+            rlp_obs::Level::Info,
+            "rlp_engine",
+            "campaign finished",
+            completed = records.len(),
+            failed = failures.len(),
+            wall_clock_s = started.elapsed().as_secs_f64(),
+        );
         Ok(CampaignReport {
             systems: spec.systems().to_vec(),
             runs: records,

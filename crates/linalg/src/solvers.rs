@@ -77,6 +77,17 @@ pub fn conjugate_gradient(
     b: &[f64],
     options: &CgOptions,
 ) -> Result<CgSolution, LinalgError> {
+    let solution = conjugate_gradient_impl(a, b, options)?;
+    rlp_obs::obs_counter!("linalg.cg.solves").inc();
+    rlp_obs::obs_counter!("linalg.cg.iterations").add(solution.iterations as u64);
+    Ok(solution)
+}
+
+fn conjugate_gradient_impl(
+    a: &CsrMatrix,
+    b: &[f64],
+    options: &CgOptions,
+) -> Result<CgSolution, LinalgError> {
     if a.rows() != a.cols() {
         return Err(LinalgError::NotSquare {
             rows: a.rows(),

@@ -102,6 +102,7 @@ impl Adam {
     /// network's parameters.
     pub fn step(&mut self, network: &mut dyn Layer) {
         self.step_count += 1;
+        rlp_obs::obs_counter!("nn.optim.steps").inc();
         let t = self.step_count as f32;
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);

@@ -1,0 +1,59 @@
+//! Property: merging histogram shards keeps percentiles bounded.
+//!
+//! Per-thread shards merge by bucket-wise addition on one fixed grid, so
+//! for any quantile `q` the merged nearest-rank percentile must lie within
+//! `[min over shards, max over shards]` of the per-shard percentiles —
+//! the invariant that makes "merge the workers, then read p99" honest.
+//! (Sketch: every shard has ≥ a `q`-fraction of its mass at or below its
+//! own `q`-percentile bucket, so the pooled mass at or below the *largest*
+//! per-shard percentile bucket is ≥ `q` of the total, placing the merged
+//! percentile at or below it; symmetrically for the smallest.)
+
+use proptest::prelude::*;
+use rlp_obs::{HistogramSnapshot, MetricsRegistry};
+
+fn shard_snapshot(values: &[u64]) -> HistogramSnapshot {
+    let registry = MetricsRegistry::new();
+    let histogram = registry.histogram("shard");
+    for &v in values {
+        histogram.record(v);
+    }
+    histogram.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merged_percentile_is_bounded_by_shard_percentiles(
+        shards in prop::collection::vec(
+            prop::collection::vec(0u64..2_000_000_000, 1..40),
+            2..5,
+        ),
+        q in 0.0f64..=1.0,
+    ) {
+        let snapshots: Vec<_> = shards.iter().map(|s| shard_snapshot(s)).collect();
+        let mut merged = HistogramSnapshot::empty();
+        for snap in &snapshots {
+            merged.merge(snap);
+        }
+        let per_shard: Vec<u64> = snapshots.iter().map(|s| s.percentile(q)).collect();
+        let lo = *per_shard.iter().min().unwrap();
+        let hi = *per_shard.iter().max().unwrap();
+        let pooled = merged.percentile(q);
+        prop_assert!(
+            lo <= pooled && pooled <= hi,
+            "q={q}: merged percentile {pooled} outside shard bounds [{lo}, {hi}]"
+        );
+
+        // Merge bookkeeping stays exact regardless of shard shapes.
+        let total: u64 = shards.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(merged.count(), total);
+        let sum: u64 = shards.iter().flatten().sum();
+        prop_assert_eq!(merged.sum(), sum);
+        let min = shards.iter().flatten().min().copied();
+        let max = shards.iter().flatten().max().copied();
+        prop_assert_eq!(merged.min(), min);
+        prop_assert_eq!(merged.max(), max);
+    }
+}

@@ -245,6 +245,13 @@ impl Planner for PpoPlanner {
         request: &FloorplanRequest,
         observer: &mut dyn SolveObserver,
     ) -> Result<FloorplanOutcome, PlanError> {
+        let _span = rlp_obs::obs_span!(
+            rlp_obs::Level::Debug,
+            "rlplanner",
+            "plan.solve",
+            planner = self.name(),
+            system = request.system().name(),
+        );
         let resolved = request.resolved_method();
         let (Method::Rl { config } | Method::RlRnd { config }) = &resolved else {
             return Err(PlanError::UnsupportedMethod {
@@ -270,6 +277,8 @@ impl Planner for PpoPlanner {
                 .train_observed(&mut tee)
                 .map_err(|_| PlanError::Incomplete)?
         };
+        rlp_obs::obs_counter!("plan.solves").inc();
+        rlp_obs::obs_histogram!("plan.solve_ns").record_duration(result.runtime);
         Ok(FloorplanOutcome {
             placement: result.best_placement,
             breakdown: result.best_breakdown,
@@ -311,6 +320,13 @@ impl Planner for SaBaselinePlanner {
         request: &FloorplanRequest,
         observer: &mut dyn SolveObserver,
     ) -> Result<FloorplanOutcome, PlanError> {
+        let _span = rlp_obs::obs_span!(
+            rlp_obs::Level::Debug,
+            "rlplanner",
+            "plan.solve",
+            planner = self.name(),
+            system = request.system().name(),
+        );
         let resolved = request.resolved_method();
         let Method::Sa { config } = &resolved else {
             return Err(PlanError::UnsupportedMethod {
@@ -334,6 +350,8 @@ impl Planner for SaBaselinePlanner {
             };
             baseline.run_observed(&mut tee)?
         };
+        rlp_obs::obs_counter!("plan.solves").inc();
+        rlp_obs::obs_histogram!("plan.solve_ns").record_duration(result.runtime);
         Ok(FloorplanOutcome {
             placement: result.best_placement,
             breakdown: result.best_breakdown,

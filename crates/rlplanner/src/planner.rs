@@ -241,6 +241,25 @@ impl<A: ThermalAnalyzer + Clone + Send> RlPlanner<A> {
         let mut episodes_run = 0usize;
         let mut merge_order_hash = FNV_OFFSET;
 
+        // Handles resolve once per training run; per-env utilisation gets
+        // one counter per pool slot so a starved env shows up as a skewed
+        // distribution in the metrics snapshot. Recording never touches the
+        // agent, the pool or the RNG, so trajectories are identical with
+        // metrics on or off.
+        let obs = rlp_obs::metrics_enabled().then(|| {
+            let registry = rlp_obs::registry();
+            let per_env: Vec<_> = (0..self.config.parallel_envs.max(1))
+                .map(|env| registry.counter(&format!("rl.env{env}.episodes")))
+                .collect();
+            (
+                registry.counter("rl.episodes"),
+                registry.counter("rl.updates"),
+                registry.histogram("rl.rollout_collect_ns"),
+                registry.histogram("rl.update_ns"),
+                per_env,
+            )
+        });
+
         while episodes_run < self.config.episodes {
             if let Some(budget) = self.config.time_budget {
                 if start.elapsed() > budget {
@@ -249,6 +268,7 @@ impl<A: ThermalAnalyzer + Clone + Send> RlPlanner<A> {
             }
             let batch = (self.config.episodes - episodes_run).min(self.config.episodes_per_update);
             buffer.clear();
+            let collect_started = obs.as_ref().map(|_| Instant::now());
             let reports = self.agent.collect_episodes_parallel(
                 &mut self.pool,
                 batch,
@@ -256,6 +276,17 @@ impl<A: ThermalAnalyzer + Clone + Send> RlPlanner<A> {
                 self.rnd.as_mut(),
                 |env| env.last_breakdown().map(|b| (env.placement().clone(), b)),
             );
+            if let Some((episodes, _, collect_ns, _, per_env)) = &obs {
+                if let Some(at) = collect_started {
+                    collect_ns.record_duration(at.elapsed());
+                }
+                episodes.add(reports.len() as u64);
+                for report in &reports {
+                    if let Some(counter) = per_env.get(report.env) {
+                        counter.inc();
+                    }
+                }
+            }
             for report in reports {
                 let index = episodes_run;
                 episodes_run += 1;
@@ -276,10 +307,17 @@ impl<A: ThermalAnalyzer + Clone + Send> RlPlanner<A> {
                 }
             }
             if !buffer.is_empty() {
+                let update_started = obs.as_ref().map(|_| Instant::now());
                 let stats = self
                     .agent
                     .update(&mut buffer)
                     .expect("a collected batch holds at least one transition");
+                if let Some((_, updates, _, update_ns, _)) = &obs {
+                    updates.inc();
+                    if let Some(at) = update_started {
+                        update_ns.record_duration(at.elapsed());
+                    }
+                }
                 observer.on_update(&stats);
             }
         }

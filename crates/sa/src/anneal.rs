@@ -233,6 +233,18 @@ impl SaPlanner {
         let mut accepted_moves = 0usize;
         observer.on_evaluation(0, current_objective, best_objective, true);
 
+        // Metrics handles are resolved once per run; the hot loop then pays
+        // one branch on a local when metrics are off, and never perturbs the
+        // RNG stream or the trajectory either way.
+        let obs = rlp_obs::metrics_enabled().then(|| {
+            let registry = rlp_obs::registry();
+            (
+                registry.counter("sa.moves.proposed"),
+                registry.counter("sa.moves.accepted"),
+                registry.histogram("sa.move_eval_ns"),
+            )
+        });
+
         let mut temperature = self.config.initial_temperature;
         'outer: while temperature > self.config.final_temperature {
             for _ in 0..self.config.moves_per_temperature {
@@ -246,6 +258,7 @@ impl SaPlanner {
                         break 'outer;
                     }
                 }
+                let move_started = obs.as_ref().map(|_| Instant::now());
                 let candidate_move = propose_move(&self.system, &grid, &mut rng);
                 let Some(undo) = apply_move_in_place(
                     &self.system,
@@ -272,6 +285,15 @@ impl SaPlanner {
                     objective.reject();
                     undo_move(&mut current, &undo);
                 }
+                if let Some((proposed, accepted, move_eval_ns)) = &obs {
+                    proposed.inc();
+                    if accept {
+                        accepted.inc();
+                    }
+                    if let Some(at) = move_started {
+                        move_eval_ns.record_duration(at.elapsed());
+                    }
+                }
                 observer.on_evaluation(
                     evaluations - 1,
                     candidate_objective,
@@ -292,6 +314,16 @@ impl SaPlanner {
                 incremental: 0,
             },
         };
+        if obs.is_some() {
+            let registry = rlp_obs::registry();
+            registry.counter("sa.runs").inc();
+            registry
+                .counter("sa.evals.full")
+                .add(eval_counts.full as u64);
+            registry
+                .counter("sa.evals.incremental")
+                .add(eval_counts.incremental as u64);
+        }
         Ok(SaResult {
             best_placement: best,
             best_objective,

@@ -3,7 +3,8 @@
 //! ```text
 //! rlp_load <addr> [--clients <n>] [--requests <m>] [--system <s>]
 //!          [--method <m>] [--budget <n>] [--seed <n>]
-//!          [--progress-every <k>] [--save-json <path>] [--shutdown]
+//!          [--progress-every <k>] [--save-json <path>] [--metrics]
+//!          [--shutdown]
 //!
 //!   <addr>            daemon address, e.g. 127.0.0.1:7878
 //!   --clients         concurrent client connections        (default 4)
@@ -16,6 +17,8 @@
 //!   --progress-every  stream every Nth candidate           (default 0, off)
 //!   --save-json       append p50/p99 latency + throughput as
 //!                     `rlplanner.bench/v1` shard lines to <path>
+//!   --metrics         fetch the daemon's `rlplanner.metrics/v1` snapshot
+//!                     after the run and print it to stdout
 //!   --shutdown        send a graceful shutdown after the run
 //!
 //! rlp_load print-request <system> <method> [budget] [--seed <n>]
@@ -47,7 +50,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: rlp_load <addr> [--clients <n>] [--requests <m>] [--system <s>] \
          [--method <m>] [--budget <n>] [--seed <n>] [--progress-every <k>] \
-         [--save-json <path>] [--shutdown]\n\
+         [--save-json <path>] [--metrics] [--shutdown]\n\
          \x20      rlp_load print-request <system> <method> [budget] [--seed <n>]"
     );
     ExitCode::from(2)
@@ -124,6 +127,7 @@ struct LoadArgs {
     seed: Option<u64>,
     progress_every: usize,
     save_json: Option<String>,
+    metrics: bool,
     shutdown: bool,
 }
 
@@ -144,6 +148,7 @@ fn parse_load_args(args: &[String]) -> Result<LoadArgs, String> {
         seed: None,
         progress_every: 0,
         save_json: None,
+        metrics: false,
         shutdown: false,
     };
     while let Some(arg) = iter.next() {
@@ -154,11 +159,15 @@ fn parse_load_args(args: &[String]) -> Result<LoadArgs, String> {
             Some((flag, value)) => (flag, Some(value.to_string())),
             None => (rest, None),
         };
-        if flag == "shutdown" {
+        if flag == "shutdown" || flag == "metrics" {
             if inline.is_some() {
-                return Err("--shutdown takes no value".to_string());
+                return Err(format!("--{flag} takes no value"));
             }
-            parsed.shutdown = true;
+            if flag == "shutdown" {
+                parsed.shutdown = true;
+            } else {
+                parsed.metrics = true;
+            }
             continue;
         }
         let value = inline
@@ -247,11 +256,18 @@ fn percentile(sorted: &[Duration], q: f64) -> Duration {
     sorted[index]
 }
 
-fn shard_line(id: &str, value_ns: f64, stats: (f64, f64, f64), samples: usize) -> String {
-    let (mean, min, max) = stats;
+/// One `rlplanner.bench/v1` shard line for a single latency percentile.
+///
+/// A percentile shard carries exactly one statistic, so every summary
+/// field is that value; `samples` records how many requests the
+/// percentile was extracted from. (Copying the whole distribution's
+/// mean/min/max into both the p50 and p99 shards — as an earlier version
+/// did — made the two rows describe overlapping, inconsistent
+/// distributions.)
+fn shard_line(id: &str, value_ns: f64, samples: usize) -> String {
     format!(
-        "{{ \"id\": \"{id}\", \"median_ns\": {value_ns}, \"mean_ns\": {mean}, \
-         \"min_ns\": {min}, \"max_ns\": {max}, \"samples\": {samples} }}"
+        "{{ \"id\": \"{id}\", \"median_ns\": {value_ns}, \"mean_ns\": {value_ns}, \
+         \"min_ns\": {value_ns}, \"max_ns\": {value_ns}, \"samples\": {samples} }}"
     )
 }
 
@@ -281,6 +297,18 @@ fn run_load(args: &LoadArgs) -> ExitCode {
     let busy_retries: usize = tallies.iter().map(|t| t.busy_retries).sum();
     let failures: Vec<&String> = tallies.iter().flat_map(|t| &t.failures).collect();
     let total = args.clients * args.requests;
+
+    // Fetch metrics before any shutdown: the snapshot lives in the
+    // daemon's process, and covers the whole load run just completed.
+    if args.metrics {
+        match ServeClient::connect(&args.addr) {
+            Ok(mut client) => match client.metrics() {
+                Ok(snapshot) => println!("{}", snapshot.render()),
+                Err(e) => eprintln!("metrics request failed: {e}"),
+            },
+            Err(e) => eprintln!("metrics connection failed: {e}"),
+        }
+    }
 
     if args.shutdown {
         match ServeClient::connect(&args.addr).map_err(ClientError::Io) {
@@ -323,17 +351,21 @@ fn run_load(args: &LoadArgs) -> ExitCode {
         wall,
     );
     println!(
-        "latency p50 {:.2?}  p99 {:.2?}  min {:.2?}  max {:.2?}  |  {:.1} solves/s",
-        p50, p99, min, max, throughput
+        "latency p50 {:.2?}  p99 {:.2?}  mean {:.2?}  min {:.2?}  max {:.2?}  |  {:.1} solves/s",
+        p50,
+        p99,
+        Duration::from_secs_f64(mean / 1e9),
+        min,
+        max,
+        throughput
     );
 
     if let Some(path) = &args.save_json {
         let prefix = format!("rlp_serve/solve_{}_{}", args.system, args.method);
-        let stats = (mean, ns(min), ns(max));
         let shards = format!(
             "{}\n{}\n",
-            shard_line(&format!("{prefix}/p50"), ns(p50), stats, latencies.len()),
-            shard_line(&format!("{prefix}/p99"), ns(p99), stats, latencies.len()),
+            shard_line(&format!("{prefix}/p50"), ns(p50), latencies.len()),
+            shard_line(&format!("{prefix}/p99"), ns(p99), latencies.len()),
         );
         if let Err(e) = append(path, &shards) {
             eprintln!("cannot append shards to `{path}`: {e}");

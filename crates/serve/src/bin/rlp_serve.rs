@@ -2,34 +2,57 @@
 //!
 //! ```text
 //! rlp_serve [--addr <host:port>] [--workers <n>] [--capacity <n>]
+//!           [--log-level <off|error|warn|info|debug|trace>]
 //!
-//!   --addr      listen address (default 127.0.0.1:7878; port 0 lets the
-//!               OS pick — the resolved address is printed either way)
-//!   --workers   solver threads sharing one thermal-model cache (default 2)
-//!   --capacity  bounded job-queue capacity; a full queue answers `busy`
-//!               (default 16)
+//!   --addr       listen address (default 127.0.0.1:7878; port 0 lets the
+//!                OS pick — the resolved address is printed either way)
+//!   --workers    solver threads sharing one thermal-model cache (default 2)
+//!   --capacity   bounded job-queue capacity; a full queue answers `busy`
+//!                (default 16)
+//!   --log-level  structured-log filter (default `info`; overrides the
+//!                `RLP_LOG` environment variable)
 //! ```
 //!
-//! On startup the daemon prints one readiness line to stdout:
+//! On startup the daemon logs one readiness line to **stderr** through the
+//! structured logger (at `info`, so `--log-level off` suppresses it):
 //!
 //! ```text
-//! rlp-serve listening on 127.0.0.1:7878 (workers=2, capacity=16)
+//! [   0.001234s INFO  rlp_serve] rlp-serve listening on 127.0.0.1:7878 (workers=2, capacity=16)
 //! ```
 //!
-//! and then serves `rlplanner.rpc/v1` until a client sends `shutdown`,
-//! which drains in-flight jobs and exits 0. See the `rlp_serve::protocol`
-//! docs for the wire format.
+//! Scripts should wait for the `rlp-serve listening on <addr>` substring.
+//! The daemon then serves `rlplanner.rpc/v1` until a client sends
+//! `shutdown`, which drains in-flight jobs and exits 0. See the
+//! `rlp_serve::protocol` docs for the wire format.
+//!
+//! The process-wide metrics registry is **enabled by default** (the
+//! `metrics` RPC returns a populated `rlplanner.metrics/v1` snapshot);
+//! `RLP_METRICS=0` turns it off. `RLP_TRACE=<path>` additionally mirrors
+//! events and spans to a JSONL trace file.
 
 use rlp_serve::{Server, ServerConfig};
-use std::io::Write;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rlp_serve [--addr <host:port>] [--workers <n>] [--capacity <n>]");
+    eprintln!(
+        "usage: rlp_serve [--addr <host:port>] [--workers <n>] [--capacity <n>] \
+         [--log-level <filter>]"
+    );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
+    // Daemon defaults: metrics on (the `metrics` RPC should answer with
+    // real data out of the box) and `info` logging (the readiness line).
+    // `init_from_env` lets `RLP_METRICS`/`RLP_LOG`/`RLP_TRACE` override,
+    // and an explicit `--log-level` flag overrides the environment.
+    rlp_obs::set_metrics_enabled(true);
+    rlp_obs::set_max_level(Some(rlp_obs::Level::Info));
+    if let Err(e) = rlp_obs::init_from_env() {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = ServerConfig {
         addr: "127.0.0.1:7878".to_string(),
@@ -65,6 +88,13 @@ fn main() -> ExitCode {
                     return usage();
                 }
             },
+            "log-level" => match rlp_obs::Level::parse_filter(&value) {
+                Ok(filter) => rlp_obs::set_max_level(filter),
+                Err(e) => {
+                    eprintln!("invalid --log-level: {e}");
+                    return usage();
+                }
+            },
             other => {
                 eprintln!("unknown flag `--{other}`");
                 return usage();
@@ -82,10 +112,15 @@ fn main() -> ExitCode {
     };
     match server.local_addr() {
         Ok(addr) => {
-            // The readiness line scripts wait for; flushed so a piped
-            // reader sees it before the first connection.
-            println!("rlp-serve listening on {addr} (workers={workers}, capacity={capacity})");
-            let _ = std::io::stdout().flush();
+            // The readiness line scripts wait for (on stderr, unbuffered,
+            // so a piped reader sees it before the first connection).
+            rlp_obs::obs_event!(
+                rlp_obs::Level::Info,
+                "rlp_serve",
+                "rlp-serve listening on {addr} (workers={workers}, capacity={capacity})",
+                workers = workers,
+                capacity = capacity,
+            );
         }
         Err(e) => {
             eprintln!("cannot resolve listen address: {e}");
@@ -94,7 +129,11 @@ fn main() -> ExitCode {
     }
     match server.run() {
         Ok(()) => {
-            eprintln!("rlp-serve drained and shut down");
+            rlp_obs::obs_event!(
+                rlp_obs::Level::Info,
+                "rlp_serve",
+                "rlp-serve drained and shut down",
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

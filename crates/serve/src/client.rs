@@ -243,6 +243,23 @@ impl ServeClient {
         })
     }
 
+    /// Fetches the daemon's `rlplanner.metrics/v1` snapshot.
+    ///
+    /// Returns the embedded snapshot document; render it with
+    /// [`Value::render`] to recover the JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors, or a daemon-reported error.
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        self.send(&ClientMessage::render_metrics())?;
+        let reply = self.read_reply(&["metrics"])?;
+        reply
+            .get("metrics")
+            .cloned()
+            .ok_or_else(|| protocol_err("metrics frame has no `metrics`"))
+    }
+
     /// Requests graceful shutdown; returns the number of jobs the daemon
     /// still had to drain.
     ///

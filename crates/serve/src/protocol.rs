@@ -20,6 +20,7 @@
 //! { "schema": "rlplanner.rpc/v1", "type": "status",  "job": 3 }
 //! { "schema": "rlplanner.rpc/v1", "type": "cancel",  "job": 3 }
 //! { "schema": "rlplanner.rpc/v1", "type": "stats" }
+//! { "schema": "rlplanner.rpc/v1", "type": "metrics" }
 //! { "schema": "rlplanner.rpc/v1", "type": "shutdown" }
 //! ```
 //!
@@ -37,26 +38,50 @@
 //! { "schema": "rlplanner.rpc/v1", "type": "progress",  "job": 3,
 //!   "candidate": 40, "reward": -2.1, "best_reward": -1.9 }
 //! { "schema": "rlplanner.rpc/v1", "type": "outcome",   "job": 3,
+//!   "queue_ms": 0.41, "solve_ms": 141.2,
 //!   "outcome": { ...rlplanner.outcome/v1... } }
-//! { "schema": "rlplanner.rpc/v1", "type": "failed",    "job": 3, "message": "..." }
-//! { "schema": "rlplanner.rpc/v1", "type": "status",    "job": 3, "state": "queued" }
+//! { "schema": "rlplanner.rpc/v1", "type": "failed",    "job": 3, "message": "...",
+//!   "queue_ms": 0.41, "solve_ms": 141.2 }
+//! { "schema": "rlplanner.rpc/v1", "type": "status",    "job": 3, "state": "queued",
+//!   "queue_ms": 12.5 }
 //! { "schema": "rlplanner.rpc/v1", "type": "cancelled", "job": 3, "ok": true }
 //! { "schema": "rlplanner.rpc/v1", "type": "stats",
 //!   "cache": { "models": 1, "hits": 7, "misses": 1 },
 //!   "scheduler": { "workers": 2, "capacity": 16, "queued": 0, "running": 1,
 //!                  "admitted": 8, "completed": 7, "failed": 0, "cancelled": 0 } }
+//! { "schema": "rlplanner.rpc/v1", "type": "metrics",
+//!   "metrics": { ...rlplanner.metrics/v1... } }
 //! { "schema": "rlplanner.rpc/v1", "type": "shutdown", "draining": 2 }
 //! ```
 //!
 //! Request/response pairs (`accepted`/`busy`/`error`, `status`,
-//! `cancelled`, `stats`, `shutdown`) are sent in request order, but
-//! job-lifecycle frames (`progress`, `outcome`, `failed`) are pushed by
-//! worker threads whenever the job produces them, so a client must be
+//! `cancelled`, `stats`, `metrics`, `shutdown`) are sent in request order,
+//! but job-lifecycle frames (`progress`, `outcome`, `failed`) are pushed
+//! by worker threads whenever the job produces them, so a client must be
 //! prepared to see them interleaved with any reply and demultiplex on
 //! `job`. `busy` is the backpressure signal: the job queue was full and
 //! the request was *not* admitted — retry later. Job states reported by
 //! `status` are `queued`, `running`, `done`, `failed`, `cancelled` and
 //! `unknown` (an id never admitted).
+//!
+//! # Job timings are VOLATILE
+//!
+//! `outcome`, `failed` and `status` frames carry the queue's wall-clock
+//! measurements for the job (see [`crate::queue::JobTimings`]):
+//! `queue_ms` (admission → worker dispatch) and `solve_ms` (dispatch →
+//! finish; absent until the job is dispatched — on `status` frames a
+//! running job reports its still-growing value). Like `runtime_s` inside
+//! the outcome document, these are VOLATILE fields: they vary run to run
+//! and must be stripped before byte-comparing a served solve against a
+//! direct one. The embedded `outcome` document itself is unchanged and
+//! stays byte-identical on its deterministic fields.
+//!
+//! `metrics` replies embed a full `rlplanner.metrics/v1` registry
+//! snapshot (see `rlp_obs::MetricsSnapshot::render_json` for the schema):
+//! process-wide counters, gauges and latency histograms, including the
+//! per-phase job timeline histograms `serve.job.queue_wait_ns`,
+//! `serve.job.solve_ns`, `serve.job.serialize_ns` and
+//! `serve.job.flush_ns`.
 
 use rlplanner::minijson::Value;
 use rlplanner::report::{json_escape, json_num};
@@ -141,6 +166,8 @@ pub enum ClientMessage {
     },
     /// Ask for cache + scheduler telemetry.
     Stats,
+    /// Ask for the full `rlplanner.metrics/v1` registry snapshot.
+    Metrics,
     /// Begin graceful shutdown: stop admissions, drain the queue, exit 0.
     Shutdown,
 }
@@ -194,6 +221,7 @@ impl ClientMessage {
             "status" => Ok(ClientMessage::Status { job: job(&doc)? }),
             "cancel" => Ok(ClientMessage::Cancel { job: job(&doc)? }),
             "stats" => Ok(ClientMessage::Stats),
+            "metrics" => Ok(ClientMessage::Metrics),
             "shutdown" => Ok(ClientMessage::Shutdown),
             other => Err(format!("unknown message type `{other}`")),
         }
@@ -221,6 +249,11 @@ impl ClientMessage {
     /// Renders a `stats` query.
     pub fn render_stats() -> String {
         format!("{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"stats\" }}")
+    }
+
+    /// Renders a `metrics` query.
+    pub fn render_metrics() -> String {
+        format!("{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"metrics\" }}")
     }
 
     /// Renders a `shutdown` request.
@@ -253,7 +286,21 @@ pub struct SchedulerStats {
 /// Server-side render helpers; one function per frame type.
 pub mod frames {
     use super::*;
+    use crate::queue::JobTimings;
     use rlp_thermal::ThermalCacheSnapshot;
+
+    /// Renders the VOLATILE `queue_ms`/`solve_ms` fields job frames carry
+    /// (empty string when the queue had no record of the job).
+    fn timing_fields(timings: Option<&JobTimings>) -> String {
+        let Some(timings) = timings else {
+            return String::new();
+        };
+        let mut out = format!(", \"queue_ms\": {}", json_num(timings.queue_ms()));
+        if let Some(solve_ms) = timings.solve_ms() {
+            out.push_str(&format!(", \"solve_ms\": {}", json_num(solve_ms)));
+        }
+        out
+    }
 
     /// `accepted` — the job was admitted under this id.
     pub fn accepted(job: u64) -> String {
@@ -283,28 +330,33 @@ pub mod frames {
         )
     }
 
-    /// `outcome` — the job finished; embeds the canonical outcome document.
-    pub fn outcome(job: u64, outcome_json: &str) -> String {
+    /// `outcome` — the job finished; embeds the canonical outcome document
+    /// plus the VOLATILE job timings (see the [module docs](super)).
+    pub fn outcome(job: u64, outcome_json: &str, timings: Option<&JobTimings>) -> String {
         format!(
-            "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"outcome\", \"job\": {job}, \
-             \"outcome\": {outcome_json} }}"
+            "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"outcome\", \"job\": {job}{}, \
+             \"outcome\": {outcome_json} }}",
+            timing_fields(timings)
         )
     }
 
     /// `failed` — the job's solve returned an error.
-    pub fn failed(job: u64, message: &str) -> String {
+    pub fn failed(job: u64, message: &str, timings: Option<&JobTimings>) -> String {
         format!(
             "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"failed\", \"job\": {job}, \
-             \"message\": \"{}\" }}",
-            json_escape(message)
+             \"message\": \"{}\"{} }}",
+            json_escape(message),
+            timing_fields(timings)
         )
     }
 
-    /// `status` — a job's lifecycle state.
-    pub fn status(job: u64, state: &str) -> String {
+    /// `status` — a job's lifecycle state, with the timings measured so
+    /// far for a known job (`solve_ms` still growing while running).
+    pub fn status(job: u64, state: &str, timings: Option<&JobTimings>) -> String {
         format!(
             "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"status\", \"job\": {job}, \
-             \"state\": \"{state}\" }}"
+             \"state\": \"{state}\"{} }}",
+            timing_fields(timings)
         )
     }
 
@@ -335,6 +387,15 @@ pub mod frames {
             scheduler.completed,
             scheduler.failed,
             scheduler.cancelled,
+        )
+    }
+
+    /// `metrics` — embeds an already-rendered `rlplanner.metrics/v1`
+    /// registry snapshot.
+    pub fn metrics(snapshot_json: &str) -> String {
+        format!(
+            "{{ \"schema\": \"{RPC_SCHEMA}\", \"type\": \"metrics\", \
+             \"metrics\": {snapshot_json} }}"
         )
     }
 
@@ -415,6 +476,10 @@ mod tests {
             ClientMessage::Stats
         ));
         assert!(matches!(
+            ClientMessage::parse(&ClientMessage::render_metrics()).unwrap(),
+            ClientMessage::Metrics
+        ));
+        assert!(matches!(
             ClientMessage::parse(&ClientMessage::render_shutdown()).unwrap(),
             ClientMessage::Shutdown
         ));
@@ -456,21 +521,63 @@ mod tests {
             capacity: 16,
             ..SchedulerStats::default()
         };
+        let timings = crate::queue::JobTimings {
+            queue_wait: std::time::Duration::from_micros(410),
+            run: Some(std::time::Duration::from_millis(141)),
+        };
         for (frame, kind) in [
             (frames::accepted(1), "accepted"),
             (frames::busy(16), "busy"),
             (frames::error("no"), "error"),
             (frames::progress(1, 0, -2.0, -2.0), "progress"),
-            (frames::outcome(1, "{}"), "outcome"),
-            (frames::failed(1, "oops"), "failed"),
-            (frames::status(1, "queued"), "status"),
+            (frames::outcome(1, "{}", Some(&timings)), "outcome"),
+            (frames::failed(1, "oops", Some(&timings)), "failed"),
+            (frames::status(1, "queued", None), "status"),
             (frames::cancelled(1, true), "cancelled"),
             (frames::stats(cache, scheduler), "stats"),
+            (
+                frames::metrics("{ \"schema\": \"rlplanner.metrics/v1\" }"),
+                "metrics",
+            ),
             (frames::shutdown(0), "shutdown"),
         ] {
             let doc = Value::parse(&frame).expect("frame renders valid JSON");
             assert_eq!(doc.get("schema").and_then(Value::as_str), Some(RPC_SCHEMA));
             assert_eq!(doc.get("type").and_then(Value::as_str), Some(kind));
         }
+    }
+
+    #[test]
+    fn job_frames_carry_volatile_timings_when_known() {
+        let dispatched = crate::queue::JobTimings {
+            queue_wait: std::time::Duration::from_micros(410),
+            run: Some(std::time::Duration::from_millis(141)),
+        };
+        let waiting = crate::queue::JobTimings {
+            queue_wait: std::time::Duration::from_millis(13),
+            run: None,
+        };
+        let outcome = frames::outcome(3, "{}", Some(&dispatched));
+        let doc = Value::parse(&outcome).unwrap();
+        assert_eq!(doc.get("queue_ms").and_then(Value::as_f64), Some(0.41));
+        assert_eq!(doc.get("solve_ms").and_then(Value::as_f64), Some(141.0));
+        // A queued job has no solve time yet; an unknown job has neither.
+        let status = frames::status(3, "queued", Some(&waiting));
+        let doc = Value::parse(&status).unwrap();
+        assert_eq!(doc.get("queue_ms").and_then(Value::as_f64), Some(13.0));
+        assert!(doc.get("solve_ms").is_none());
+        let unknown = frames::status(9, "unknown", None);
+        let doc = Value::parse(&unknown).unwrap();
+        assert!(doc.get("queue_ms").is_none());
+        // The embedded metrics snapshot round-trips through the parser.
+        let metrics =
+            frames::metrics("{ \"schema\": \"rlplanner.metrics/v1\", \"counters\": { \"a\": 1 } }");
+        let doc = Value::parse(&metrics).unwrap();
+        assert_eq!(
+            doc.get("metrics")
+                .and_then(|m| m.get("schema"))
+                .and_then(Value::as_str),
+            Some("rlplanner.metrics/v1")
+        );
     }
 }

@@ -14,6 +14,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Lifecycle of a job, as reported by the protocol's `status` frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +41,31 @@ impl JobState {
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
         }
+    }
+}
+
+/// Wall-clock milestones of one job's lifecycle, measured by the queue
+/// from its admission/dispatch/finish timestamps. These feed the VOLATILE
+/// `queue_ms`/`solve_ms` fields of the protocol's job frames and the
+/// `serve.job.*` histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTimings {
+    /// Admission → worker dispatch (still growing for a queued job).
+    pub queue_wait: Duration,
+    /// Dispatch → finish (`None` until dispatched; still growing while
+    /// running).
+    pub run: Option<Duration>,
+}
+
+impl JobTimings {
+    /// Queue wait in fractional milliseconds.
+    pub fn queue_ms(&self) -> f64 {
+        self.queue_wait.as_secs_f64() * 1e3
+    }
+
+    /// Run time in fractional milliseconds, if dispatched.
+    pub fn solve_ms(&self) -> Option<f64> {
+        self.run.map(|d| d.as_secs_f64() * 1e3)
     }
 }
 
@@ -72,12 +98,64 @@ pub struct QueueCounters {
     pub cancelled: usize,
 }
 
+/// Per-job lifecycle record: the state plus the timestamps [`JobTimings`]
+/// are derived from.
+struct JobInfo {
+    state: JobState,
+    admitted: Instant,
+    started: Option<Instant>,
+    finished: Option<Instant>,
+}
+
+impl JobInfo {
+    fn timings(&self, now: Instant) -> JobTimings {
+        let dispatched = self.started.unwrap_or_else(|| self.finished.unwrap_or(now));
+        JobTimings {
+            queue_wait: dispatched.saturating_duration_since(self.admitted),
+            run: self.started.map(|started| {
+                self.finished
+                    .unwrap_or(now)
+                    .saturating_duration_since(started)
+            }),
+        }
+    }
+}
+
 struct QueueInner<T> {
     queue: VecDeque<(u64, T)>,
-    states: HashMap<u64, JobState>,
+    states: HashMap<u64, JobInfo>,
     next_id: u64,
     shutting_down: bool,
     counters: QueueCounters,
+}
+
+impl<T> QueueInner<T> {
+    fn set_state(&mut self, id: u64, state: JobState) {
+        let now = Instant::now();
+        match self.states.get_mut(&id) {
+            Some(info) => {
+                info.state = state;
+                match state {
+                    JobState::Running => info.started = Some(now),
+                    JobState::Done | JobState::Failed | JobState::Cancelled => {
+                        info.finished = Some(now);
+                    }
+                    JobState::Queued => {}
+                }
+            }
+            None => {
+                self.states.insert(
+                    id,
+                    JobInfo {
+                        state,
+                        admitted: now,
+                        started: None,
+                        finished: None,
+                    },
+                );
+            }
+        }
+    }
 }
 
 /// A bounded multi-producer multi-consumer job queue; see the
@@ -137,7 +215,7 @@ impl<T> JobQueue<T> {
         let id = inner.next_id;
         inner.next_id += 1;
         inner.queue.push_back((id, payload));
-        inner.states.insert(id, JobState::Queued);
+        inner.set_state(id, JobState::Queued);
         inner.counters.admitted += 1;
         drop(inner);
         self.job_ready.notify_one();
@@ -151,7 +229,7 @@ impl<T> JobQueue<T> {
         let mut inner = self.lock();
         loop {
             if let Some((id, payload)) = inner.queue.pop_front() {
-                inner.states.insert(id, JobState::Running);
+                inner.set_state(id, JobState::Running);
                 inner.counters.running += 1;
                 return Some((id, payload));
             }
@@ -163,24 +241,30 @@ impl<T> JobQueue<T> {
     }
 
     /// Records a claimed job's terminal state ([`JobState::Done`] or
-    /// [`JobState::Failed`]).
+    /// [`JobState::Failed`]) and returns its final timings.
     ///
     /// # Panics
     ///
     /// Panics if `state` is not terminal-from-running, which would corrupt
     /// the counters.
-    pub fn finish(&self, id: u64, state: JobState) {
+    pub fn finish(&self, id: u64, state: JobState) -> JobTimings {
         assert!(
             matches!(state, JobState::Done | JobState::Failed),
             "finish() only records done/failed"
         );
         let mut inner = self.lock();
-        inner.states.insert(id, state);
+        inner.set_state(id, state);
         inner.counters.running -= 1;
         match state {
             JobState::Done => inner.counters.completed += 1,
             _ => inner.counters.failed += 1,
         }
+        let now = Instant::now();
+        inner
+            .states
+            .get(&id)
+            .map(|info| info.timings(now))
+            .expect("finish() follows next_job(), which recorded the job")
     }
 
     /// Cancels a job if it is still queued; returns whether it was removed.
@@ -191,7 +275,7 @@ impl<T> JobQueue<T> {
             return false;
         };
         inner.queue.remove(index);
-        inner.states.insert(id, JobState::Cancelled);
+        inner.set_state(id, JobState::Cancelled);
         inner.counters.cancelled += 1;
         true
     }
@@ -211,7 +295,7 @@ impl<T> JobQueue<T> {
             }
         });
         for id in &cancelled {
-            inner.states.insert(*id, JobState::Cancelled);
+            inner.set_state(*id, JobState::Cancelled);
         }
         inner.counters.cancelled += cancelled.len();
         cancelled.len()
@@ -219,7 +303,15 @@ impl<T> JobQueue<T> {
 
     /// A job's lifecycle state, or `None` for an id never admitted.
     pub fn state(&self, id: u64) -> Option<JobState> {
-        self.lock().states.get(&id).copied()
+        self.lock().states.get(&id).map(|info| info.state)
+    }
+
+    /// A job's wall-clock timings so far, or `None` for an id never
+    /// admitted. Queued and running jobs report partial (still growing)
+    /// values; finished jobs report final ones.
+    pub fn timings(&self, id: u64) -> Option<JobTimings> {
+        let now = Instant::now();
+        self.lock().states.get(&id).map(|info| info.timings(now))
     }
 
     /// Point-in-time counters for the `stats` frame.
@@ -284,6 +376,28 @@ mod tests {
         queue.finish(id, JobState::Done);
         assert_eq!(queue.state(id), Some(JobState::Done));
         assert_eq!(queue.counters().completed, 1);
+    }
+
+    #[test]
+    fn timings_follow_the_job_lifecycle() {
+        let queue = JobQueue::new(4);
+        let id = queue.admit(()).unwrap();
+        let queued = queue.timings(id).unwrap();
+        assert!(queued.run.is_none(), "not dispatched yet");
+        assert!(queue.timings(999).is_none(), "unknown id");
+        let (claimed, ()) = queue.next_job().unwrap();
+        assert_eq!(claimed, id);
+        thread::sleep(Duration::from_millis(2));
+        let running = queue.timings(id).unwrap();
+        assert!(
+            running.run.is_some(),
+            "running jobs report partial run time"
+        );
+        let final_timings = queue.finish(id, JobState::Done);
+        assert!(final_timings.run.unwrap() >= Duration::from_millis(2));
+        assert!(final_timings.solve_ms().unwrap() >= 2.0);
+        // Timings freeze at the recorded timestamps once the job finished.
+        assert_eq!(queue.timings(id), Some(final_timings));
     }
 
     #[test]

@@ -22,7 +22,8 @@ use crate::queue::{AdmitError, JobQueue, JobState};
 use rlp_thermal::ThermalModelCache;
 use rlplanner::report::outcome_json;
 use rlplanner::{
-    planner_for, request_from_value, FloorplanRequest, PlanError, PrebuiltThermal, SolveObserver,
+    planner_for, request_from_value, FloorplanOutcome, FloorplanRequest, PlanError,
+    PrebuiltThermal, SolveObserver,
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -218,24 +219,77 @@ impl Server {
 
 fn run_worker(shared: &Shared) {
     while let Some((id, job)) = shared.queue.next_job() {
+        if rlp_obs::metrics_enabled() {
+            rlp_obs::obs_gauge!("serve.queue.depth").set(shared.queue.counters().queued as i64);
+        }
+        // One span per job covering solve → serialize → flush; the
+        // queue-wait leg comes from the queue's own timestamps, so the
+        // full admission → flush timeline is reconstructable from the
+        // span plus the VOLATILE timings on the terminal frame.
+        let mut span = rlp_obs::obs_span!(
+            rlp_obs::Level::Debug,
+            "rlp_serve",
+            "job.run",
+            job = id,
+            conn = job.conn_id,
+        );
         // Record the terminal state before sending the terminal frame, so a
         // client that receives the frame never observes stale counters.
+        let solve_timer = rlp_obs::Stopwatch::start();
         match solve_job(id, &job, &shared.cache) {
             Ok(outcome) => {
-                shared.queue.finish(id, JobState::Done);
-                job.writer.send(&frames::outcome(id, &outcome));
+                solve_timer.stop(rlp_obs::obs_histogram!("serve.job.solve_ns"));
+                let serialize_timer = rlp_obs::Stopwatch::start();
+                let rendered = outcome_json(job.request.system(), &outcome);
+                serialize_timer.stop(rlp_obs::obs_histogram!("serve.job.serialize_ns"));
+                let timings = shared.queue.finish(id, JobState::Done);
+                let flush_timer = rlp_obs::Stopwatch::start();
+                job.writer
+                    .send(&frames::outcome(id, &rendered, Some(&timings)));
+                flush_timer.stop(rlp_obs::obs_histogram!("serve.job.flush_ns"));
+                record_finished_job(&timings, true);
+                span.field("state", "done");
+                span.field("queue_ms", timings.queue_ms());
             }
             Err(e) => {
-                shared.queue.finish(id, JobState::Failed);
-                job.writer.send(&frames::failed(id, &e.to_string()));
+                let timings = shared.queue.finish(id, JobState::Failed);
+                job.writer
+                    .send(&frames::failed(id, &e.to_string(), Some(&timings)));
+                record_finished_job(&timings, false);
+                span.field("state", "failed");
+                rlp_obs::obs_event!(
+                    rlp_obs::Level::Warn,
+                    "rlp_serve",
+                    "job {id} failed: {e}",
+                    job = id,
+                );
             }
         }
     }
 }
 
-/// Solves one job against the process-wide cache and renders the canonical
-/// outcome document.
-fn solve_job(id: u64, job: &Job, cache: &ThermalModelCache) -> Result<String, PlanError> {
+/// Job-level counters + the queue-wait histogram, recorded once per
+/// finished job.
+fn record_finished_job(timings: &crate::queue::JobTimings, ok: bool) {
+    if !rlp_obs::metrics_enabled() {
+        return;
+    }
+    let registry = rlp_obs::registry();
+    registry
+        .counter(if ok {
+            "serve.jobs.completed"
+        } else {
+            "serve.jobs.failed"
+        })
+        .inc();
+    registry
+        .histogram("serve.job.queue_wait_ns")
+        .record_duration(timings.queue_wait);
+}
+
+/// Solves one job against the process-wide cache; the caller renders the
+/// canonical outcome document (so serialization is its own timed phase).
+fn solve_job(id: u64, job: &Job, cache: &ThermalModelCache) -> Result<FloorplanOutcome, PlanError> {
     let request = &job.request;
     // Route analyzer construction through the shared cache, then attach the
     // result as a prebuilt analyzer: the solve itself is unchanged, and a
@@ -266,14 +320,14 @@ fn solve_job(id: u64, job: &Job, cache: &ThermalModelCache) -> Result<String, Pl
         every: job.progress_every,
         writer: Arc::clone(&job.writer),
     };
-    let outcome = planner_for(request.method()).solve_observed(&request, &mut observer)?;
-    Ok(outcome_json(request.system(), &outcome))
+    planner_for(request.method()).solve_observed(&request, &mut observer)
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    rlp_obs::obs_counter!("serve.connections.opened").inc();
     let writer = Arc::new(ConnWriter::new(write_half));
     let mut reader = stream;
     // Clean close and read errors tear the connection down the same way:
@@ -285,7 +339,16 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
         }
     }
     writer.close();
-    shared.queue.cancel_where(|job| job.conn_id == conn_id);
+    let dropped = shared.queue.cancel_where(|job| job.conn_id == conn_id);
+    rlp_obs::obs_counter!("serve.connections.closed").inc();
+    rlp_obs::obs_counter!("serve.jobs.cancelled").add(dropped as u64);
+    rlp_obs::obs_event!(
+        rlp_obs::Level::Debug,
+        "rlp_serve",
+        "connection closed",
+        conn = conn_id,
+        cancelled_jobs = dropped,
+    );
 }
 
 fn handle_message(
@@ -313,8 +376,25 @@ fn handle_message(
                 conn_id,
             };
             match shared.queue.admit(job) {
-                Ok(id) => writer.send(&frames::accepted(id)),
-                Err(AdmitError::Busy { capacity }) => writer.send(&frames::busy(capacity)),
+                Ok(id) => {
+                    rlp_obs::obs_counter!("serve.jobs.admitted").inc();
+                    if rlp_obs::metrics_enabled() {
+                        rlp_obs::obs_gauge!("serve.queue.depth")
+                            .set(shared.queue.counters().queued as i64);
+                    }
+                    rlp_obs::obs_event!(
+                        rlp_obs::Level::Debug,
+                        "rlp_serve",
+                        "job admitted",
+                        job = id,
+                        conn = conn_id,
+                    );
+                    writer.send(&frames::accepted(id));
+                }
+                Err(AdmitError::Busy { capacity }) => {
+                    rlp_obs::obs_counter!("serve.jobs.rejected").inc();
+                    writer.send(&frames::busy(capacity));
+                }
                 Err(AdmitError::ShuttingDown) => {
                     writer.send(&frames::error("daemon is shutting down"));
                 }
@@ -322,15 +402,25 @@ fn handle_message(
         }
         ClientMessage::Status { job } => {
             let state = shared.queue.state(job).map_or("unknown", JobState::label);
-            writer.send(&frames::status(job, state));
+            let timings = shared.queue.timings(job);
+            writer.send(&frames::status(job, state, timings.as_ref()));
         }
         ClientMessage::Cancel { job } => {
-            writer.send(&frames::cancelled(job, shared.queue.cancel(job)));
+            let removed = shared.queue.cancel(job);
+            if removed {
+                rlp_obs::obs_counter!("serve.jobs.cancelled").inc();
+            }
+            writer.send(&frames::cancelled(job, removed));
         }
         ClientMessage::Stats => {
             writer.send(&frames::stats(
                 shared.cache.snapshot(),
                 shared.scheduler_stats(),
+            ));
+        }
+        ClientMessage::Metrics => {
+            writer.send(&frames::metrics(
+                &rlp_obs::registry().snapshot().render_json(),
             ));
         }
         ClientMessage::Shutdown => {

@@ -301,3 +301,116 @@ fn malformed_and_inadmissible_documents_are_remote_errors() {
     client.shutdown().expect("shutdown ack");
     server.join().expect("server thread").expect("clean exit");
 }
+
+#[test]
+fn metrics_rpc_exposes_a_job_timeline_and_frames_carry_timings() {
+    use rlp_serve::protocol::{self, ClientMessage};
+    use rlplanner::minijson::Value;
+    use std::net::TcpStream;
+
+    // The metrics registry is process-global (the `rlp_serve` binary
+    // enables it at startup; tests must do so themselves). Recording is
+    // outcome-invariant by design, so enabling it here cannot disturb the
+    // byte-identity tests sharing this process.
+    rlp_obs::set_metrics_enabled(true);
+
+    let (addr, server) = start_server(1, 4);
+    let document = request_json(&sa_request(200, 23));
+
+    // Drive the wire directly: the frame-level timing fields are stripped
+    // by `ServeClient` (it only surfaces the embedded outcome document).
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let read = |stream: &mut TcpStream| -> Value {
+        let payload = protocol::read_frame(stream)
+            .expect("read frame")
+            .expect("daemon closed early");
+        Value::parse(&payload).expect("daemon frames are valid JSON")
+    };
+
+    protocol::write_frame(&mut stream, &ClientMessage::render_solve(&document, 0))
+        .expect("send solve");
+    let accepted = read(&mut stream);
+    assert_eq!(
+        accepted.get("type").and_then(Value::as_str),
+        Some("accepted")
+    );
+    let outcome = read(&mut stream);
+    assert_eq!(outcome.get("type").and_then(Value::as_str), Some("outcome"));
+
+    // The VOLATILE job timings ride on the frame, never inside the
+    // byte-comparable outcome document.
+    let queue_ms = outcome
+        .get("queue_ms")
+        .and_then(Value::as_f64)
+        .expect("outcome frame carries queue_ms");
+    let solve_ms = outcome
+        .get("solve_ms")
+        .and_then(Value::as_f64)
+        .expect("outcome frame carries solve_ms");
+    assert!(queue_ms >= 0.0, "negative queue wait: {queue_ms}");
+    assert!(solve_ms > 0.0, "a real solve takes measurable time");
+    let embedded = outcome.get("outcome").expect("embedded outcome document");
+    assert!(
+        embedded.get("queue_ms").is_none(),
+        "timings leaked into the document"
+    );
+
+    // Status frames carry queue_ms too (this job is done; its timings
+    // stay frozen).
+    protocol::write_frame(&mut stream, &ClientMessage::render_status(1)).expect("send status");
+    let status = read(&mut stream);
+    assert_eq!(status.get("type").and_then(Value::as_str), Some("status"));
+    assert!(
+        status.get("queue_ms").and_then(Value::as_f64).is_some(),
+        "status frame for a known job carries queue_ms: {status:?}"
+    );
+
+    protocol::write_frame(&mut stream, &ClientMessage::render_metrics()).expect("send metrics");
+    let reply = read(&mut stream);
+    assert_eq!(reply.get("type").and_then(Value::as_str), Some("metrics"));
+    let snapshot = reply.get("metrics").expect("embedded snapshot");
+    assert_eq!(
+        snapshot.get("schema").and_then(Value::as_str),
+        Some("rlplanner.metrics/v1")
+    );
+
+    let counters = snapshot.get("counters").expect("counters object");
+    let counter = |name: &str| counters.get(name).and_then(Value::as_f64).unwrap_or(0.0);
+    assert!(
+        counter("serve.jobs.admitted") >= 1.0,
+        "no admitted jobs counted"
+    );
+    assert!(
+        counter("serve.jobs.completed") >= 1.0,
+        "no completed jobs counted"
+    );
+    assert!(
+        counter("plan.solves") >= 1.0,
+        "the planner facade saw no solve"
+    );
+
+    // The per-job span timeline: every phase histogram saw this job.
+    let histograms = snapshot.get("histograms").expect("histograms object");
+    for phase in [
+        "serve.job.queue_wait_ns",
+        "serve.job.solve_ns",
+        "serve.job.serialize_ns",
+        "serve.job.flush_ns",
+    ] {
+        let hist = histograms
+            .get(phase)
+            .unwrap_or_else(|| panic!("missing `{phase}` histogram"));
+        let count = hist.get("count").and_then(Value::as_f64).unwrap_or(0.0);
+        assert!(count >= 1.0, "`{phase}` recorded nothing");
+        assert!(
+            hist.get("p50").and_then(Value::as_f64).is_some(),
+            "`{phase}` has no p50"
+        );
+    }
+
+    protocol::write_frame(&mut stream, &ClientMessage::render_shutdown()).expect("send shutdown");
+    let ack = read(&mut stream);
+    assert_eq!(ack.get("type").and_then(Value::as_str), Some("shutdown"));
+    drop(stream);
+    server.join().expect("server thread").expect("clean exit");
+}

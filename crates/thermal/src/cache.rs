@@ -190,9 +190,11 @@ impl ThermalModelCache {
         if let Some(model) = inner.models.get(&key) {
             let model = Arc::clone(model);
             inner.stats.hits += 1;
+            rlp_obs::obs_counter!("thermal.cache.hits").inc();
             return Ok((model, true));
         }
         inner.stats.misses += 1;
+        rlp_obs::obs_counter!("thermal.cache.misses").inc();
         let start = Instant::now();
         let model = FastThermalModel::characterize(
             config,
@@ -200,7 +202,9 @@ impl ThermalModelCache {
             interposer_height_mm,
             options,
         );
-        inner.stats.characterization_time += start.elapsed();
+        let elapsed = start.elapsed();
+        inner.stats.characterization_time += elapsed;
+        rlp_obs::obs_histogram!("thermal.characterization_ns").record_duration(elapsed);
         let model = Arc::new(model?);
         inner.models.insert(key, Arc::clone(&model));
         Ok((model, false))
