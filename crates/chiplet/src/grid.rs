@@ -13,6 +13,16 @@ use crate::netlist::ChipletSystem;
 use crate::placement::{Placement, Position};
 use serde::{Deserialize, Serialize};
 
+/// Lower-left position that centres a footprint on `center`.
+///
+/// This is the one place the centre → lower-left conversion lives: the grid
+/// cell placement ([`PlacementGrid::position_for`]), the SA swap/rotate
+/// moves (which keep a chiplet's centre while its footprint changes) and the
+/// gradient legaliser all snap through it.
+pub fn centered_position(footprint: (f64, f64), center: Point) -> Position {
+    Position::new(center.x - footprint.0 / 2.0, center.y - footprint.1 / 2.0)
+}
+
 /// A fixed `cols`×`rows` grid laid over the interposer outline.
 ///
 /// # Examples
@@ -125,10 +135,22 @@ impl PlacementGrid {
         cell: usize,
     ) -> Result<Position, PlacementError> {
         let center = self.cell_center(system, cell)?;
-        Ok(Position::new(
-            center.x - footprint.0 / 2.0,
-            center.y - footprint.1 / 2.0,
-        ))
+        Ok(centered_position(footprint, center))
+    }
+
+    /// The cell whose centre is nearest to a continuous point, with the
+    /// point clamped into the interposer outline first.
+    ///
+    /// This is the snap half of grid legalisation: a continuous optimiser
+    /// (the gradient planner) produces arbitrary centres, and this maps each
+    /// one onto the discrete action space the RL environment and SA moves
+    /// share. Non-finite coordinates clamp to cell `(0, 0)`.
+    pub fn nearest_cell(&self, system: &ChipletSystem, center: Point) -> usize {
+        let cw = self.cell_width(system);
+        let ch = self.cell_height(system);
+        let col = ((center.x / cw).floor() as isize).clamp(0, self.cols as isize - 1) as usize;
+        let row = ((center.y / ch).floor() as isize).clamp(0, self.rows as isize - 1) as usize;
+        self.cell_index(col, row)
     }
 
     /// The rectangle a chiplet would occupy if centred on `cell`.
@@ -439,5 +461,64 @@ mod tests {
     #[should_panic(expected = "at least one cell")]
     fn zero_sized_grid_panics() {
         PlacementGrid::new(0, 4);
+    }
+
+    #[test]
+    fn centered_position_matches_position_for() {
+        let (sys, a, _) = system();
+        let grid = PlacementGrid::new(10, 10);
+        let footprint = sys.chiplet(a).footprint(Rotation::None);
+        for cell in [0, 37, 99] {
+            let via_cell = grid.position_for(&sys, footprint, cell).unwrap();
+            let via_center = centered_position(footprint, grid.cell_center(&sys, cell).unwrap());
+            assert_eq!(via_cell, via_center);
+        }
+    }
+
+    #[test]
+    fn nearest_cell_recovers_cell_centers() {
+        let (sys, _, _) = system();
+        let grid = PlacementGrid::new(10, 5);
+        for cell in 0..grid.cell_count() {
+            let center = grid.cell_center(&sys, cell).unwrap();
+            assert_eq!(grid.nearest_cell(&sys, center), cell);
+        }
+    }
+
+    #[test]
+    fn nearest_cell_clamps_outside_points() {
+        let (sys, _, _) = system();
+        let grid = PlacementGrid::new(10, 10);
+        assert_eq!(
+            grid.nearest_cell(&sys, Point::new(-5.0, -100.0)),
+            grid.cell_index(0, 0)
+        );
+        assert_eq!(
+            grid.nearest_cell(&sys, Point::new(1e9, 21.0)),
+            grid.cell_index(9, 9)
+        );
+        // Non-finite coordinates clamp instead of panicking.
+        assert_eq!(
+            grid.nearest_cell(&sys, Point::new(f64::NAN, f64::INFINITY)),
+            grid.cell_index(0, 9)
+        );
+    }
+
+    #[test]
+    fn nearest_cell_picks_the_closest_center() {
+        let (sys, _, _) = system();
+        let grid = PlacementGrid::new(10, 10);
+        // Cell width/height are 2.0; a point at (3.1, 5.9) is inside cell
+        // (1, 2), whose centre (3.0, 5.0) is the nearest of all centres.
+        let cell = grid.nearest_cell(&sys, Point::new(3.1, 5.9));
+        assert_eq!(cell, grid.cell_index(1, 2));
+        let snapped = grid.cell_center(&sys, cell).unwrap();
+        for other in 0..grid.cell_count() {
+            let c = grid.cell_center(&sys, other).unwrap();
+            assert!(
+                c.euclidean_distance(Point::new(3.1, 5.9))
+                    >= snapped.euclidean_distance(Point::new(3.1, 5.9)) - 1e-12
+            );
+        }
     }
 }

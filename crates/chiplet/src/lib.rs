@@ -21,6 +21,8 @@
 //! * [`IncrementalWirelength`] — propose/commit/reject wirelength state for
 //!   move-based optimisers: only the nets incident to a moved chiplet are
 //!   recomputed, with totals bit-identical to the full evaluation.
+//! * [`smooth`] — log-sum-exp smoothed wirelength with an analytic position
+//!   gradient, the wirelength half of the gradient placement engine.
 //!
 //! # Examples
 //!
@@ -48,6 +50,7 @@ pub mod grid;
 pub mod incremental;
 pub mod netlist;
 pub mod placement;
+pub mod smooth;
 pub mod wirelength;
 
 pub use chiplet::{Chiplet, ChipletId, Rotation};

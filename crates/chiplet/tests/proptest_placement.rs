@@ -2,9 +2,10 @@
 
 use proptest::prelude::*;
 use rlp_chiplet::bumps::{assign_bumps, BumpConfig};
+use rlp_chiplet::smooth::{smoothed_wirelength, smoothed_wirelength_gradient};
 use rlp_chiplet::wirelength::total_wirelength;
 use rlp_chiplet::{
-    Chiplet, ChipletSystem, Net, Placement, PlacementGrid, Position, Rect, Rotation,
+    Chiplet, ChipletSystem, Net, Placement, PlacementGrid, Point, Position, Rect, Rotation,
 };
 
 /// Strategy: a system of `n` chiplets with random sizes and powers on a
@@ -122,6 +123,49 @@ proptest! {
             }
         }
         prop_assert!(assignment.total_wirelength() >= 0.0);
+    }
+
+    /// The hand-differentiated smoothed-wirelength gradient matches central
+    /// finite differences in every coordinate. The smoothing has no kinks,
+    /// so the check holds at arbitrary centres and sharpness.
+    #[test]
+    fn smoothed_wirelength_gradient_matches_central_differences(
+        system in arb_system(),
+        coords in prop::collection::vec((2.0f64..58.0, 2.0f64..58.0), 7),
+        sharpness in 0.2f64..8.0,
+    ) {
+        let n = system.chiplet_count();
+        let centers: Vec<Point> = (0..n)
+            .map(|i| { let (x, y) = coords[i % coords.len()]; Point::new(x, y) })
+            .collect();
+        let mut grad = vec![Point::new(0.0, 0.0); n];
+        let value = smoothed_wirelength_gradient(&system, &centers, sharpness, &mut grad);
+        // The gradient entry point returns the same value as the plain one.
+        let plain = smoothed_wirelength(&system, &centers, sharpness);
+        prop_assert!((value - plain).abs() <= 1e-9 * plain.max(1.0));
+        // And the surrogate upper-bounds the exact piecewise-linear estimate.
+        let mut placement = Placement::for_system(&system);
+        for (i, id) in system.chiplet_ids().enumerate() {
+            let (w, h) = system.chiplet(id).footprint(Rotation::None);
+            placement.place(id, Position::new(centers[i].x - w / 2.0, centers[i].y - h / 2.0));
+        }
+        prop_assert!(value >= total_wirelength(&system, &placement) - 1e-9);
+        let h = 1e-6;
+        for i in 0..n {
+            for axis in 0..2 {
+                let mut plus = centers.clone();
+                let mut minus = centers.clone();
+                if axis == 0 { plus[i].x += h; minus[i].x -= h; }
+                else { plus[i].y += h; minus[i].y -= h; }
+                let fd = (smoothed_wirelength(&system, &plus, sharpness)
+                    - smoothed_wirelength(&system, &minus, sharpness)) / (2.0 * h);
+                let g = if axis == 0 { grad[i].x } else { grad[i].y };
+                prop_assert!(
+                    (fd - g).abs() <= 1e-5 * (1.0 + g.abs()),
+                    "chiplet {} axis {}: central difference {} vs analytic {}", i, axis, fd, g
+                );
+            }
+        }
     }
 
     /// Occupancy and power maps conserve area and power for any legal placement.

@@ -1,21 +1,24 @@
-//! `rlplanner_cli` — run any benchmark system through any of the four
+//! `rlplanner_cli` — run any benchmark system through any of the five
 //! methods from the command line, via the unified [`FloorplanRequest`]
 //! facade, or run whole sweep campaigns through the
 //! [`rlp_engine::CampaignEngine`].
 //!
 //! ```text
-//! rlplanner_cli <system> <method> [budget] [--train-parallel <n>] [--json]
-//!               [--log-level <filter>]
+//! rlplanner_cli <system> <method> [budget] [--train-parallel <n>]
+//!               [--warm-start] [--json] [--log-level <filter>]
 //!
 //!   <system>   multi-gpu | cpu-dram | ascend910 | case1..case5
-//!   <method>   rl | rl-rnd | sa-hotspot | sa-fast
+//!   <method>   rl | rl-rnd | sa-hotspot | sa-fast | gradient
 //!   [budget]   candidate floorplans to evaluate: RL training episodes or
-//!              SA objective evaluations (default 100); must be a positive
-//!              integer — anything else is a usage error
+//!              SA/gradient objective evaluations (default 100); must be a
+//!              positive integer — anything else is a usage error
 //!   --train-parallel  rollout workers collecting RL training episodes;
 //!              parallel collection is trajectory-invariant, so any value
 //!              produces the byte-identical result, only faster (default:
 //!              the method config's `parallel_envs`, i.e. 1)
+//!   --warm-start  seed the SA/RL optimiser with the analytic
+//!              gradient-descent presolve instead of a random start (no-op
+//!              for the `gradient` method, which IS the presolve engine)
 //!   --json     print the full outcome document (placement, reward
 //!              breakdown, telemetry, reproducibility manifest) as JSON
 //!              instead of the human-readable summary
@@ -26,7 +29,8 @@
 //!
 //! rlplanner_cli sweep [--systems <s,...>] [--methods <m,...>]
 //!                     [--seeds <n,...>] [--budget <n>] [--parallel <n>]
-//!                     [--train-parallel <n>] [--stream <path>] [--json]
+//!                     [--train-parallel <n>] [--warm-start]
+//!                     [--stream <path>] [--json]
 //!
 //!   --systems  comma-separated systems axis       (default: case1)
 //!   --methods  comma-separated method columns     (default: rl)
@@ -36,6 +40,9 @@
 //!              wall-clock                         (default: 1)
 //!   --train-parallel  rollout workers inside every RL run; also
 //!              outcome-invariant                  (default: 1)
+//!   --warm-start  gradient-presolve every run of the grid; unlike the
+//!              parallelism knobs this DOES change outcomes, uniformly
+//!              across the whole grid               (default: off)
 //!   --stream   append each finished run to <path> as one
 //!              `rlplanner.campaign-run/v1` JSONL record, flushed per run.
 //!              If <path> already holds records from an interrupted sweep
@@ -69,11 +76,12 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rlplanner_cli <multi-gpu|cpu-dram|ascend910|case1..case5> \
-         <rl|rl-rnd|sa-hotspot|sa-fast> [budget] [--train-parallel <n>] [--json] \
-         [--log-level <filter>]\n\
+         <rl|rl-rnd|sa-hotspot|sa-fast|gradient> [budget] [--train-parallel <n>] \
+         [--warm-start] [--json] [--log-level <filter>]\n\
          \x20      rlplanner_cli sweep [--systems <s,...>] [--methods <m,...>] \
          [--seeds <n,...>] [--budget <n>] [--parallel <n>] \
-         [--train-parallel <n>] [--stream <path>] [--json] [--log-level <filter>]"
+         [--train-parallel <n>] [--warm-start] [--stream <path>] [--json] \
+         [--log-level <filter>]"
     );
     ExitCode::from(2)
 }
@@ -114,6 +122,9 @@ fn load_method(name: &str) -> Option<(Method, ThermalBackend)> {
                 config: thermal_config,
             },
         )),
+        // The analytic engine needs gradients, which only the fast
+        // (characterised) backend provides.
+        "gradient" => Some((Method::gradient(), fast)),
         _ => None,
     }
 }
@@ -126,6 +137,7 @@ struct SweepArgs {
     budget: usize,
     parallel: usize,
     train_parallel: Option<usize>,
+    warm_start: bool,
     stream: Option<String>,
     json: bool,
 }
@@ -138,6 +150,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
         budget: 50,
         parallel: 1,
         train_parallel: None,
+        warm_start: false,
         stream: None,
         json: false,
     };
@@ -147,11 +160,15 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
             Some((flag, value)) => (flag, Some(value.to_string())),
             None => (arg.as_str(), None),
         };
-        if flag == "--json" {
+        if flag == "--json" || flag == "--warm-start" {
             if inline.is_some() {
-                return Err("--json takes no value".to_string());
+                return Err(format!("{flag} takes no value"));
             }
-            parsed.json = true;
+            if flag == "--json" {
+                parsed.json = true;
+            } else {
+                parsed.warm_start = true;
+            }
             continue;
         }
         let value = match inline {
@@ -232,6 +249,9 @@ fn run_sweep(args: &[String]) -> ExitCode {
         .seeds(parsed.seeds.iter().copied());
     if let Some(train_parallel) = parsed.train_parallel {
         spec = spec.train_parallel(train_parallel);
+    }
+    if parsed.warm_start {
+        spec = spec.warm_start(true);
     }
     for name in &parsed.systems {
         let Some(system) = load_system(name) else {
@@ -392,6 +412,7 @@ fn main() -> ExitCode {
     }
 
     let mut json = false;
+    let mut warm_start = false;
     let mut train_parallel: Option<usize> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut iter = args.iter();
@@ -405,12 +426,16 @@ fn main() -> ExitCode {
             None => (rest, None),
         };
         match flag {
-            "json" => {
+            "json" | "warm-start" => {
                 if inline.is_some() {
-                    eprintln!("--json takes no value");
+                    eprintln!("--{flag} takes no value");
                     return usage();
                 }
-                json = true;
+                if flag == "json" {
+                    json = true;
+                } else {
+                    warm_start = true;
+                }
             }
             "train-parallel" => {
                 let value = match inline.or_else(|| iter.next().cloned()) {
@@ -467,6 +492,7 @@ fn main() -> ExitCode {
     if let Some(train_parallel) = train_parallel {
         builder = builder.parallel_envs(train_parallel);
     }
+    builder = builder.warm_start(warm_start);
     let request = match builder.build() {
         Ok(request) => request,
         Err(err) => {

@@ -665,6 +665,7 @@ mod tests {
                     },
                     reward: RewardConfig::default(),
                     seed,
+                    warm_start: false,
                 },
             },
         }

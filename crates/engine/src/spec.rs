@@ -84,6 +84,7 @@ pub struct CampaignSpec {
     budget: Option<Budget>,
     parallelism: usize,
     train_parallel: Option<usize>,
+    warm_start: bool,
 }
 
 impl CampaignSpec {
@@ -123,6 +124,13 @@ impl CampaignSpec {
     /// parallelism, it never changes outcomes, only wall-clock.
     pub fn train_parallel(&self) -> Option<usize> {
         self.train_parallel
+    }
+
+    /// Whether every run of the grid seeds its optimiser with the
+    /// gradient-descent presolve
+    /// (see [`rlplanner::FloorplanRequestBuilder::warm_start`]).
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
     }
 
     /// Total number of runs the grid expands to.
@@ -181,6 +189,7 @@ impl CampaignSpec {
         if let Some(train_parallel) = self.train_parallel {
             builder = builder.parallel_envs(train_parallel);
         }
+        builder = builder.warm_start(self.warm_start);
         builder.build()
     }
 }
@@ -194,6 +203,7 @@ pub struct CampaignSpecBuilder {
     budget: Option<Budget>,
     parallelism: usize,
     train_parallel: Option<usize>,
+    warm_start: bool,
 }
 
 impl Default for CampaignSpecBuilder {
@@ -205,6 +215,7 @@ impl Default for CampaignSpecBuilder {
             budget: None,
             parallelism: 1,
             train_parallel: None,
+            warm_start: false,
         }
     }
 }
@@ -276,6 +287,17 @@ impl CampaignSpecBuilder {
         self
     }
 
+    /// Seeds every run of the grid with the gradient-descent presolve
+    /// (default off). Unlike parallelism this *does* change outcomes —
+    /// warm-started cells are a different experiment than cold ones, which
+    /// is exactly why it is a spec-level axis rather than a per-run detail:
+    /// the whole grid stays internally comparable.
+    #[must_use]
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
     /// Validates the axes and every (system, method) request of the grid.
     ///
     /// # Errors
@@ -326,6 +348,7 @@ impl CampaignSpecBuilder {
             budget: self.budget,
             parallelism: self.parallelism,
             train_parallel: self.train_parallel,
+            warm_start: self.warm_start,
         };
         // Validate the whole grid up front; seeds never invalidate a
         // request, so one probe per (system, method) cell suffices.
@@ -449,6 +472,34 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err.field(), "train_parallel");
+    }
+
+    #[test]
+    fn warm_start_flows_into_every_grid_request() {
+        let spec = CampaignSpec::builder()
+            .system(tiny_system("s"))
+            .method(CampaignMethod::new("sa", Method::sa(), grid_backend()))
+            .method(CampaignMethod::new(
+                "gradient",
+                Method::gradient(),
+                grid_backend(),
+            ))
+            .warm_start(true)
+            .build()
+            .unwrap();
+        assert!(spec.warm_start());
+        for run in spec.expand() {
+            assert!(spec.request(run, None).unwrap().warm_start());
+        }
+
+        // Default stays off: cold campaigns remain the baseline experiment.
+        let cold = CampaignSpec::builder()
+            .system(tiny_system("s"))
+            .method(CampaignMethod::new("sa", Method::sa(), grid_backend()))
+            .build()
+            .unwrap();
+        assert!(!cold.warm_start());
+        assert!(!cold.request(cold.expand()[0], None).unwrap().warm_start());
     }
 
     #[test]

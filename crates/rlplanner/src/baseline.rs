@@ -101,13 +101,42 @@ impl<A: ThermalAnalyzer> Tap25dBaseline<A> {
         &self,
         observer: &mut dyn AnnealObserver,
     ) -> Result<Tap25dResult, InitialPlacementError> {
+        self.anneal(None, observer)
+    }
+
+    /// Runs the anneal like [`Tap25dBaseline::run_observed`], but starting
+    /// from `initial` instead of a random placement — the warm-start path
+    /// (see [`crate::FloorplanRequestBuilder::warm_start`]). An incomplete
+    /// or illegal `initial` falls back to the usual random start, so warm
+    /// starting is fail-soft.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InitialPlacementError`] if the fallback random start also
+    /// fails (no legal placement exists on the configured grid).
+    pub fn run_observed_from(
+        &self,
+        initial: Placement,
+        observer: &mut dyn AnnealObserver,
+    ) -> Result<Tap25dResult, InitialPlacementError> {
+        self.anneal(Some(initial), observer)
+    }
+
+    fn anneal(
+        &self,
+        initial: Option<Placement>,
+        observer: &mut dyn AnnealObserver,
+    ) -> Result<Tap25dResult, InitialPlacementError> {
         let planner = SaPlanner::new(self.reward.system().clone(), self.sa_config.clone());
         // The anneal runs on the calculator's propose/commit/reject engine:
         // incremental with the fast thermal backend, full-evaluation
         // fallback otherwise. Either way the trajectory is identical under
         // a fixed seed (incremental values are bit-identical to full ones).
         let mut objective = self.reward.delta_objective();
-        let sa_result = planner.run_delta_observed(&mut objective, observer)?;
+        let sa_result = match initial {
+            Some(initial) => planner.run_delta_observed_from(initial, &mut objective, observer)?,
+            None => planner.run_delta_observed(&mut objective, observer)?,
+        };
         // The engine tracked the best committed breakdown alongside the
         // annealer's best-so-far, so no final re-evaluation is needed.
         let best_breakdown = objective.best_breakdown().unwrap_or(RewardBreakdown {

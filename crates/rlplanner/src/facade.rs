@@ -2,22 +2,33 @@
 //!
 //! [`Planner`] is the one interface every optimisation method implements:
 //! it consumes a [`FloorplanRequest`] and produces a [`FloorplanOutcome`],
-//! regardless of whether a PPO agent ([`PpoPlanner`]) or the
-//! simulated-annealing baseline ([`SaBaselinePlanner`]) does the work.
-//! [`planner_for`] picks the implementation matching a request's
-//! [`Method`], which is what [`FloorplanRequest::solve`] uses; new methods
-//! plug in by implementing the trait, not by adding `match` arms to every
-//! caller.
+//! regardless of whether a PPO agent ([`PpoPlanner`]), the
+//! simulated-annealing baseline ([`SaBaselinePlanner`]) or the analytic
+//! gradient engine ([`GradientPlanner`]) does the work. [`planner_for`]
+//! picks the implementation matching a request's [`Method`], which is what
+//! [`FloorplanRequest::solve`] uses; new methods plug in by implementing
+//! the trait, not by adding `match` arms to every caller.
+//!
+//! When a request sets [`FloorplanRequest::warm_start`], the SA and RL
+//! planners first run a short gradient-descent presolve and seed their
+//! optimisation with its placement: SA anneals from it instead of a random
+//! start, RL uses it as the bar its episodes must beat. The presolve's
+//! evaluations are deliberately *not* counted in the outcome — they are
+//! setup cost, like thermal characterisation — and the flag is recorded in
+//! the [`RunManifest`] so replay reproduces the seeded run.
 
 use crate::baseline::Tap25dBaseline;
+use crate::gradient::{GradientConfig, GradientDescent};
 use crate::outcome::{
     EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample, TrainingTelemetry,
 };
 use crate::planner::RlPlanner;
 use crate::request::{FloorplanRequest, Method};
+use crate::reward::RewardBreakdown;
+use rlp_chiplet::Placement;
 use rlp_rl::{ConfigError, PpoStats, TeeTrainingObserver, TrainingObserver};
 use rlp_sa::{AnnealObserver, EvalCounts, EvalMode, InitialPlacementError, TeeAnnealObserver};
-use rlp_thermal::ThermalError;
+use rlp_thermal::{AnyThermalAnalyzer, ThermalError};
 use std::error::Error;
 use std::fmt;
 
@@ -181,6 +192,7 @@ pub fn planner_for(method: &Method) -> Box<dyn Planner> {
     match method {
         Method::Rl { .. } | Method::RlRnd { .. } => Box::new(PpoPlanner),
         Method::Sa { .. } => Box::new(SaBaselinePlanner),
+        Method::Gradient { .. } => Box::new(GradientPlanner),
     }
 }
 
@@ -192,7 +204,40 @@ fn manifest_for(request: &FloorplanRequest, resolved: Method) -> RunManifest {
         thermal: request.thermal().clone(),
         reward: request.reward().clone(),
         seed: request.resolved_seed(),
+        warm_start: request.warm_start(),
     }
+}
+
+/// Runs the short gradient-descent presolve behind
+/// [`FloorplanRequest::warm_start`] and returns its best placement, or
+/// `None` when the presolve fails for any reason — warm starting is
+/// fail-soft, so the caller then falls back to its usual cold start. The
+/// presolve reuses the request's analyzer, reward weights and resolved
+/// seed; `grid` and `min_spacing_mm` come from the main optimiser's own
+/// configuration so the presolved placement is legal on its grid.
+fn warm_start_presolve(
+    request: &FloorplanRequest,
+    analyzer: &AnyThermalAnalyzer,
+    grid: (usize, usize),
+    min_spacing_mm: f64,
+) -> Option<(Placement, RewardBreakdown)> {
+    let config = GradientConfig {
+        iterations: 50,
+        grid,
+        min_spacing_mm,
+        seed: request.resolved_seed(),
+        ..GradientConfig::default()
+    };
+    let descent = GradientDescent::new(
+        request.system().clone(),
+        analyzer.clone(),
+        request.reward().clone(),
+        config,
+    )
+    .ok()?;
+    let result = descent.run().ok()?;
+    rlp_obs::obs_counter!("plan.warm_starts").inc();
+    Some((result.best_placement, result.best_breakdown))
 }
 
 /// Collects per-candidate telemetry from either optimiser's observer hook.
@@ -231,6 +276,26 @@ impl AnnealObserver for TelemetryCollector {
     }
 }
 
+impl SolveObserver for TelemetryCollector {
+    fn on_candidate(&mut self, index: usize, reward: f64, best_reward: f64) {
+        self.push(index, reward, best_reward);
+    }
+}
+
+/// Fans one stream of [`SolveObserver`] events out to two observers — the
+/// facade's telemetry collector and the caller's observer.
+struct TeeSolveObserver<'a> {
+    first: &'a mut dyn SolveObserver,
+    second: &'a mut dyn SolveObserver,
+}
+
+impl SolveObserver for TeeSolveObserver<'_> {
+    fn on_candidate(&mut self, index: usize, reward: f64, best_reward: f64) {
+        self.first.on_candidate(index, reward, best_reward);
+        self.second.on_candidate(index, reward, best_reward);
+    }
+}
+
 /// The PPO trainer behind the facade — "RLPlanner" and "RLPlanner (RND)".
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PpoPlanner;
@@ -260,6 +325,19 @@ impl Planner for PpoPlanner {
             });
         };
         let (analyzer, thermal_prep) = request.thermal_analyzer()?;
+        // A warm start seeds the best-artifact tracker: training proceeds
+        // identically, but the outcome is never worse than the presolve.
+        let warm = request
+            .warm_start()
+            .then(|| {
+                warm_start_presolve(
+                    request,
+                    &analyzer,
+                    config.env.grid,
+                    config.env.min_spacing_mm,
+                )
+            })
+            .flatten();
         let mut planner = RlPlanner::new(
             request.system().clone(),
             analyzer,
@@ -274,7 +352,7 @@ impl Planner for PpoPlanner {
                 second: &mut forward,
             };
             planner
-                .train_observed(&mut tee)
+                .train_observed_seeded(warm, &mut tee)
                 .map_err(|_| PlanError::Incomplete)?
         };
         rlp_obs::obs_counter!("plan.solves").inc();
@@ -335,6 +413,12 @@ impl Planner for SaBaselinePlanner {
             });
         };
         let (analyzer, thermal_prep) = request.thermal_analyzer()?;
+        // A warm start replaces the random initial placement with the
+        // gradient presolve's result; the anneal then explores from there.
+        let warm = request
+            .warm_start()
+            .then(|| warm_start_presolve(request, &analyzer, config.grid, config.min_spacing_mm))
+            .flatten();
         let baseline = Tap25dBaseline::new(
             request.system().clone(),
             analyzer,
@@ -348,7 +432,10 @@ impl Planner for SaBaselinePlanner {
                 first: &mut telemetry,
                 second: &mut forward,
             };
-            baseline.run_observed(&mut tee)?
+            match warm {
+                Some((placement, _)) => baseline.run_observed_from(placement, &mut tee)?,
+                None => baseline.run_observed(&mut tee)?,
+            }
         };
         rlp_obs::obs_counter!("plan.solves").inc();
         rlp_obs::obs_histogram!("plan.solve_ns").record_duration(result.runtime);
@@ -370,6 +457,77 @@ impl Planner for SaBaselinePlanner {
     }
 }
 
+/// The analytic-gradient descent engine behind the facade — "Gradient".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GradientPlanner;
+
+impl Planner for GradientPlanner {
+    fn name(&self) -> &'static str {
+        "gradient"
+    }
+
+    fn solve_observed(
+        &self,
+        request: &FloorplanRequest,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<FloorplanOutcome, PlanError> {
+        let _span = rlp_obs::obs_span!(
+            rlp_obs::Level::Debug,
+            "rlplanner",
+            "plan.solve",
+            planner = self.name(),
+            system = request.system().name(),
+        );
+        let resolved = request.resolved_method();
+        let Method::Gradient { config } = &resolved else {
+            return Err(PlanError::UnsupportedMethod {
+                planner: self.name(),
+                method: request.method().label(),
+            });
+        };
+        let (analyzer, thermal_prep) = request.thermal_analyzer()?;
+        let descent = GradientDescent::new(
+            request.system().clone(),
+            analyzer,
+            request.reward().clone(),
+            config.clone(),
+        )?;
+        let mut telemetry = TelemetryCollector::default();
+        let result = {
+            let mut tee = TeeSolveObserver {
+                first: &mut telemetry,
+                second: observer,
+            };
+            descent
+                .run_observed(&mut tee)
+                .map_err(|_| PlanError::Incomplete)?
+        };
+        rlp_obs::obs_counter!("plan.solves").inc();
+        rlp_obs::obs_histogram!("plan.solve_ns").record_duration(result.runtime);
+        Ok(FloorplanOutcome {
+            placement: result.best_placement,
+            breakdown: result.best_breakdown,
+            telemetry: telemetry.samples,
+            evaluations: result.evaluations,
+            // Each legalised iterate is evaluated exactly — and from
+            // scratch; descent has no move structure to evaluate
+            // incrementally.
+            evaluation: EvalTelemetry {
+                mode: EvalMode::Full,
+                counts: EvalCounts {
+                    full: result.evaluations,
+                    incremental: 0,
+                },
+            },
+            // Gradient descent has no rollout pool to report on.
+            training: None,
+            runtime: result.runtime,
+            thermal_prep,
+            manifest: manifest_for(request, resolved),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +537,7 @@ mod tests {
         assert_eq!(planner_for(&Method::rl()).name(), "ppo");
         assert_eq!(planner_for(&Method::rl_rnd()).name(), "ppo");
         assert_eq!(planner_for(&Method::sa()).name(), "sa-baseline");
+        assert_eq!(planner_for(&Method::gradient()).name(), "gradient");
     }
 
     #[test]

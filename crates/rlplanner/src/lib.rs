@@ -86,6 +86,7 @@ pub mod agent;
 pub mod baseline;
 pub mod env;
 pub mod facade;
+pub mod gradient;
 pub mod minijson;
 pub mod outcome;
 pub mod parse;
@@ -98,9 +99,10 @@ pub use agent::AgentConfig;
 pub use baseline::{Tap25dBaseline, Tap25dResult};
 pub use env::{EnvConfig, FloorplanEnv};
 pub use facade::{
-    planner_for, NullSolveObserver, PlanError, Planner, PpoPlanner, SaBaselinePlanner,
-    SolveObserver,
+    planner_for, GradientPlanner, NullSolveObserver, PlanError, Planner, PpoPlanner,
+    SaBaselinePlanner, SolveObserver,
 };
+pub use gradient::{GradientConfig, GradientDescent, GradientResult, GradientStalled};
 pub use outcome::{
     EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample, TrainingTelemetry,
 };

@@ -91,6 +91,10 @@ pub struct RunManifest {
     pub reward: RewardConfig,
     /// The seed the run used.
     pub seed: u64,
+    /// Whether the run seeded its optimiser with a cheap gradient-descent
+    /// presolve ([`crate::FloorplanRequestBuilder::warm_start`]). Warm
+    /// starting changes results, so replaying a manifest must reproduce it.
+    pub warm_start: bool,
 }
 
 /// The result of solving a [`crate::FloorplanRequest`].
@@ -190,6 +194,7 @@ mod tests {
                 thermal: ThermalBackend::fast(),
                 reward: RewardConfig::default(),
                 seed: 0,
+                warm_start: false,
             },
         }
     }

@@ -25,6 +25,7 @@
 //! parsed outcome reproduces the original document byte for byte, which is
 //! the invariant the campaign resume path relies on.
 
+use crate::gradient::GradientConfig;
 use crate::minijson::Value;
 use crate::outcome::{
     EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample, TrainingTelemetry,
@@ -198,6 +199,7 @@ pub fn request_from_value(doc: &Value) -> Result<FloorplanRequest, OutcomeParseE
     if !matches!(field(doc, "parallel_envs")?, Value::Null) {
         builder = builder.parallel_envs(usize_field(doc, "parallel_envs")?);
     }
+    builder = builder.warm_start(bool_field(doc, "warm_start")?);
     builder.build().map_err(|e| OutcomeParseError {
         message: format!("invalid request configuration: {e}"),
     })
@@ -476,6 +478,7 @@ fn manifest_from(obj: &Value, system: &ChipletSystem) -> Result<RunManifest, Out
         thermal: thermal_from(field(obj, "manifest.thermal")?)?,
         reward: reward_from(field(obj, "manifest.reward")?)?,
         seed: u64_field(obj, "manifest.seed")?,
+        warm_start: bool_field(obj, "manifest.warm_start")?,
     })
 }
 
@@ -489,6 +492,9 @@ fn method_from(obj: &Value) -> Result<Method, OutcomeParseError> {
         }),
         "sa" => Ok(Method::Sa {
             config: sa_config_from(obj)?,
+        }),
+        "gradient" => Ok(Method::Gradient {
+            config: gradient_config_from(obj)?,
         }),
         other => err(format!("field `method.kind` has unknown method `{other}`")),
     }
@@ -537,6 +543,29 @@ fn sa_config_from(obj: &Value) -> Result<SaConfig, OutcomeParseError> {
         final_temperature: f64_field(obj, "method.final_temperature")?,
         cooling_rate: f64_field(obj, "method.cooling_rate")?,
         moves_per_temperature: usize_field(obj, "method.moves_per_temperature")?,
+        min_spacing_mm: f64_field(obj, "method.min_spacing_mm")?,
+        grid: usize_pair_field(obj, "method.grid")?,
+        seed: u64_field(obj, "method.seed")?,
+        time_budget: opt_duration_field(obj, "method.time_budget_s")?,
+        max_evaluations: match field(obj, "method.max_evaluations")? {
+            Value::Null => None,
+            _ => Some(usize_field(obj, "method.max_evaluations")?),
+        },
+    })
+}
+
+fn gradient_config_from(obj: &Value) -> Result<GradientConfig, OutcomeParseError> {
+    Ok(GradientConfig {
+        iterations: usize_field(obj, "method.iterations")?,
+        restarts: usize_field(obj, "method.restarts")?,
+        learning_rate: f64_field(obj, "method.learning_rate")?,
+        wirelength_sharpness: f64_field(obj, "method.wirelength_sharpness")?,
+        sharpness_growth: f64_field(obj, "method.sharpness_growth")?,
+        thermal_sharpness: f64_field(obj, "method.thermal_sharpness")?,
+        thermal_weight: f64_field(obj, "method.thermal_weight")?,
+        overlap_weight: f64_field(obj, "method.overlap_weight")?,
+        boundary_weight: f64_field(obj, "method.boundary_weight")?,
+        tolerance_mm: f64_field(obj, "method.tolerance_mm")?,
         min_spacing_mm: f64_field(obj, "method.min_spacing_mm")?,
         grid: usize_pair_field(obj, "method.grid")?,
         seed: u64_field(obj, "method.seed")?,
@@ -708,6 +737,7 @@ mod tests {
                 thermal: ThermalBackend::fast(),
                 reward: RewardConfig::default(),
                 seed: 7,
+                warm_start: false,
             },
         }
     }
@@ -757,6 +787,39 @@ mod tests {
         assert_eq!(parsed.manifest.method, outcome.manifest.method);
         assert!(parsed.training.is_none());
         assert_eq!(parsed.evaluation, outcome.evaluation);
+    }
+
+    #[test]
+    fn gradient_outcome_round_trips_byte_for_byte() {
+        let sys = demo_system();
+        let mut outcome = rl_outcome(&sys);
+        outcome.training = None;
+        outcome.manifest.method = Method::Gradient {
+            config: GradientConfig {
+                iterations: 80,
+                max_evaluations: Some(60),
+                time_budget: Some(Duration::from_secs_f64(0.5)),
+                ..GradientConfig::default()
+            },
+        };
+        outcome.manifest.warm_start = true;
+        let json = outcome_json(&sys, &outcome);
+        let parsed = outcome_from_json(&json, &sys).expect("parses");
+        assert_eq!(outcome_json(&sys, &parsed), json);
+        assert_eq!(parsed.manifest.method, outcome.manifest.method);
+        assert!(parsed.manifest.warm_start);
+    }
+
+    #[test]
+    fn unknown_method_kinds_are_typed_errors_naming_the_string() {
+        let sys = demo_system();
+        let json = outcome_json(&sys, &sa_outcome(&sys));
+        let doc = json.replace("\"kind\": \"sa\"", "\"kind\": \"quantum\"");
+        let error = outcome_from_json(&doc, &sys).unwrap_err();
+        assert!(
+            error.to_string().contains("unknown method `quantum`"),
+            "{error}"
+        );
     }
 
     #[test]
@@ -824,6 +887,39 @@ mod tests {
         assert!(parsed.budget().is_none());
         assert!(parsed.seed().is_none());
         assert!(parsed.parallel_envs().is_none());
+    }
+
+    #[test]
+    fn gradient_request_with_warm_start_round_trips() {
+        use crate::report::request_json;
+        let mut sys = ChipletSystem::new("req-g", 20.0, 20.0);
+        sys.add_chiplet(Chiplet::new("solo", 5.0, 5.0, 10.0));
+        let request = FloorplanRequest::builder()
+            .system(sys.clone())
+            .method(Method::gradient())
+            .budget(Budget::Evaluations(30))
+            .warm_start(true)
+            .build()
+            .unwrap();
+        let json = request_json(&request);
+        assert!(json.contains("\"kind\": \"gradient\""));
+        assert!(json.contains("\"warm_start\": true"));
+        let parsed = request_from_json(&json).expect("parses");
+        assert_eq!(request_json(&parsed), json);
+        assert_eq!(parsed.method(), request.method());
+        assert!(parsed.warm_start());
+
+        // Warm starting SA round-trips too.
+        let request = FloorplanRequest::builder()
+            .system(sys)
+            .method(Method::sa())
+            .warm_start(true)
+            .build()
+            .unwrap();
+        let json = request_json(&request);
+        let parsed = request_from_json(&json).expect("parses");
+        assert_eq!(request_json(&parsed), json);
+        assert!(parsed.warm_start());
     }
 
     #[test]

@@ -233,9 +233,28 @@ impl<A: ThermalAnalyzer + Clone + Send> RlPlanner<A> {
         &mut self,
         observer: &mut dyn TrainingObserver,
     ) -> Result<TrainingResult, TrainingStalled> {
+        self.train_observed_seeded(None, observer)
+    }
+
+    /// Runs the training loop like [`RlPlanner::train_observed`], seeding
+    /// the best-artifact tracker with `initial` — the warm-start path (see
+    /// [`crate::FloorplanRequestBuilder::warm_start`]). The seed only sets
+    /// the bar an episode must clear to become the new best, so the result
+    /// is never worse than the seed; episode collection, telemetry and the
+    /// trained policy are byte-identical to a cold run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainingStalled`] if training never produces a complete
+    /// placement and no seed was supplied.
+    pub fn train_observed_seeded(
+        &mut self,
+        initial: Option<(Placement, RewardBreakdown)>,
+        observer: &mut dyn TrainingObserver,
+    ) -> Result<TrainingResult, TrainingStalled> {
         let start = Instant::now();
         let mut reward_history = Vec::with_capacity(self.config.episodes);
-        let mut best: Option<(Placement, RewardBreakdown)> = None;
+        let mut best: Option<(Placement, RewardBreakdown)> = initial;
         let mut best_episode_reward = f64::NEG_INFINITY;
         let mut buffer = RolloutBuffer::new();
         let mut episodes_run = 0usize;

@@ -39,9 +39,10 @@
 //!   "telemetry": [ { "index": 0, "reward": -2.5, "best_reward": -2.5 } ],
 //!   "manifest": {
 //!     "seed": 7,
-//!     "method": { "kind": "rl" | "rl-rnd" | "sa", ... },
+//!     "method": { "kind": "rl" | "rl-rnd" | "sa" | "gradient", ... },
 //!     "thermal": { "kind": "grid" | "fast", ... },
-//!     "reward": { "lambda": 0.0003, ... }
+//!     "reward": { "lambda": 0.0003, ... },
+//!     "warm_start": false
 //!   }
 //! }
 //! ```
@@ -71,7 +72,9 @@
 //! request-level overrides — so a run can be reproduced from its report
 //! alone (`method.kind` selects which method fields follow, mirroring
 //! [`crate::Method`]; `thermal.kind` mirrors
-//! [`rlp_thermal::ThermalBackend`]).
+//! [`rlp_thermal::ThermalBackend`]; `warm_start` records whether the run
+//! was seeded by the gradient presolve, which changes results and must be
+//! replayed).
 //!
 //! # Request document ([`request_json`])
 //!
@@ -84,12 +87,13 @@
 //!     "chiplets": [ { "name": "cpu", "width_mm": 8, "height_mm": 8, "power_w": 25 } ],
 //!     "nets": [ { "from": 0, "to": 1, "wires": 64 } ]
 //!   },
-//!   "method": { "kind": "rl" | "rl-rnd" | "sa", ... },
+//!   "method": { "kind": "rl" | "rl-rnd" | "sa" | "gradient", ... },
 //!   "thermal": { "kind": "grid" | "fast", ... },
 //!   "reward": { "lambda": 0.0003, ... },
 //!   "budget": null | { "evaluations": 600 } | { "time_limit_s": 30 },
 //!   "seed": null | 7,
-//!   "parallel_envs": null | 4
+//!   "parallel_envs": null | 4,
+//!   "warm_start": false
 //! }
 //! ```
 //!
@@ -101,10 +105,12 @@
 //! object shapes above; `budget`, `seed` and `parallel_envs` are the
 //! *request-level overrides* (`null` when unset), not the resolved values —
 //! rendering a parsed request reproduces the original document byte for
-//! byte. A request carrying a prebuilt analyzer renders only its backend
+//! byte; `warm_start` asks the solver to seed its optimiser with a
+//! gradient-descent presolve. A request carrying a prebuilt analyzer renders only its backend
 //! description; the analyzer itself never crosses the wire (the serving
 //! side re-attaches one from its own cache).
 
+use crate::gradient::GradientConfig;
 use crate::outcome::{FloorplanOutcome, RunManifest};
 use crate::planner::RlPlannerConfig;
 use crate::request::{Budget, FloorplanRequest, Method};
@@ -323,11 +329,50 @@ fn sa_method_json(config: &SaConfig) -> String {
     format!("{{\n  {}\n}}", indent(&fields, 2))
 }
 
+fn gradient_method_json(config: &GradientConfig) -> String {
+    let fields = format!(
+        "\"kind\": \"gradient\",\n\
+         \"iterations\": {},\n\
+         \"restarts\": {},\n\
+         \"learning_rate\": {},\n\
+         \"wirelength_sharpness\": {},\n\
+         \"sharpness_growth\": {},\n\
+         \"thermal_sharpness\": {},\n\
+         \"thermal_weight\": {},\n\
+         \"overlap_weight\": {},\n\
+         \"boundary_weight\": {},\n\
+         \"tolerance_mm\": {},\n\
+         \"min_spacing_mm\": {},\n\
+         \"grid\": [{}, {}],\n\
+         \"seed\": {},\n\
+         \"time_budget_s\": {},\n\
+         \"max_evaluations\": {}",
+        config.iterations,
+        config.restarts,
+        num(config.learning_rate),
+        num(config.wirelength_sharpness),
+        num(config.sharpness_growth),
+        num(config.thermal_sharpness),
+        num(config.thermal_weight),
+        num(config.overlap_weight),
+        num(config.boundary_weight),
+        num(config.tolerance_mm),
+        num(config.min_spacing_mm),
+        config.grid.0,
+        config.grid.1,
+        config.seed,
+        opt_duration_s(config.time_budget),
+        opt_usize(config.max_evaluations),
+    );
+    format!("{{\n  {}\n}}", indent(&fields, 2))
+}
+
 fn method_json(method: &Method) -> String {
     match method {
         Method::Rl { config } => rl_method_json("rl", config),
         Method::RlRnd { config } => rl_method_json("rl-rnd", config),
         Method::Sa { config } => sa_method_json(config),
+        Method::Gradient { config } => gradient_method_json(config),
     }
 }
 
@@ -346,11 +391,12 @@ fn reward_json(reward: &RewardConfig) -> String {
 
 fn manifest_json(manifest: &RunManifest) -> String {
     let fields = format!(
-        "\"seed\": {},\n\"method\": {},\n\"thermal\": {},\n\"reward\": {}",
+        "\"seed\": {},\n\"method\": {},\n\"thermal\": {},\n\"reward\": {},\n\"warm_start\": {}",
         manifest.seed,
         method_json(&manifest.method),
         thermal_json(&manifest.thermal),
         reward_json(&manifest.reward),
+        manifest.warm_start,
     );
     format!("{{\n  {}\n}}", indent(&fields, 2))
 }
@@ -428,7 +474,8 @@ pub fn request_json(request: &FloorplanRequest) -> String {
          \"reward\": {},\n\
          \"budget\": {},\n\
          \"seed\": {},\n\
-         \"parallel_envs\": {}",
+         \"parallel_envs\": {},\n\
+         \"warm_start\": {}",
         REQUEST_SCHEMA,
         system_json(request.system()),
         method_json(request.method()),
@@ -437,6 +484,7 @@ pub fn request_json(request: &FloorplanRequest) -> String {
         budget_json(request.budget()),
         request.seed().map_or("null".to_string(), |s| s.to_string()),
         opt_usize(request.parallel_envs()),
+        request.warm_start(),
     );
     format!("{{\n  {}\n}}", indent(&fields, 2))
 }
@@ -575,6 +623,7 @@ mod tests {
                 thermal: ThermalBackend::fast(),
                 reward: RewardConfig::default(),
                 seed: 7,
+                warm_start: false,
             },
         }
     }
@@ -691,5 +740,22 @@ mod tests {
         let cooling = json.find("\"cooling_rate\"").unwrap();
         let max_evals = json.find("\"max_evaluations\"").unwrap();
         assert!(kind < cooling && cooling < max_evals);
+    }
+
+    #[test]
+    fn gradient_manifest_renders_its_stable_shape() {
+        let (sys, placement) = system_with(&["cpu"]);
+        let mut outcome = outcome_for(&sys, placement);
+        outcome.manifest.method = Method::gradient();
+        outcome.manifest.warm_start = true;
+        outcome.training = None;
+        let json = outcome_json(&sys, &outcome);
+        let kind = json.find("\"kind\": \"gradient\"").unwrap();
+        let restarts = json.find("\"restarts\": 4").unwrap();
+        let lr = json.find("\"learning_rate\"").unwrap();
+        let max_evals = json.find("\"max_evaluations\"").unwrap();
+        let warm = json.find("\"warm_start\": true").unwrap();
+        assert!(kind < restarts && restarts < lr && lr < max_evals && max_evals < warm);
+        assert!(json.contains("\"sharpness_growth\": 1.02"));
     }
 }

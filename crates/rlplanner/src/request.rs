@@ -18,6 +18,7 @@
 //! needs no cache.
 
 use crate::facade::{planner_for, PlanError};
+use crate::gradient::GradientConfig;
 use crate::outcome::{FloorplanOutcome, RunManifest};
 use crate::planner::RlPlannerConfig;
 use crate::reward::RewardConfig;
@@ -51,6 +52,12 @@ pub enum Method {
         /// Full annealing configuration.
         config: SaConfig,
     },
+    /// Analytic-gradient descent on the continuous relaxation of the
+    /// reward, legalised onto the shared grid every iteration.
+    Gradient {
+        /// Full descent configuration.
+        config: GradientConfig,
+    },
 }
 
 impl Method {
@@ -75,13 +82,21 @@ impl Method {
         }
     }
 
-    /// Stable machine-readable label (`"rl"`, `"rl-rnd"` or `"sa"`), used
-    /// in manifests and reports.
+    /// Gradient descent with the default configuration.
+    pub fn gradient() -> Self {
+        Method::Gradient {
+            config: GradientConfig::default(),
+        }
+    }
+
+    /// Stable machine-readable label (`"rl"`, `"rl-rnd"`, `"sa"` or
+    /// `"gradient"`), used in manifests and reports.
     pub fn label(&self) -> &'static str {
         match self {
             Method::Rl { .. } => "rl",
             Method::RlRnd { .. } => "rl-rnd",
             Method::Sa { .. } => "sa",
+            Method::Gradient { .. } => "gradient",
         }
     }
 
@@ -91,6 +106,7 @@ impl Method {
             Method::Rl { .. } => "RLPlanner",
             Method::RlRnd { .. } => "RLPlanner (RND)",
             Method::Sa { .. } => "TAP-2.5D",
+            Method::Gradient { .. } => "Gradient",
         }
     }
 
@@ -101,6 +117,7 @@ impl Method {
         match self {
             Method::Rl { config } | Method::RlRnd { config } => config.seed,
             Method::Sa { config } => config.seed,
+            Method::Gradient { config } => config.seed,
         }
     }
 
@@ -109,6 +126,7 @@ impl Method {
         match self {
             Method::Rl { config } | Method::RlRnd { config } => config.validate(),
             Method::Sa { config } => config.validate().map_err(crate::baseline::sa_config_error),
+            Method::Gradient { config } => config.validate(),
         }
     }
 }
@@ -195,6 +213,7 @@ pub struct FloorplanRequest {
     budget: Option<Budget>,
     seed: Option<u64>,
     parallel_envs: Option<usize>,
+    warm_start: bool,
 }
 
 impl FloorplanRequest {
@@ -240,6 +259,7 @@ impl FloorplanRequest {
             .thermal(manifest.thermal.clone())
             .reward(manifest.reward.clone())
             .seed(manifest.seed)
+            .warm_start(manifest.warm_start)
             .build()
     }
 
@@ -302,6 +322,14 @@ impl FloorplanRequest {
         self.parallel_envs
     }
 
+    /// Whether the solve seeds its optimiser with a cheap gradient-descent
+    /// presolve before the main run. SA starts annealing from the presolved
+    /// placement and RL seeds its best-artifact tracker with it;
+    /// [`Method::Gradient`] itself ignores the flag (it *is* the presolve).
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
+    }
+
     /// Solves the request with the planner matching its method.
     ///
     /// # Errors
@@ -349,6 +377,18 @@ impl FloorplanRequest {
                 }
                 Method::Sa { config }
             }
+            Method::Gradient { config } => {
+                let mut config = config.clone();
+                match self.budget {
+                    Some(Budget::Evaluations(n)) => config.max_evaluations = Some(n),
+                    Some(Budget::TimeLimit(limit)) => config.time_budget = Some(limit),
+                    None => {}
+                }
+                if let Some(seed) = self.seed {
+                    config.seed = seed;
+                }
+                Method::Gradient { config }
+            }
         }
     }
 
@@ -369,6 +409,7 @@ pub struct FloorplanRequestBuilder {
     budget: Option<Budget>,
     seed: Option<u64>,
     parallel_envs: Option<usize>,
+    warm_start: bool,
 }
 
 impl Default for FloorplanRequestBuilder {
@@ -382,6 +423,7 @@ impl Default for FloorplanRequestBuilder {
             budget: None,
             seed: None,
             parallel_envs: None,
+            warm_start: false,
         }
     }
 }
@@ -447,6 +489,18 @@ impl FloorplanRequestBuilder {
     #[must_use]
     pub fn parallel_envs(mut self, parallel_envs: usize) -> Self {
         self.parallel_envs = Some(parallel_envs);
+        self
+    }
+
+    /// Seeds the solve with a cheap gradient-descent presolve (default:
+    /// off). SA anneals from the presolved placement instead of a random
+    /// one and RL seeds its best-artifact tracker with it, so the outcome
+    /// is never worse than the presolve; [`Method::Gradient`] ignores the
+    /// flag. Warm starting changes results and is therefore recorded in
+    /// the [`RunManifest`].
+    #[must_use]
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
         self
     }
 
@@ -527,6 +581,7 @@ impl FloorplanRequestBuilder {
             budget: self.budget,
             seed: self.seed,
             parallel_envs: self.parallel_envs,
+            warm_start: self.warm_start,
         })
     }
 }
@@ -632,6 +687,20 @@ mod tests {
         };
         assert_eq!(config.time_budget, Some(Duration::from_millis(5)));
         assert_eq!(request.resolved_seed(), SaConfig::default().seed);
+
+        let request = FloorplanRequest::builder()
+            .system(tiny_system())
+            .method(Method::gradient())
+            .budget(Budget::Evaluations(40))
+            .seed(3)
+            .build()
+            .unwrap();
+        let Method::Gradient { config } = request.resolved_method() else {
+            panic!("method variant must be preserved");
+        };
+        assert_eq!(config.max_evaluations, Some(40));
+        assert_eq!(config.seed, 3);
+        assert_eq!(request.resolved_seed(), 3);
     }
 
     #[test]
@@ -778,8 +847,27 @@ mod tests {
         assert_eq!(Method::rl().label(), "rl");
         assert_eq!(Method::rl_rnd().label(), "rl-rnd");
         assert_eq!(Method::sa().label(), "sa");
+        assert_eq!(Method::gradient().label(), "gradient");
         assert_eq!(Method::rl().display_name(), "RLPlanner");
         assert_eq!(Method::rl_rnd().display_name(), "RLPlanner (RND)");
         assert_eq!(Method::sa().display_name(), "TAP-2.5D");
+        assert_eq!(Method::gradient().display_name(), "Gradient");
+    }
+
+    #[test]
+    fn warm_start_defaults_off_and_round_trips_via_the_builder() {
+        let request = FloorplanRequest::builder()
+            .system(tiny_system())
+            .build()
+            .unwrap();
+        assert!(!request.warm_start());
+
+        let request = FloorplanRequest::builder()
+            .system(tiny_system())
+            .method(Method::sa())
+            .warm_start(true)
+            .build()
+            .unwrap();
+        assert!(request.warm_start());
     }
 }

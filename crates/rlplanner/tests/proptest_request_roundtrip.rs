@@ -8,7 +8,9 @@ use rlp_chiplet::{Chiplet, ChipletSystem, Net};
 use rlp_sa::SaConfig;
 use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
 use rlplanner::report::request_json;
-use rlplanner::{request_from_json, Budget, FloorplanRequest, Method, RlPlannerConfig};
+use rlplanner::{
+    request_from_json, Budget, FloorplanRequest, GradientConfig, Method, RlPlannerConfig,
+};
 use std::time::Duration;
 
 /// Builds a chain-connected system with full-precision dimensions/powers
@@ -32,7 +34,7 @@ fn system_for(name_bits: u32, n: usize, dims: &[(f64, f64, f64)], wires: u32) ->
 }
 
 fn method_for(selector: u8, count: usize, seed: u64, knob: f64) -> Method {
-    match selector % 3 {
+    match selector % 4 {
         0 | 1 => {
             let config = RlPlannerConfig {
                 episodes: count,
@@ -40,19 +42,30 @@ fn method_for(selector: u8, count: usize, seed: u64, knob: f64) -> Method {
                 parallel_envs: 1 + count % 4,
                 ..RlPlannerConfig::default()
             };
-            if selector.is_multiple_of(3) {
+            if selector.is_multiple_of(4) {
                 Method::Rl { config }
             } else {
                 Method::RlRnd { config }
             }
         }
-        _ => Method::Sa {
+        2 => Method::Sa {
             config: SaConfig {
                 initial_temperature: 1.0 + knob * 400.0,
                 cooling_rate: 0.5 + knob * 0.49,
                 moves_per_temperature: count,
                 seed,
                 ..SaConfig::default()
+            },
+        },
+        _ => Method::Gradient {
+            config: GradientConfig {
+                iterations: count,
+                restarts: 1 + count % 8,
+                learning_rate: 0.05 + knob * 4.0,
+                sharpness_growth: 1.0 + knob * 0.1,
+                seed,
+                max_evaluations: count.is_multiple_of(2).then_some(count),
+                ..GradientConfig::default()
             },
         },
     }
@@ -100,6 +113,7 @@ proptest! {
         use_seed in any::<bool>(),
         parallel_envs in 1usize..8,
         use_parallel_envs in any::<bool>(),
+        warm_start in any::<bool>(),
     ) {
         let mut builder = FloorplanRequest::builder()
             .system(system_for(name_bits, n, &dims, wires))
@@ -118,6 +132,7 @@ proptest! {
         if use_parallel_envs {
             builder = builder.parallel_envs(parallel_envs);
         }
+        builder = builder.warm_start(warm_start);
         let request = builder.build().expect("generated request is valid");
 
         let json = request_json(&request);
@@ -132,5 +147,6 @@ proptest! {
         prop_assert_eq!(parsed.budget(), request.budget());
         prop_assert_eq!(parsed.seed(), request.seed());
         prop_assert_eq!(parsed.parallel_envs(), request.parallel_envs());
+        prop_assert_eq!(parsed.warm_start(), request.warm_start());
     }
 }

@@ -221,10 +221,59 @@ impl SaPlanner {
                 Err(err) => last_error = Some(err),
             }
         }
-        let mut current = match current {
+        let current = match current {
             Some(placement) => placement,
             None => return Err(last_error.expect("at least one attempt was made")),
         };
+        Ok(self.anneal_from(start, rng, grid, current, objective, observer))
+    }
+
+    /// Runs the anneal from a caller-supplied initial placement — a warm
+    /// start — instead of a random construction.
+    ///
+    /// The supplied placement must be complete and legal on this planner's
+    /// spacing rule; if it is not, the planner falls back to the random
+    /// construction of [`SaPlanner::run_delta_observed`] so a bad warm start
+    /// degrades to the cold-start behaviour instead of failing. The random
+    /// entry points are untouched either way: they draw their initial
+    /// placement from the seeded RNG exactly as before, so existing seeds
+    /// reproduce bit-identical trajectories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InitialPlacementError`] only on the fallback path, when no
+    /// legal random initial placement exists either.
+    pub fn run_delta_observed_from(
+        &self,
+        initial: Placement,
+        objective: &mut dyn DeltaObjective,
+        observer: &mut dyn AnnealObserver,
+    ) -> Result<SaResult, InitialPlacementError> {
+        if !initial.is_complete()
+            || self
+                .system
+                .validate_placement(&initial, self.config.min_spacing_mm)
+                .is_err()
+        {
+            return self.run_delta_observed(objective, observer);
+        }
+        let start = Instant::now();
+        let rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let grid = PlacementGrid::new(self.config.grid.0, self.config.grid.1);
+        Ok(self.anneal_from(start, rng, grid, initial, objective, observer))
+    }
+
+    /// The anneal loop proper, shared by the cold- and warm-start entry
+    /// points: everything after the initial placement is fixed.
+    fn anneal_from(
+        &self,
+        start: Instant,
+        mut rng: ChaCha8Rng,
+        grid: PlacementGrid,
+        mut current: Placement,
+        objective: &mut dyn DeltaObjective,
+        observer: &mut dyn AnnealObserver,
+    ) -> SaResult {
         let mut current_objective = objective.reset(&current);
         let initial_objective = current_objective;
         let mut best = current.clone();
@@ -324,7 +373,7 @@ impl SaPlanner {
                 .counter("sa.evals.incremental")
                 .add(eval_counts.incremental as u64);
         }
-        Ok(SaResult {
+        SaResult {
             best_placement: best,
             best_objective,
             initial_objective,
@@ -332,7 +381,7 @@ impl SaPlanner {
             eval_counts,
             accepted_moves,
             runtime: start.elapsed(),
-        })
+        }
     }
 }
 
@@ -501,6 +550,55 @@ mod tests {
         // reported best objective.
         assert!(recorder.best.windows(2).all(|w| w[1] >= w[0]));
         assert_eq!(*recorder.best.last().unwrap(), result.best_objective);
+    }
+
+    #[test]
+    fn warm_start_anneals_from_the_given_placement() {
+        let sys = connected_system();
+        let config = quick_config(7);
+        let grid = PlacementGrid::new(config.grid.0, config.grid.1);
+        let mut seed_rng = ChaCha8Rng::seed_from_u64(99);
+        let warm =
+            random_initial_placement(&sys, &grid, config.min_spacing_mm, &mut seed_rng).unwrap();
+        let planner = SaPlanner::new(sys.clone(), config);
+        let objective = {
+            let sys = sys.clone();
+            move |p: &Placement| -total_wirelength(&sys, p)
+        };
+        let warm_objective = -total_wirelength(&sys, &warm);
+        let mut adapter: &dyn Objective = &objective;
+        let result = planner
+            .run_delta_observed_from(warm.clone(), &mut adapter, &mut NullAnnealObserver)
+            .unwrap();
+        // The anneal starts exactly at the supplied placement, and the best
+        // result can only improve on it.
+        assert_eq!(result.initial_objective, warm_objective);
+        assert!(result.best_objective >= warm_objective);
+        assert!(sys.validate_placement(&result.best_placement, 0.2).is_ok());
+    }
+
+    #[test]
+    fn illegal_warm_start_falls_back_to_the_random_path() {
+        let sys = connected_system();
+        let planner = SaPlanner::new(sys.clone(), quick_config(8));
+        let objective = {
+            let sys = sys.clone();
+            move |p: &Placement| -total_wirelength(&sys, p)
+        };
+        let cold = planner.run(&objective).unwrap();
+        // An incomplete placement is not a usable warm start; the fallback
+        // must reproduce the cold-start trajectory bit for bit.
+        let mut adapter: &dyn Objective = &objective;
+        let warm = planner
+            .run_delta_observed_from(
+                Placement::for_system(&sys),
+                &mut adapter,
+                &mut NullAnnealObserver,
+            )
+            .unwrap();
+        assert_eq!(cold.best_placement, warm.best_placement);
+        assert_eq!(cold.best_objective, warm.best_objective);
+        assert_eq!(cold.evaluations, warm.evaluations);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rlp_chiplet::grid::centered_position;
 use rlp_chiplet::{ChipletId, ChipletSystem, Placement, PlacementGrid, Rotation};
 use std::error::Error;
 use std::fmt;
@@ -200,18 +201,10 @@ pub fn apply_move_in_place(
             // Swap centre locations, keeping each chiplet's own rotation.
             let centre_a = placement.center_of(first, system)?;
             let centre_b = placement.center_of(second, system)?;
-            let (wa, ha) = system.chiplet(first).footprint(ra);
-            let (wb, hb) = system.chiplet(second).footprint(rb);
-            placement.place_rotated(
-                first,
-                rlp_chiplet::Position::new(centre_b.x - wa / 2.0, centre_b.y - ha / 2.0),
-                ra,
-            );
-            placement.place_rotated(
-                second,
-                rlp_chiplet::Position::new(centre_a.x - wb / 2.0, centre_a.y - hb / 2.0),
-                rb,
-            );
+            let fa = system.chiplet(first).footprint(ra);
+            let fb = system.chiplet(second).footprint(rb);
+            placement.place_rotated(first, centered_position(fa, centre_b), ra);
+            placement.place_rotated(second, centered_position(fb, centre_a), rb);
             MoveUndo::two((first, Some((pa, ra))), (second, Some((pb, rb))))
         }
         Move::Rotate { chiplet } => {
@@ -220,12 +213,8 @@ pub fn apply_move_in_place(
                 .and_then(|p| placement.rotation(chiplet).map(|r| (p, r)));
             let centre = placement.center_of(chiplet, system)?;
             let rotation = placement.rotation(chiplet)?.toggled();
-            let (w, h) = system.chiplet(chiplet).footprint(rotation);
-            placement.place_rotated(
-                chiplet,
-                rlp_chiplet::Position::new(centre.x - w / 2.0, centre.y - h / 2.0),
-                rotation,
-            );
+            let footprint = system.chiplet(chiplet).footprint(rotation);
+            placement.place_rotated(chiplet, centered_position(footprint, centre), rotation);
             MoveUndo::one(chiplet, prev)
         }
     };

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rlp_load <addr> [--clients <n>] [--requests <m>] [--system <s>]
-//!          [--method <m>] [--budget <n>] [--seed <n>]
+//!          [--method <m>] [--budget <n>] [--seed <n>] [--warm-start]
 //!          [--progress-every <k>] [--save-json <path>] [--metrics]
 //!          [--shutdown]
 //!
@@ -11,9 +11,11 @@
 //!   --requests        solve requests per client            (default 8)
 //!   --system          multi-gpu | cpu-dram | ascend910 | case1..case5
 //!                                                          (default case1)
-//!   --method          rl | rl-rnd | sa-hotspot | sa-fast   (default sa-fast)
+//!   --method          rl | rl-rnd | sa-hotspot | sa-fast | gradient
+//!                                                          (default sa-fast)
 //!   --budget          candidate floorplans per request     (default 60)
 //!   --seed            fixed request seed (default: the method's own)
+//!   --warm-start      gradient-presolve each request's SA/RL solve
 //!   --progress-every  stream every Nth candidate           (default 0, off)
 //!   --save-json       append p50/p99 latency + throughput as
 //!                     `rlplanner.bench/v1` shard lines to <path>
@@ -22,6 +24,7 @@
 //!   --shutdown        send a graceful shutdown after the run
 //!
 //! rlp_load print-request <system> <method> [budget] [--seed <n>]
+//!                        [--warm-start]
 //!
 //!   prints the `rlplanner.request/v1` document the load run would submit —
 //!   the same system/method mapping as `rlplanner_cli`, so a daemon solve
@@ -49,9 +52,10 @@ use std::time::{Duration, Instant};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rlp_load <addr> [--clients <n>] [--requests <m>] [--system <s>] \
-         [--method <m>] [--budget <n>] [--seed <n>] [--progress-every <k>] \
-         [--save-json <path>] [--metrics] [--shutdown]\n\
-         \x20      rlp_load print-request <system> <method> [budget] [--seed <n>]"
+         [--method <m>] [--budget <n>] [--seed <n>] [--warm-start] \
+         [--progress-every <k>] [--save-json <path>] [--metrics] [--shutdown]\n\
+         \x20      rlp_load print-request <system> <method> [budget] [--seed <n>] \
+         [--warm-start]"
     );
     ExitCode::from(2)
 }
@@ -93,6 +97,7 @@ fn load_method(name: &str) -> Option<(Method, ThermalBackend)> {
                 config: thermal_config,
             },
         )),
+        "gradient" => Some((Method::gradient(), fast)),
         _ => None,
     }
 }
@@ -102,6 +107,7 @@ fn build_request(
     method: &str,
     budget: usize,
     seed: Option<u64>,
+    warm_start: bool,
 ) -> Result<FloorplanRequest, String> {
     let system = load_system(system).ok_or_else(|| format!("unknown system `{system}`"))?;
     let (method, thermal) =
@@ -110,7 +116,8 @@ fn build_request(
         .system(system)
         .method(method)
         .thermal(thermal)
-        .budget(Budget::Evaluations(budget));
+        .budget(Budget::Evaluations(budget))
+        .warm_start(warm_start);
     if let Some(seed) = seed {
         builder = builder.seed(seed);
     }
@@ -125,6 +132,7 @@ struct LoadArgs {
     method: String,
     budget: usize,
     seed: Option<u64>,
+    warm_start: bool,
     progress_every: usize,
     save_json: Option<String>,
     metrics: bool,
@@ -146,6 +154,7 @@ fn parse_load_args(args: &[String]) -> Result<LoadArgs, String> {
         method: "sa-fast".to_string(),
         budget: 60,
         seed: None,
+        warm_start: false,
         progress_every: 0,
         save_json: None,
         metrics: false,
@@ -159,14 +168,14 @@ fn parse_load_args(args: &[String]) -> Result<LoadArgs, String> {
             Some((flag, value)) => (flag, Some(value.to_string())),
             None => (rest, None),
         };
-        if flag == "shutdown" || flag == "metrics" {
+        if flag == "shutdown" || flag == "metrics" || flag == "warm-start" {
             if inline.is_some() {
                 return Err(format!("--{flag} takes no value"));
             }
-            if flag == "shutdown" {
-                parsed.shutdown = true;
-            } else {
-                parsed.metrics = true;
+            match flag {
+                "shutdown" => parsed.shutdown = true,
+                "metrics" => parsed.metrics = true,
+                _ => parsed.warm_start = true,
             }
             continue;
         }
@@ -272,7 +281,13 @@ fn shard_line(id: &str, value_ns: f64, samples: usize) -> String {
 }
 
 fn run_load(args: &LoadArgs) -> ExitCode {
-    let request = match build_request(&args.system, &args.method, args.budget, args.seed) {
+    let request = match build_request(
+        &args.system,
+        &args.method,
+        args.budget,
+        args.seed,
+        args.warm_start,
+    ) {
         Ok(request) => request,
         Err(reason) => {
             eprintln!("{reason}");
@@ -399,6 +414,7 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("print-request") {
         let mut positional: Vec<&String> = Vec::new();
         let mut seed = None;
+        let mut warm_start = false;
         let mut iter = args[1..].iter();
         while let Some(arg) = iter.next() {
             let Some(rest) = arg.strip_prefix("--") else {
@@ -409,6 +425,14 @@ fn main() -> ExitCode {
                 Some((flag, value)) => (flag, Some(value.to_string())),
                 None => (rest, None),
             };
+            if flag == "warm-start" {
+                if inline.is_some() {
+                    eprintln!("--warm-start takes no value");
+                    return usage();
+                }
+                warm_start = true;
+                continue;
+            }
             if flag != "seed" {
                 eprintln!("unknown flag `--{flag}`");
                 return usage();
@@ -438,7 +462,7 @@ fn main() -> ExitCode {
             },
             None => 100,
         };
-        return match build_request(positional[0], positional[1], budget, seed) {
+        return match build_request(positional[0], positional[1], budget, seed, warm_start) {
             Ok(request) => {
                 println!("{}", request_json(&request));
                 ExitCode::SUCCESS

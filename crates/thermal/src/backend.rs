@@ -237,6 +237,24 @@ impl ThermalAnalyzer for AnyThermalAnalyzer {
         }
     }
 
+    fn thermal_gradient(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+        sharpness_per_c: f64,
+    ) -> Result<Option<crate::ThermalGradient>, ThermalError> {
+        match self {
+            // The grid solver's field solve has no closed-form position
+            // derivative; it keeps the trait default.
+            AnyThermalAnalyzer::Grid(solver) => {
+                solver.thermal_gradient(system, placement, sharpness_per_c)
+            }
+            AnyThermalAnalyzer::Fast(model) => {
+                model.thermal_gradient(system, placement, sharpness_per_c)
+            }
+        }
+    }
+
     fn name(&self) -> &str {
         match self {
             AnyThermalAnalyzer::Grid(solver) => solver.name(),
@@ -300,6 +318,33 @@ mod tests {
         assert!(matches!(built, AnyThermalAnalyzer::Fast(_)));
         let t = built.max_temperature(&sys, &placement).unwrap();
         assert!(t.is_finite() && t > 45.0);
+    }
+
+    #[test]
+    fn gradient_delegation_follows_the_backend() {
+        let (sys, placement) = one_chiplet_case();
+        let grid = ThermalBackend::Grid {
+            config: ThermalConfig::with_grid(12, 12),
+        }
+        .build_for(&sys)
+        .unwrap();
+        assert_eq!(grid.thermal_gradient(&sys, &placement, 1.0).unwrap(), None);
+        let fast = ThermalBackend::Fast {
+            config: ThermalConfig::with_grid(12, 12),
+            characterization: CharacterizationOptions {
+                footprint_samples_mm: vec![4.0, 8.0, 12.0],
+                distance_bins: 8,
+                ..CharacterizationOptions::default()
+            },
+        }
+        .build_for(&sys)
+        .unwrap();
+        let grad = fast
+            .thermal_gradient(&sys, &placement, 1.0)
+            .unwrap()
+            .expect("fast model is differentiable");
+        assert_eq!(grad.gradient.len(), 1);
+        assert!(grad.smoothed_max_c > 45.0);
     }
 
     #[test]

@@ -256,6 +256,17 @@ impl FastThermalModel {
         )
     }
 
+    /// Derivative of [`FastThermalModel::mutual_resistance`] with respect to
+    /// distance, K/W per mm: the slope of the active table segment, zero in
+    /// the clamped regions beyond the characterised range.
+    pub fn mutual_resistance_gradient(&self, distance_mm: f64) -> f64 {
+        linear_gradient(
+            &self.distances_mm,
+            &self.mutual_resistance_k_per_w,
+            distance_mm,
+        )
+    }
+
     /// Checks that a system matches the characterised interposer outline.
     ///
     /// # Errors
@@ -340,6 +351,22 @@ fn bilinear(xs: &[f64], ys: &[f64], table: &[f64], x: f64, y: f64) -> f64 {
     let v_lo = at(x_lo, y_lo) + tx * (at(x_hi, y_lo) - at(x_lo, y_lo));
     let v_hi = at(x_lo, y_hi) + tx * (at(x_hi, y_hi) - at(x_lo, y_hi));
     v_lo + ty * (v_hi - v_lo)
+}
+
+/// Slope of the piecewise-linear interpolant [`linear`] at `x`: the active
+/// segment's `Δy/Δx`, or `0.0` in the clamped regions beyond the table
+/// (where the interpolant is constant). At an interior knot the left
+/// segment's slope is reported, matching [`bracket`]'s convention.
+fn linear_gradient(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let (lo, hi) = bracket(xs, x);
+    if lo == hi {
+        return 0.0;
+    }
+    (ys[hi] - ys[lo]) / (xs[hi] - xs[lo])
 }
 
 /// Returns the indices of the table entries bracketing `x` (equal when clamped).
@@ -459,6 +486,87 @@ impl ThermalAnalyzer for FastThermalModel {
         Ok(Some(self.state_for(system, placement)?))
     }
 
+    fn thermal_gradient(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+        sharpness_per_c: f64,
+    ) -> Result<Option<crate::ThermalGradient>, ThermalError> {
+        if !(sharpness_per_c > 0.0 && sharpness_per_c.is_finite()) {
+            return Err(ThermalError::InvalidConfig {
+                reason: format!(
+                    "softmax sharpness must be positive and finite, got {sharpness_per_c}"
+                ),
+            });
+        }
+        self.check_system(system)?;
+        let temperatures_c = self.chiplet_temperatures(system, placement)?;
+        let n = temperatures_c.len();
+        let mut gradient = vec![Point::new(0.0, 0.0); n];
+        if n == 0 {
+            return Ok(Some(crate::ThermalGradient {
+                temperatures_c,
+                smoothed_max_c: self.ambient_c,
+                gradient,
+            }));
+        }
+
+        // Softmax-weighted mean with the usual max-shift for stability:
+        // wᵢ ∝ exp(β·(Tᵢ − Tmax)), S = Σ wᵢ·Tᵢ, ∂S/∂Tᵢ = wᵢ·(1 + β·(Tᵢ − S)).
+        let beta = sharpness_per_c;
+        let t_max = crate::fold_max(temperatures_c.iter().copied());
+        let weights: Vec<f64> = temperatures_c
+            .iter()
+            .map(|&t| (beta * (t - t_max)).exp())
+            .collect();
+        let weight_sum: f64 = weights.iter().sum();
+        let smoothed_max_c = temperatures_c
+            .iter()
+            .zip(&weights)
+            .map(|(&t, &w)| w * t)
+            .sum::<f64>()
+            / weight_sum;
+        let sensitivity: Vec<f64> = temperatures_c
+            .iter()
+            .zip(&weights)
+            .map(|(&t, &w)| (w / weight_sum) * (1.0 + beta * (t - smoothed_max_c)))
+            .collect();
+
+        // Only the mutual-heating term depends on positions (self-heating is
+        // footprint-only), through the pairwise distances:
+        //   ∂S/∂c_k = Σ_{i≠k} (sᵢ·P_k + s_k·Pᵢ) · Rm'(d_ik) · (c_k − c_i)/d_ik
+        // accumulated over each pair once. Coincident centres (d = 0) sit on
+        // the clamped flat head of the table, so their contribution is zero.
+        let placed = self.collect_placed(system, placement);
+        for (ai, &(id_a, center_a, power_a)) in placed.iter().enumerate() {
+            for &(id_b, center_b, power_b) in placed.iter().skip(ai + 1) {
+                let d = center_a.euclidean_distance(center_b);
+                if d <= 0.0 {
+                    continue;
+                }
+                let slope = self.mutual_resistance_gradient(d);
+                if slope == 0.0 {
+                    continue;
+                }
+                let coeff = (sensitivity[id_a.index()] * power_b
+                    + sensitivity[id_b.index()] * power_a)
+                    * slope;
+                let ux = (center_a.x - center_b.x) / d;
+                let uy = (center_a.y - center_b.y) / d;
+                gradient[id_a.index()].x += coeff * ux;
+                gradient[id_a.index()].y += coeff * uy;
+                gradient[id_b.index()].x -= coeff * ux;
+                gradient[id_b.index()].y -= coeff * uy;
+            }
+        }
+
+        Ok(Some(crate::ThermalGradient {
+            temperatures_c,
+            smoothed_max_c,
+            gradient,
+        }))
+    }
+
     fn name(&self) -> &str {
         "fast-thermal-model"
     }
@@ -561,6 +669,110 @@ mod tests {
         let t_close = model.max_temperature(&sys, &close).unwrap();
         let t_far = model.max_temperature(&sys, &far).unwrap();
         assert!(t_close > t_far);
+    }
+
+    #[test]
+    fn linear_gradient_reports_segment_slopes_and_clamps() {
+        let xs = [0.0, 1.0, 3.0];
+        let ys = [10.0, 20.0, 16.0];
+        assert_eq!(linear_gradient(&xs, &ys, -1.0), 0.0);
+        assert_eq!(linear_gradient(&xs, &ys, 5.0), 0.0);
+        assert!((linear_gradient(&xs, &ys, 0.5) - 10.0).abs() < 1e-12);
+        assert!((linear_gradient(&xs, &ys, 2.0) - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_gradient_matches_central_differences() {
+        let model = quick_model();
+        let mut sys = ChipletSystem::new("t", 30.0, 30.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 6.0, 6.0, 20.0));
+        let b = sys.add_chiplet(Chiplet::new("b", 4.0, 4.0, 8.0));
+        let c = sys.add_chiplet(Chiplet::new("c", 5.0, 5.0, 12.0));
+        let mut p = Placement::for_system(&sys);
+        p.place(a, Position::new(3.0, 4.0));
+        p.place(b, Position::new(18.0, 6.0));
+        p.place(c, Position::new(10.0, 20.0));
+
+        let beta = 0.7;
+        let grad = model.thermal_gradient(&sys, &p, beta).unwrap().unwrap();
+        assert_eq!(grad.gradient.len(), 3);
+        assert_eq!(
+            grad.temperatures_c,
+            model.chiplet_temperatures(&sys, &p).unwrap()
+        );
+        let hard_max = model.max_temperature(&sys, &p).unwrap();
+        assert!(grad.smoothed_max_c <= hard_max);
+        assert!(hard_max - grad.smoothed_max_c <= (3f64).ln() / beta);
+
+        // Softmax-smoothed max at a shifted placement, for differencing.
+        let smoothed = |p: &Placement| {
+            model
+                .thermal_gradient(&sys, p, beta)
+                .unwrap()
+                .unwrap()
+                .smoothed_max_c
+        };
+        let h = 1e-5;
+        for (id, base) in [(a, Position::new(3.0, 4.0)), (b, Position::new(18.0, 6.0))] {
+            let mut plus = p.clone();
+            plus.place(id, Position::new(base.x + h, base.y));
+            let mut minus = p.clone();
+            minus.place(id, Position::new(base.x - h, base.y));
+            let fd_x = (smoothed(&plus) - smoothed(&minus)) / (2.0 * h);
+            plus.place(id, Position::new(base.x, base.y + h));
+            minus.place(id, Position::new(base.x, base.y - h));
+            let fd_y = (smoothed(&plus) - smoothed(&minus)) / (2.0 * h);
+            let g = grad.gradient[id.index()];
+            assert!(
+                (g.x - fd_x).abs() <= 1e-6 * fd_x.abs().max(1.0),
+                "x: analytic {} vs fd {fd_x}",
+                g.x
+            );
+            assert!(
+                (g.y - fd_y).abs() <= 1e-6 * fd_y.abs().max(1.0),
+                "y: analytic {} vs fd {fd_y}",
+                g.y
+            );
+        }
+    }
+
+    #[test]
+    fn thermal_gradient_pushes_hot_chiplets_apart() {
+        let model = quick_model();
+        let mut sys = ChipletSystem::new("t", 30.0, 30.0);
+        let a = sys.add_chiplet(Chiplet::new("a", 6.0, 6.0, 20.0));
+        let b = sys.add_chiplet(Chiplet::new("b", 6.0, 6.0, 20.0));
+        let mut p = Placement::for_system(&sys);
+        p.place(a, Position::new(8.0, 12.0));
+        p.place(b, Position::new(16.0, 12.0));
+        let grad = model.thermal_gradient(&sys, &p, 1.0).unwrap().unwrap();
+        // Mutual resistance decays with distance, so descending the smoothed
+        // max moves `a` left (negative gradient means descent goes +x... no:
+        // descent steps along -grad; heating decreases as the pair separates,
+        // so ∂S/∂a.x > 0 (moving `a` right, towards `b`, heats it up).
+        assert!(grad.gradient[a.index()].x > 0.0, "{:?}", grad.gradient);
+        assert!(grad.gradient[b.index()].x < 0.0, "{:?}", grad.gradient);
+        // Symmetric pair: y components cancel.
+        assert!(grad.gradient[a.index()].y.abs() < 1e-12);
+        // Unplaced chiplets and empty systems still answer.
+        let empty = Placement::for_system(&sys);
+        let g0 = model.thermal_gradient(&sys, &empty, 1.0).unwrap().unwrap();
+        assert_eq!(g0.gradient[0], Point::new(0.0, 0.0));
+        assert_eq!(g0.smoothed_max_c, model.ambient());
+    }
+
+    #[test]
+    fn thermal_gradient_rejects_bad_sharpness() {
+        let model = quick_model();
+        let mut sys = ChipletSystem::new("t", 30.0, 30.0);
+        sys.add_chiplet(Chiplet::new("a", 6.0, 6.0, 20.0));
+        let p = Placement::for_system(&sys);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                model.thermal_gradient(&sys, &p, bad),
+                Err(ThermalError::InvalidConfig { .. })
+            ));
+        }
     }
 
     #[test]

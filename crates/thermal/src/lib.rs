@@ -73,7 +73,30 @@ pub use grid::{GridThermalSolver, ThermalSolution};
 pub use metrics::ErrorMetrics;
 pub use state::ThermalState;
 
-use rlp_chiplet::{ChipletSystem, Placement};
+use rlp_chiplet::{ChipletSystem, Placement, Point};
+
+/// The smoothed maximum temperature of a placement and its analytic
+/// gradient with respect to every chiplet centre.
+///
+/// Returned by [`ThermalAnalyzer::thermal_gradient`] for analyzers whose
+/// temperature model is differentiable in the chiplet positions (the fast
+/// LTI model: the mutual-heating kernel is piecewise linear in the
+/// centre-to-centre distance, the self-heating term is position-free). The
+/// hard maximum is not differentiable where two chiplets tie, so the
+/// reduction is the softmax-weighted mean `S = Σ wᵢ·Tᵢ` with
+/// `wᵢ ∝ exp(β·Tᵢ)`: as the sharpness `β` grows, `S → max(T)` from below
+/// (within `ln n / β`), and `∂S/∂Tᵢ = wᵢ·(1 + β·(Tᵢ − S))` everywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalGradient {
+    /// Per-chiplet temperatures in °C, identical to
+    /// [`ThermalAnalyzer::chiplet_temperatures`].
+    pub temperatures_c: Vec<f64>,
+    /// The softmax-smoothed maximum temperature in °C (`≤` the hard max).
+    pub smoothed_max_c: f64,
+    /// `∂ smoothed_max / ∂ centreᵢ` in °C per millimetre of displacement,
+    /// indexed by chiplet id; zero for unplaced chiplets.
+    pub gradient: Vec<Point>,
+}
 
 /// The one maximum-temperature reduction every evaluation path uses.
 ///
@@ -143,6 +166,32 @@ pub trait ThermalAnalyzer {
         Ok(None)
     }
 
+    /// Analytic gradient of the softmax-smoothed maximum temperature with
+    /// respect to every chiplet centre, if the analyzer's model is
+    /// differentiable in the positions.
+    ///
+    /// The default is `Ok(None)`: the grid solver's field solve has no
+    /// closed-form position derivative. The fast LTI model returns a
+    /// [`ThermalGradient`] assembled from the slopes of its characterised
+    /// mutual-resistance table — the thermal half of the gradient placement
+    /// engine. `sharpness_per_c` is the softmax inverse temperature `β` in
+    /// 1/°C; larger values track the hard maximum more closely.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ThermalError`] if the analyzer supports gradients but
+    /// cannot evaluate this system (e.g. an interposer outline the model
+    /// was not characterised for).
+    fn thermal_gradient(
+        &self,
+        system: &ChipletSystem,
+        placement: &Placement,
+        sharpness_per_c: f64,
+    ) -> Result<Option<ThermalGradient>, ThermalError> {
+        let _ = (system, placement, sharpness_per_c);
+        Ok(None)
+    }
+
     /// Short human-readable name used in benchmark reports.
     fn name(&self) -> &str;
 }
@@ -175,5 +224,7 @@ mod tests {
         let analyzer = Constant(73.5);
         assert_eq!(analyzer.max_temperature(&sys, &p).unwrap(), 73.5);
         assert_eq!(analyzer.name(), "constant");
+        // Analyzers without a differentiable model opt out by default.
+        assert_eq!(analyzer.thermal_gradient(&sys, &p, 1.0).unwrap(), None);
     }
 }

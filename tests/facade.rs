@@ -9,8 +9,8 @@ use rlp_chiplet::ChipletSystem;
 use rlp_sa::SaConfig;
 use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
 use rlplanner::{
-    planner_for, AgentConfig, Budget, FloorplanOutcome, FloorplanRequest, Method, PlanError,
-    Planner, PpoPlanner, RlPlannerConfig,
+    planner_for, AgentConfig, Budget, FloorplanOutcome, FloorplanRequest, GradientConfig, Method,
+    PlanError, Planner, PpoPlanner, RlPlannerConfig,
 };
 
 /// Every system the CLI accepts.
@@ -259,6 +259,189 @@ fn from_manifest_rejects_a_mismatched_system() {
     let outcome = request.solve().unwrap();
     let err = FloorplanRequest::from_manifest(synthetic_case(2), &outcome.manifest).unwrap_err();
     assert_eq!(err.field(), "system");
+}
+
+#[test]
+fn gradient_solves_every_cli_system() {
+    for system in cli_systems() {
+        let request = FloorplanRequest::builder()
+            .system(system.clone())
+            .method(Method::Gradient {
+                config: GradientConfig {
+                    iterations: 40,
+                    ..GradientConfig::default()
+                },
+            })
+            .thermal(tiny_fast_backend())
+            .seed(5)
+            .build()
+            .expect("valid request");
+        let outcome = request
+            .solve()
+            .unwrap_or_else(|err| panic!("gradient on {}: {err}", system.name()));
+        let context = format!("gradient on {}", system.name());
+        assert!(outcome.placement.is_complete(), "{context}: incomplete");
+        assert!(
+            system.validate_placement(&outcome.placement, 0.2).is_ok(),
+            "{context}: illegal placement"
+        );
+        assert!(outcome.breakdown.reward.is_finite(), "{context}: reward");
+        // Descent may converge early, so the evaluation count is bounded by
+        // the iteration count rather than pinned to it.
+        assert!(
+            outcome.evaluations > 0 && outcome.evaluations <= 40,
+            "{context}: {} evaluations",
+            outcome.evaluations
+        );
+        assert_eq!(outcome.telemetry.len(), outcome.evaluations);
+        assert!(outcome.training.is_none(), "{context}: spurious training");
+        assert_eq!(outcome.manifest.method.label(), "gradient");
+    }
+}
+
+#[test]
+fn gradient_manifest_reproduces_the_same_result_under_the_same_seed() {
+    let system = synthetic_case(2);
+    let request = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(Method::gradient())
+        .thermal(tiny_fast_backend())
+        .budget(Budget::Evaluations(30))
+        .seed(13)
+        .build()
+        .unwrap();
+    let first = request.solve().unwrap();
+    // Same request, same seed: bit-identical outcome.
+    let second = request.solve().unwrap();
+    assert_eq!(second.placement, first.placement);
+    assert_eq!(second.breakdown, first.breakdown);
+    assert_eq!(second.telemetry, first.telemetry);
+
+    // Rebuild the request from nothing but the manifest and the system.
+    let replay = FloorplanRequest::from_manifest(system, &first.manifest)
+        .unwrap()
+        .solve()
+        .unwrap();
+    assert_eq!(replay.placement, first.placement);
+    assert_eq!(replay.breakdown.reward, first.breakdown.reward);
+    assert_eq!(replay.telemetry, first.telemetry);
+    assert_eq!(replay.manifest, first.manifest);
+}
+
+#[test]
+fn gradient_matches_sa_quality_with_far_fewer_evaluations() {
+    // The perf claim behind the engine: descent reaches SA-comparable
+    // reward (within 5%) while evaluating at least 10x fewer candidates.
+    let system = synthetic_case(1);
+    let thermal = tiny_fast_backend();
+    let sa = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(Method::sa())
+        .thermal(thermal.clone())
+        .budget(Budget::Evaluations(600))
+        .seed(7)
+        .build()
+        .unwrap()
+        .solve()
+        .unwrap();
+    let gradient = FloorplanRequest::builder()
+        .system(system)
+        .method(Method::gradient())
+        .thermal(thermal)
+        .budget(Budget::Evaluations(60))
+        .seed(7)
+        .build()
+        .unwrap()
+        .solve()
+        .unwrap();
+    assert!(
+        gradient.evaluations * 10 <= sa.evaluations,
+        "gradient used {} evaluations vs SA's {}",
+        gradient.evaluations,
+        sa.evaluations
+    );
+    let tolerance = 0.05 * sa.breakdown.reward.abs();
+    assert!(
+        gradient.breakdown.reward >= sa.breakdown.reward - tolerance,
+        "gradient reward {} not within 5% of SA's {}",
+        gradient.breakdown.reward,
+        sa.breakdown.reward
+    );
+}
+
+#[test]
+fn warm_started_sa_is_no_worse_than_cold_sa_at_equal_budget() {
+    let system = synthetic_case(1);
+    let solve_with = |warm_start: bool| {
+        FloorplanRequest::builder()
+            .system(system.clone())
+            .method(Method::sa())
+            .thermal(tiny_fast_backend())
+            .budget(Budget::Evaluations(40))
+            .seed(19)
+            .warm_start(warm_start)
+            .build()
+            .unwrap()
+            .solve()
+            .unwrap()
+    };
+    let cold = solve_with(false);
+    let warm = solve_with(true);
+    assert_eq!(cold.evaluations, warm.evaluations, "budgets must match");
+    assert!(
+        warm.breakdown.reward >= cold.breakdown.reward,
+        "warm start regressed SA: {} < {}",
+        warm.breakdown.reward,
+        cold.breakdown.reward
+    );
+    // The flag is recorded for replay and changes the trajectory's start.
+    assert!(warm.manifest.warm_start);
+    assert!(!cold.manifest.warm_start);
+    let replay = FloorplanRequest::from_manifest(system, &warm.manifest)
+        .unwrap()
+        .solve()
+        .unwrap();
+    assert_eq!(replay.placement, warm.placement);
+    assert_eq!(replay.breakdown.reward, warm.breakdown.reward);
+}
+
+#[test]
+fn warm_started_rl_is_never_worse_than_the_presolve() {
+    // RL's warm start seeds the best-artifact tracker, so even a tiny
+    // training budget returns at least the presolve's quality.
+    let system = synthetic_case(1);
+    let presolve = FloorplanRequest::builder()
+        .system(system.clone())
+        .method(Method::Gradient {
+            config: GradientConfig {
+                iterations: 50,
+                ..GradientConfig::default()
+            },
+        })
+        .thermal(tiny_fast_backend())
+        .seed(3)
+        .build()
+        .unwrap()
+        .solve()
+        .unwrap();
+    let warm_rl = FloorplanRequest::builder()
+        .system(system)
+        .method(tiny_rl_method(false))
+        .thermal(tiny_fast_backend())
+        .budget(Budget::Evaluations(2))
+        .seed(3)
+        .warm_start(true)
+        .build()
+        .unwrap()
+        .solve()
+        .unwrap();
+    assert!(
+        warm_rl.breakdown.reward >= presolve.breakdown.reward,
+        "warm RL {} fell below its presolve {}",
+        warm_rl.breakdown.reward,
+        presolve.breakdown.reward
+    );
+    assert!(warm_rl.manifest.warm_start);
 }
 
 #[test]
