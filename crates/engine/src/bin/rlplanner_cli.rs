@@ -1,17 +1,20 @@
-//! `rlplanner_cli` — run any benchmark system through any of the five
+//! `rlplanner_cli` — run any benchmark system through any of the six
 //! methods from the command line, via the unified [`FloorplanRequest`]
-//! facade, or run whole sweep campaigns through the
-//! [`rlp_engine::CampaignEngine`].
+//! facade; run whole sweep campaigns through the
+//! [`rlp_engine::CampaignEngine`]; or train a generalist policy across
+//! the synthetic system distribution.
 //!
 //! ```text
 //! rlplanner_cli <system> <method> [budget] [--train-parallel <n>]
-//!               [--warm-start] [--json] [--log-level <filter>]
+//!               [--warm-start] [--policy <path>] [--save-policy <path>]
+//!               [--json] [--log-level <filter>]
 //!
 //!   <system>   multi-gpu | cpu-dram | ascend910 | case1..case5
-//!   <method>   rl | rl-rnd | sa-hotspot | sa-fast | gradient
+//!   <method>   rl | rl-rnd | sa-hotspot | sa-fast | gradient | pretrained
 //!   [budget]   candidate floorplans to evaluate: RL training episodes or
 //!              SA/gradient objective evaluations (default 100); must be a
-//!              positive integer — anything else is a usage error
+//!              positive integer — anything else is a usage error (the
+//!              `pretrained` method ignores it: inference is one rollout)
 //!   --train-parallel  rollout workers collecting RL training episodes;
 //!              parallel collection is trajectory-invariant, so any value
 //!              produces the byte-identical result, only faster (default:
@@ -19,6 +22,10 @@
 //!   --warm-start  seed the SA/RL optimiser with the analytic
 //!              gradient-descent presolve instead of a random start (no-op
 //!              for the `gradient` method, which IS the presolve engine)
+//!   --policy   `rlplanner.policy/v1` file the `pretrained` method solves
+//!              with (required by — and only read by — that method)
+//!   --save-policy  write the trained policy network to this path after an
+//!              `rl`/`rl-rnd` run, for later `pretrained` solves
 //!   --json     print the full outcome document (placement, reward
 //!              breakdown, telemetry, reproducibility manifest) as JSON
 //!              instead of the human-readable summary
@@ -30,7 +37,7 @@
 //! rlplanner_cli sweep [--systems <s,...>] [--methods <m,...>]
 //!                     [--seeds <n,...>] [--budget <n>] [--parallel <n>]
 //!                     [--train-parallel <n>] [--warm-start]
-//!                     [--stream <path>] [--json]
+//!                     [--policy <path>] [--stream <path>] [--json]
 //!
 //!   --systems  comma-separated systems axis       (default: case1)
 //!   --methods  comma-separated method columns     (default: rl)
@@ -43,6 +50,7 @@
 //!   --warm-start  gradient-presolve every run of the grid; unlike the
 //!              parallelism knobs this DOES change outcomes, uniformly
 //!              across the whole grid               (default: off)
+//!   --policy   policy file backing a `pretrained` column in --methods
 //!   --stream   append each finished run to <path> as one
 //!              `rlplanner.campaign-run/v1` JSONL record, flushed per run.
 //!              If <path> already holds records from an interrupted sweep
@@ -50,6 +58,16 @@
 //!              re-executed (resume)
 //!   --json     print the campaign document (`rlplanner.campaign/v1`)
 //!              instead of the human-readable cell table
+//!
+//! rlplanner_cli train-generalist --out <path> [--systems <n>]
+//!                                [--episodes-per-system <n>] [--seed <n>]
+//!
+//!   Trains ONE policy sequentially across <n> randomized synthetic
+//!   systems (default 8) drawn from `rlp_benchmarks::SyntheticConfig`,
+//!   carrying the network weights from system to system, then saves the
+//!   result as a `rlplanner.policy/v1` file at --out. The saved policy
+//!   drives `pretrained` solves (above) and the `rlp_serve --policy`
+//!   daemon; training progress is reported per system on stderr.
 //! ```
 //!
 //! A sweep runs the full systems × methods × seeds grid through one shared
@@ -64,24 +82,33 @@
 //! (system, method) cell. Exit codes: 0 on success, 2 on usage errors, 1
 //! when a solve fails (single-run) or any sweep run fails.
 
-use rlp_benchmarks::{ascend910_system, cpu_dram_system, multi_gpu_system, synthetic_case};
+use rlp_benchmarks::{
+    ascend910_system, cpu_dram_system, multi_gpu_system, synthetic_case, SyntheticConfig,
+    SyntheticSystemGenerator,
+};
 use rlp_chiplet::ChipletSystem;
 use rlp_engine::{campaign_json, CampaignEngine, CampaignMethod, CampaignSpec, JsonlSink};
+use rlp_rl::NullTrainingObserver;
 use rlp_sa::SaConfig;
 use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
 use rlplanner::report::{outcome_json, placement_json};
-use rlplanner::{Budget, FloorplanRequest, Method};
+use rlplanner::{
+    Budget, FloorplanRequest, Method, PolicyFile, RewardConfig, RlPlanner, RlPlannerConfig,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rlplanner_cli <multi-gpu|cpu-dram|ascend910|case1..case5> \
-         <rl|rl-rnd|sa-hotspot|sa-fast|gradient> [budget] [--train-parallel <n>] \
-         [--warm-start] [--json] [--log-level <filter>]\n\
+         <rl|rl-rnd|sa-hotspot|sa-fast|gradient|pretrained> [budget] \
+         [--train-parallel <n>] [--warm-start] [--policy <path>] \
+         [--save-policy <path>] [--json] [--log-level <filter>]\n\
          \x20      rlplanner_cli sweep [--systems <s,...>] [--methods <m,...>] \
          [--seeds <n,...>] [--budget <n>] [--parallel <n>] \
-         [--train-parallel <n>] [--warm-start] [--stream <path>] [--json] \
-         [--log-level <filter>]"
+         [--train-parallel <n>] [--warm-start] [--policy <path>] \
+         [--stream <path>] [--json] [--log-level <filter>]\n\
+         \x20      rlplanner_cli train-generalist --out <path> [--systems <n>] \
+         [--episodes-per-system <n>] [--seed <n>] [--log-level <filter>]"
     );
     ExitCode::from(2)
 }
@@ -100,7 +127,9 @@ fn load_system(name: &str) -> Option<ChipletSystem> {
 }
 
 /// Maps a CLI method name to the request's method and thermal backend.
-fn load_method(name: &str) -> Option<(Method, ThermalBackend)> {
+/// The `pretrained` method needs the `--policy` path and is the only one
+/// that reads it.
+fn load_method(name: &str, policy: Option<&str>) -> Result<(Method, ThermalBackend), String> {
     let thermal_config = ThermalConfig::with_grid(32, 32);
     let fast = ThermalBackend::Fast {
         config: thermal_config.clone(),
@@ -113,10 +142,10 @@ fn load_method(name: &str) -> Option<(Method, ThermalBackend)> {
         },
     };
     match name {
-        "rl" => Some((Method::rl(), fast)),
-        "rl-rnd" => Some((Method::rl_rnd(), fast)),
-        "sa-fast" => Some((sa, fast)),
-        "sa-hotspot" => Some((
+        "rl" => Ok((Method::rl(), fast)),
+        "rl-rnd" => Ok((Method::rl_rnd(), fast)),
+        "sa-fast" => Ok((sa, fast)),
+        "sa-hotspot" => Ok((
             sa,
             ThermalBackend::Grid {
                 config: thermal_config,
@@ -124,8 +153,13 @@ fn load_method(name: &str) -> Option<(Method, ThermalBackend)> {
         )),
         // The analytic engine needs gradients, which only the fast
         // (characterised) backend provides.
-        "gradient" => Some((Method::gradient(), fast)),
-        _ => None,
+        "gradient" => Ok((Method::gradient(), fast)),
+        "pretrained" => {
+            let path =
+                policy.ok_or_else(|| "method `pretrained` needs --policy <path>".to_string())?;
+            Ok((Method::pretrained(path), fast))
+        }
+        other => Err(format!("unknown method `{other}`")),
     }
 }
 
@@ -139,6 +173,7 @@ struct SweepArgs {
     train_parallel: Option<usize>,
     warm_start: bool,
     stream: Option<String>,
+    policy: Option<String>,
     json: bool,
 }
 
@@ -152,6 +187,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
         train_parallel: None,
         warm_start: false,
         stream: None,
+        policy: None,
         json: false,
     };
     let mut iter = args.iter().peekable();
@@ -229,6 +265,12 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
                 }
                 parsed.stream = Some(value);
             }
+            "--policy" => {
+                if value.is_empty() {
+                    return Err("--policy needs a non-empty path".to_string());
+                }
+                parsed.policy = Some(value);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -261,9 +303,12 @@ fn run_sweep(args: &[String]) -> ExitCode {
         spec = spec.system(system);
     }
     for name in &parsed.methods {
-        let Some((method, thermal)) = load_method(name) else {
-            eprintln!("unknown method `{name}`");
-            return usage();
+        let (method, thermal) = match load_method(name, parsed.policy.as_deref()) {
+            Ok(loaded) => loaded,
+            Err(reason) => {
+                eprintln!("{reason}");
+                return usage();
+            }
         };
         spec = spec.method(CampaignMethod::new(name.clone(), method, thermal));
     }
@@ -367,6 +412,162 @@ fn run_sweep(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parsed `train-generalist` options.
+struct GeneralistArgs {
+    out: String,
+    systems: usize,
+    episodes_per_system: usize,
+    seed: u64,
+}
+
+fn parse_generalist_args(args: &[String]) -> Result<GeneralistArgs, String> {
+    let mut out = None;
+    let mut parsed = GeneralistArgs {
+        out: String::new(),
+        systems: 8,
+        episodes_per_system: 60,
+        seed: 7,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((flag, value)) => (flag, Some(value.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let value = match inline {
+            Some(value) => value,
+            None => iter
+                .next()
+                .ok_or_else(|| format!("flag `{flag}` needs a value"))?
+                .clone(),
+        };
+        match flag {
+            "--out" => {
+                if value.is_empty() {
+                    return Err("--out needs a non-empty path".to_string());
+                }
+                out = Some(value);
+            }
+            "--systems" => {
+                parsed.systems =
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            format!("invalid system count `{value}`: expected a positive integer")
+                        })?;
+            }
+            "--episodes-per-system" => {
+                parsed.episodes_per_system = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| {
+                        format!("invalid episode count `{value}`: expected a positive integer")
+                    })?;
+            }
+            "--seed" => {
+                parsed.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid seed `{value}`: expected an integer"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    parsed.out = out.ok_or_else(|| "train-generalist needs --out <path>".to_string())?;
+    Ok(parsed)
+}
+
+/// Trains one policy across the randomized synthetic system distribution
+/// and saves it as a `rlplanner.policy/v1` file: the "train once" half of
+/// train once, serve forever. The weights carry from system to system via
+/// the in-memory policy snapshot (all systems share the default 16×16
+/// placement grid, so the network shapes are equal), and the saved file
+/// records the distribution provenance in its metadata.
+fn run_train_generalist(args: &[String]) -> ExitCode {
+    let parsed = match parse_generalist_args(args) {
+        Ok(parsed) => parsed,
+        Err(reason) => {
+            eprintln!("{reason}");
+            return usage();
+        }
+    };
+    let systems = SyntheticSystemGenerator::new(SyntheticConfig::default(), parsed.seed)
+        .generate_batch(parsed.systems);
+    let thermal = ThermalBackend::Fast {
+        config: ThermalConfig::with_grid(32, 32),
+        characterization: CharacterizationOptions::default(),
+    };
+    let mut snapshot: Option<PolicyFile> = None;
+    for (index, system) in systems.into_iter().enumerate() {
+        let name = system.name().to_string();
+        let chiplets = system.chiplet_count();
+        let (analyzer, _prep) = match thermal.build_prepared(&system) {
+            Ok(built) => built,
+            Err(err) => {
+                eprintln!("thermal backend failed on `{name}`: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let config = RlPlannerConfig {
+            episodes: parsed.episodes_per_system,
+            // Each system trains on its own deterministic stream; the
+            // carried weights are the only cross-system state.
+            seed: parsed.seed.wrapping_add(index as u64),
+            ..RlPlannerConfig::default()
+        };
+        let mut planner = match RlPlanner::new(system, analyzer, RewardConfig::default(), config) {
+            Ok(planner) => planner,
+            Err(err) => {
+                eprintln!("invalid training configuration on `{name}`: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(file) = &snapshot {
+            if let Err(err) = planner.import_policy(file) {
+                eprintln!("cannot carry weights into `{name}`: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match planner.train_observed(&mut NullTrainingObserver) {
+            Ok(result) => {
+                eprintln!(
+                    "[{}/{}] {name}: {chiplets} chiplets, {} episodes, best reward {:.4}",
+                    index + 1,
+                    parsed.systems,
+                    result.episodes_run,
+                    result.best_breakdown.reward,
+                );
+            }
+            Err(err) => {
+                eprintln!("training stalled on `{name}`: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+        snapshot = Some(planner.export_policy(vec![
+            ("trained.distribution".to_string(), "synthetic".to_string()),
+            ("trained.systems".to_string(), (index + 1).to_string()),
+            (
+                "trained.episodes_per_system".to_string(),
+                parsed.episodes_per_system.to_string(),
+            ),
+            ("trained.seed".to_string(), parsed.seed.to_string()),
+        ]));
+    }
+    let snapshot = snapshot.expect("at least one system trains");
+    if let Err(err) = snapshot.save(&parsed.out) {
+        eprintln!("cannot save policy to `{}`: {err}", parsed.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "saved generalist policy to `{}` (checksum {:#018x})",
+        parsed.out,
+        snapshot.checksum(),
+    );
+    ExitCode::SUCCESS
+}
+
 /// Strips a `--log-level <filter>` / `--log-level=<filter>` flag from
 /// `args` and applies it, overriding whatever `RLP_LOG` set. Handled
 /// before mode dispatch so the flag works for single runs and sweeps
@@ -410,10 +611,15 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("sweep") {
         return run_sweep(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("train-generalist") {
+        return run_train_generalist(&args[1..]);
+    }
 
     let mut json = false;
     let mut warm_start = false;
     let mut train_parallel: Option<usize> = None;
+    let mut policy: Option<String> = None;
+    let mut save_policy: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -455,6 +661,20 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "policy" | "save-policy" => {
+                let value = match inline.or_else(|| iter.next().cloned()) {
+                    Some(value) if !value.is_empty() => value,
+                    _ => {
+                        eprintln!("--{flag} needs a non-empty path");
+                        return usage();
+                    }
+                };
+                if flag == "policy" {
+                    policy = Some(value);
+                } else {
+                    save_policy = Some(value);
+                }
+            }
             other => {
                 eprintln!("unknown flag `--{other}`");
                 return usage();
@@ -469,10 +689,18 @@ fn main() -> ExitCode {
         eprintln!("unknown system `{}`", positional[0]);
         return usage();
     };
-    let Some((method, thermal)) = load_method(positional[1]) else {
-        eprintln!("unknown method `{}`", positional[1]);
-        return usage();
+    let (method, thermal) = match load_method(positional[1], policy.as_deref()) {
+        Ok(loaded) => loaded,
+        Err(reason) => {
+            eprintln!("{reason}");
+            return usage();
+        }
     };
+    // Saving weights only makes sense for a run that trains them.
+    if save_policy.is_some() && !matches!(method, Method::Rl { .. } | Method::RlRnd { .. }) {
+        eprintln!("--save-policy needs an RL method (rl or rl-rnd)");
+        return usage();
+    }
     let budget = match positional.get(2) {
         Some(raw) => match raw.parse::<usize>() {
             Ok(n) if n > 0 => n,
@@ -491,6 +719,9 @@ fn main() -> ExitCode {
         .budget(Budget::Evaluations(budget));
     if let Some(train_parallel) = train_parallel {
         builder = builder.parallel_envs(train_parallel);
+    }
+    if let Some(path) = save_policy {
+        builder = builder.save_policy(path);
     }
     builder = builder.warm_start(warm_start);
     let request = match builder.build() {

@@ -12,6 +12,8 @@
 //! * [`optim::Adam`] — the Adam optimiser used by PPO and RND.
 //! * [`distribution::Categorical`] — a masked categorical action
 //!   distribution with sampling, log-probabilities and entropy.
+//! * [`policy`] — versioned, checksummed weight serialization
+//!   (`rlplanner.policy/v1`), so trained networks outlive the process.
 //!
 //! The networks in the paper are small (a CNN encoder over the occupancy /
 //! power / mask grid plus two fully connected heads), so clarity is favoured
@@ -36,11 +38,13 @@ pub mod init;
 pub mod layers;
 pub mod loss;
 pub mod optim;
+pub mod policy;
 pub mod tensor;
 
 pub use distribution::Categorical;
 pub use layers::Layer;
 pub use optim::Adam;
+pub use policy::{PolicyError, PolicyFile, POLICY_SCHEMA};
 pub use tensor::Tensor;
 
 /// A trainable parameter: its value and the gradient accumulated by the last

@@ -1,8 +1,46 @@
-//! Property-based tests for the neural-network building blocks.
+//! Property-based tests for the neural-network building blocks and the
+//! `rlplanner.policy/v1` serialization format.
 
 use proptest::prelude::*;
 use rlp_nn::layers::{Conv2d, Linear, Sequential, Tanh};
-use rlp_nn::{Categorical, Layer, Tensor};
+use rlp_nn::{Categorical, Layer, PolicyFile, Tensor};
+
+/// Metadata strings including the characters the length-prefixed format
+/// must not care about: quotes, backslashes, newlines, NULs, multi-byte
+/// UTF-8.
+fn metadata_string() -> impl Strategy<Value = String> + Clone {
+    const CHARS: [char; 8] = ['a', 'z', '.', '"', '\\', '\n', '\0', 'µ'];
+    prop::collection::vec(any::<u8>(), 0..16).prop_map(|bytes| {
+        bytes
+            .iter()
+            .map(|&b| CHARS[b as usize % CHARS.len()])
+            .collect()
+    })
+}
+
+fn metadata_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((metadata_string(), metadata_string()), 0..4)
+}
+
+/// Tensors of rank 1–3 with arbitrary f32 bit patterns (including NaNs and
+/// infinities — the format stores raw little-endian bits, so every pattern
+/// must survive).
+fn tensors_strategy() -> impl Strategy<Value = Vec<Tensor>> {
+    // Dims are drawn first and the oversized bit pool truncated to fit:
+    // the vendored proptest has no `prop_flat_map`.
+    let tensor = (
+        prop::collection::vec(1usize..4, 1..4),
+        prop::collection::vec(any::<u32>(), 27),
+    )
+        .prop_map(|(dims, bits)| {
+            let len: usize = dims.iter().product();
+            Tensor::from_vec(
+                bits[..len].iter().map(|&b| f32::from_bits(b)).collect(),
+                dims,
+            )
+        });
+    prop::collection::vec(tensor, 0..5)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -156,5 +194,68 @@ proptest! {
             let rhs = scale * (y.data()[i] - y0.data()[i]);
             prop_assert!((lhs - rhs).abs() < 1e-3);
         }
+    }
+
+    /// Any policy file — arbitrary metadata, arbitrary tensor shapes,
+    /// arbitrary f32 bit patterns — round-trips through serialization
+    /// bit-identically.
+    #[test]
+    fn policy_serialization_round_trips_bit_identically(
+        metadata in metadata_strategy(),
+        tensors in tensors_strategy(),
+    ) {
+        let file = PolicyFile { metadata, tensors };
+        let bytes = file.to_bytes();
+        let parsed = PolicyFile::from_bytes(&bytes).expect("own bytes parse");
+        prop_assert_eq!(
+            parsed.to_bytes(),
+            bytes,
+            "serialize → parse → serialize changed the bytes"
+        );
+        prop_assert_eq!(parsed.checksum(), file.checksum());
+        prop_assert_eq!(&parsed.metadata, &file.metadata);
+        prop_assert_eq!(parsed.tensors.len(), file.tensors.len());
+        for (a, b) in parsed.tensors.iter().zip(file.tensors.iter()) {
+            prop_assert_eq!(a.shape(), b.shape());
+            // Compare bits, not values: NaN payloads must survive too.
+            for (x, y) in a.data().iter().zip(b.data().iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// Every proper prefix of a valid policy file is a typed error — never
+    /// a panic, never a silent success.
+    #[test]
+    fn truncated_policy_files_are_typed_errors(
+        metadata in metadata_strategy(),
+        tensors in tensors_strategy(),
+        cut in 0.0f64..1.0,
+    ) {
+        let bytes = PolicyFile { metadata, tensors }.to_bytes();
+        let len = (bytes.len() as f64 * cut) as usize;
+        prop_assert!(
+            PolicyFile::from_bytes(&bytes[..len.min(bytes.len() - 1)]).is_err(),
+            "a truncated file parsed"
+        );
+    }
+
+    /// Flipping any single bit anywhere in a policy file is detected: the
+    /// FNV-1a trailer covers every byte before it, and a flip inside the
+    /// trailer mismatches the recomputed hash.
+    #[test]
+    fn corrupted_policy_files_are_detected(
+        metadata in metadata_strategy(),
+        tensors in tensors_strategy(),
+        position in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = PolicyFile { metadata, tensors }.to_bytes();
+        let index = ((bytes.len() as f64 * position) as usize).min(bytes.len() - 1);
+        bytes[index] ^= 1 << bit;
+        prop_assert!(
+            PolicyFile::from_bytes(&bytes).is_err(),
+            "a corrupted file parsed (flipped bit {bit} of byte {index})"
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! The shared-encoder policy/value network.
 
 use rlp_nn::layers::{Layer, Linear, Sequential};
+use rlp_nn::policy::{PolicyError, PolicyFile};
 use rlp_nn::{Parameter, Tensor};
+use std::path::Path;
 
 /// An actor-critic network: a shared feature encoder followed by a policy
 /// head (action logits) and a value head (state value), matching the agent
@@ -77,6 +79,52 @@ impl ActorCritic {
         let mut count = 0;
         self.visit_parameters(&mut |p| count += p.value.len());
         count
+    }
+
+    /// Snapshots every parameter (encoder, then policy head, then value
+    /// head — the [`Layer::visit_parameters`] order) into an in-memory
+    /// `rlplanner.policy/v1` file with the given metadata.
+    pub fn export_policy(&mut self, metadata: Vec<(String, String)>) -> PolicyFile {
+        PolicyFile::from_layer(self, metadata)
+    }
+
+    /// Copies a policy snapshot's tensors into this network.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::TensorCountMismatch`] / [`PolicyError::ShapeMismatch`]
+    /// when the snapshot was saved from a different architecture; the
+    /// network is untouched on error.
+    pub fn import_policy(&mut self, file: &PolicyFile) -> Result<(), PolicyError> {
+        file.apply_to(self)
+    }
+
+    /// Saves this network as a `rlplanner.policy/v1` file.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::Io`] when the file cannot be written.
+    pub fn save(
+        &mut self,
+        path: impl AsRef<Path>,
+        metadata: Vec<(String, String)>,
+    ) -> Result<PolicyFile, PolicyError> {
+        let file = self.export_policy(metadata);
+        file.save(path)?;
+        Ok(file)
+    }
+
+    /// Loads a `rlplanner.policy/v1` file into this network, returning the
+    /// parsed file (metadata included).
+    ///
+    /// # Errors
+    ///
+    /// Any [`PolicyError`]: unreadable, corrupt, truncated, version-skewed
+    /// or shape-mismatched files leave the network untouched.
+    pub fn load(&mut self, path: impl AsRef<Path>) -> Result<PolicyFile, PolicyError> {
+        let file = PolicyFile::load(path)?;
+        self.import_policy(&file)?;
+        Ok(file)
     }
 }
 
@@ -217,5 +265,42 @@ mod tests {
     #[should_panic(expected = "action count must be positive")]
     fn zero_actions_is_rejected() {
         ActorCritic::new(Sequential::new(), 4, 0, 0);
+    }
+
+    #[test]
+    fn save_load_round_trips_the_exact_weights() {
+        let path = std::env::temp_dir().join(format!(
+            "rlp_rl_actor_critic_test_{}.policy",
+            std::process::id()
+        ));
+        let mut trained = model(8, 5);
+        let saved = trained
+            .save(&path, vec![("schema".into(), rlp_nn::POLICY_SCHEMA.into())])
+            .unwrap();
+        // A differently-seeded network of the same architecture converges
+        // to the trained weights exactly after loading.
+        let mut encoder = Sequential::new();
+        encoder.push(Linear::new(4, 8, 77));
+        encoder.push(ReLU::new());
+        let mut fresh = ActorCritic::new(encoder, 8, 5, 78);
+        let loaded = fresh.load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, saved);
+        let states = Tensor::from_vec(vec![0.3, -0.2, 0.9, 0.1], vec![1, 4]);
+        let (logits_a, values_a) = trained.evaluate(&states, false);
+        let (logits_b, values_b) = fresh.evaluate(&states, false);
+        assert_eq!(logits_a, logits_b);
+        assert_eq!(values_a, values_b);
+    }
+
+    #[test]
+    fn load_from_a_mismatched_architecture_is_a_typed_error() {
+        let mut wide = model(8, 5);
+        let snapshot = wide.export_policy(Vec::new());
+        let mut narrow = model(8, 3);
+        assert!(matches!(
+            narrow.import_policy(&snapshot).unwrap_err(),
+            PolicyError::ShapeMismatch { .. }
+        ));
     }
 }

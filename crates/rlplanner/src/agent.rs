@@ -5,7 +5,9 @@
 //! optionally augmented with an RND exploration bonus. These builders size
 //! the networks for a given environment observation shape and action count.
 
+use crate::env::EnvConfig;
 use rlp_nn::layers::{Conv2d, Flatten, Linear, ReLU, Sequential};
+use rlp_nn::{PolicyError, PolicyFile};
 use rlp_rl::{ActorCritic, RandomNetworkDistillation};
 use serde::{Deserialize, Serialize};
 
@@ -90,6 +92,90 @@ pub fn build_actor_critic(
     ActorCritic::new(encoder, config.feature_dim, action_count, config.seed)
 }
 
+/// The metadata a `rlplanner.policy/v1` file carries so the facade can
+/// rebuild a matching environment and network at inference time: the
+/// placement grid and spacing ([`EnvConfig`]) and the encoder geometry
+/// ([`AgentConfig::conv_channels`], [`AgentConfig::feature_dim`]). Callers
+/// append their own provenance entries (e.g. `trained.*`) on top.
+pub fn policy_metadata(env: &EnvConfig, agent: &AgentConfig) -> Vec<(String, String)> {
+    vec![
+        ("schema".to_string(), rlp_nn::POLICY_SCHEMA.to_string()),
+        (
+            "env.grid".to_string(),
+            format!("{}x{}", env.grid.0, env.grid.1),
+        ),
+        (
+            "env.min_spacing_mm".to_string(),
+            format!("{}", env.min_spacing_mm),
+        ),
+        (
+            "agent.conv_channels".to_string(),
+            format!("{},{}", agent.conv_channels.0, agent.conv_channels.1),
+        ),
+        (
+            "agent.feature_dim".to_string(),
+            agent.feature_dim.to_string(),
+        ),
+    ]
+}
+
+/// Rebuilds the environment and agent configurations recorded in a policy
+/// file's metadata (the inverse of [`policy_metadata`]). The RND fields of
+/// the returned [`AgentConfig`] are defaults — inference never uses them.
+///
+/// # Errors
+///
+/// Returns [`PolicyError::Metadata`] when a required key is missing or
+/// unparsable, so a policy saved by something else fails loudly instead of
+/// rebuilding the wrong network.
+pub fn configs_from_policy(file: &PolicyFile) -> Result<(EnvConfig, AgentConfig), PolicyError> {
+    fn value<'a>(file: &'a PolicyFile, key: &str) -> Result<&'a str, PolicyError> {
+        file.metadata_value(key)
+            .ok_or_else(|| PolicyError::Metadata(format!("missing metadata key `{key}`")))
+    }
+    fn parse<T: std::str::FromStr>(key: &str, raw: &str) -> Result<T, PolicyError> {
+        raw.parse()
+            .map_err(|_| PolicyError::Metadata(format!("unparsable metadata `{key}` = `{raw}`")))
+    }
+    fn pair(key: &str, raw: &str, sep: char) -> Result<(usize, usize), PolicyError> {
+        let (a, b) = raw.split_once(sep).ok_or_else(|| {
+            PolicyError::Metadata(format!("unparsable metadata `{key}` = `{raw}`"))
+        })?;
+        Ok((parse(key, a)?, parse(key, b)?))
+    }
+
+    let grid = pair("env.grid", value(file, "env.grid")?, 'x')?;
+    if grid.0 == 0 || grid.1 == 0 {
+        return Err(PolicyError::Metadata(format!(
+            "policy was saved for an empty {}x{} grid",
+            grid.0, grid.1
+        )));
+    }
+    let min_spacing_mm: f64 = parse("env.min_spacing_mm", value(file, "env.min_spacing_mm")?)?;
+    let conv_channels = pair(
+        "agent.conv_channels",
+        value(file, "agent.conv_channels")?,
+        ',',
+    )?;
+    let feature_dim: usize = parse("agent.feature_dim", value(file, "agent.feature_dim")?)?;
+    if conv_channels.0 == 0 || conv_channels.1 == 0 || feature_dim == 0 {
+        return Err(PolicyError::Metadata(
+            "policy records a zero-width network".to_string(),
+        ));
+    }
+    Ok((
+        EnvConfig {
+            grid,
+            min_spacing_mm,
+        },
+        AgentConfig {
+            conv_channels,
+            feature_dim,
+            ..AgentConfig::default()
+        },
+    ))
+}
+
 /// Builds the RND exploration module for a flattened observation of the
 /// given shape.
 pub fn build_rnd(observation_shape: &[usize], config: &AgentConfig) -> RandomNetworkDistillation {
@@ -153,5 +239,54 @@ mod tests {
     #[should_panic(expected = "observation must be")]
     fn flat_observation_is_rejected() {
         build_actor_critic(&[16], 16, &AgentConfig::default());
+    }
+
+    #[test]
+    fn policy_metadata_round_trips_through_configs_from_policy() {
+        let env = EnvConfig {
+            grid: (12, 16),
+            min_spacing_mm: 0.35,
+        };
+        let agent = AgentConfig {
+            conv_channels: (4, 8),
+            feature_dim: 32,
+            ..AgentConfig::default()
+        };
+        let file = PolicyFile {
+            metadata: policy_metadata(&env, &agent),
+            tensors: Vec::new(),
+        };
+        let (env_back, agent_back) = configs_from_policy(&file).unwrap();
+        assert_eq!(env_back, env);
+        assert_eq!(agent_back.conv_channels, (4, 8));
+        assert_eq!(agent_back.feature_dim, 32);
+    }
+
+    #[test]
+    fn foreign_or_corrupt_policy_metadata_is_a_typed_error() {
+        // No metadata at all (a policy saved by something else entirely).
+        let empty = PolicyFile {
+            metadata: Vec::new(),
+            tensors: Vec::new(),
+        };
+        assert!(matches!(
+            configs_from_policy(&empty),
+            Err(PolicyError::Metadata(_))
+        ));
+        // A zero grid must not reach `PlacementGrid::new` (which panics).
+        let mut metadata = policy_metadata(&EnvConfig::default(), &AgentConfig::default());
+        for (key, value) in &mut metadata {
+            if key == "env.grid" {
+                *value = "0x16".to_string();
+            }
+        }
+        let zero_grid = PolicyFile {
+            metadata,
+            tensors: Vec::new(),
+        };
+        assert!(matches!(
+            configs_from_policy(&zero_grid),
+            Err(PolicyError::Metadata(_))
+        ));
     }
 }

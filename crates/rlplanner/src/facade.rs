@@ -17,20 +17,27 @@
 //! setup cost, like thermal characterisation — and the flag is recorded in
 //! the [`RunManifest`] so replay reproduces the seeded run.
 
+use crate::agent::{build_actor_critic, configs_from_policy};
 use crate::baseline::Tap25dBaseline;
+use crate::env::FloorplanEnv;
 use crate::gradient::{GradientConfig, GradientDescent};
 use crate::outcome::{
     EvalTelemetry, FloorplanOutcome, RunManifest, TelemetrySample, TrainingTelemetry,
 };
 use crate::planner::RlPlanner;
 use crate::request::{FloorplanRequest, Method};
-use crate::reward::RewardBreakdown;
+use crate::reward::{RewardBreakdown, RewardCalculator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use rlp_chiplet::Placement;
-use rlp_rl::{ConfigError, PpoStats, TeeTrainingObserver, TrainingObserver};
+use rlp_nn::{Categorical, PolicyError, PolicyFile};
+use rlp_rl::{ConfigError, Environment, PpoStats, TeeTrainingObserver, TrainingObserver};
 use rlp_sa::{AnnealObserver, EvalCounts, EvalMode, InitialPlacementError, TeeAnnealObserver};
 use rlp_thermal::{AnyThermalAnalyzer, ThermalError};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Errors produced while solving a [`FloorplanRequest`].
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +62,15 @@ pub enum PlanError {
         /// Label of the request's method.
         method: &'static str,
     },
+    /// A pretrained solve could not use its policy file: unreadable,
+    /// corrupt, truncated, checksum-mismatched, missing metadata, or saved
+    /// from a different network architecture.
+    Policy {
+        /// Path of the policy file.
+        path: String,
+        /// What was wrong with it.
+        error: PolicyError,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -73,6 +89,9 @@ impl fmt::Display for PlanError {
                     "planner `{planner}` does not implement method `{method}`"
                 )
             }
+            PlanError::Policy { path, error } => {
+                write!(f, "policy file `{path}`: {error}")
+            }
         }
     }
 }
@@ -83,6 +102,7 @@ impl Error for PlanError {
             PlanError::Config(e) => Some(e),
             PlanError::Thermal(e) => Some(e),
             PlanError::InitialPlacement(e) => Some(e),
+            PlanError::Policy { error, .. } => Some(error),
             _ => None,
         }
     }
@@ -188,11 +208,22 @@ pub trait Planner {
 }
 
 /// Returns the planner implementing a method.
+///
+/// # Examples
+///
+/// ```
+/// use rlplanner::{planner_for, Method};
+///
+/// assert_eq!(planner_for(&Method::rl()).name(), "ppo");
+/// assert_eq!(planner_for(&Method::sa()).name(), "sa-baseline");
+/// assert_eq!(planner_for(&Method::pretrained("p.policy")).name(), "pretrained");
+/// ```
 pub fn planner_for(method: &Method) -> Box<dyn Planner> {
     match method {
         Method::Rl { .. } | Method::RlRnd { .. } => Box::new(PpoPlanner),
         Method::Sa { .. } => Box::new(SaBaselinePlanner),
         Method::Gradient { .. } => Box::new(GradientPlanner),
+        Method::Pretrained { .. } => Box::new(PretrainedPlanner),
     }
 }
 
@@ -355,6 +386,29 @@ impl Planner for PpoPlanner {
                 .train_observed_seeded(warm, &mut tee)
                 .map_err(|_| PlanError::Incomplete)?
         };
+        // "Train once": persist the trained weights when the request asks
+        // for it, tagged with provenance so the file is self-describing.
+        if let Some(path) = request.save_policy() {
+            let extra = vec![
+                (
+                    "trained.system".to_string(),
+                    request.system().name().to_string(),
+                ),
+                (
+                    "trained.episodes".to_string(),
+                    result.episodes_run.to_string(),
+                ),
+                ("trained.seed".to_string(), config.seed.to_string()),
+            ];
+            planner
+                .export_policy(extra)
+                .save(path)
+                .map_err(|error| PlanError::Policy {
+                    path: path.to_string(),
+                    error,
+                })?;
+            rlp_obs::obs_counter!("plan.policies_saved").inc();
+        }
         rlp_obs::obs_counter!("plan.solves").inc();
         rlp_obs::obs_histogram!("plan.solve_ns").record_duration(result.runtime);
         Ok(FloorplanOutcome {
@@ -528,6 +582,181 @@ impl Planner for GradientPlanner {
     }
 }
 
+/// The inference-only engine behind the facade — "RLPlanner (pretrained)".
+///
+/// Loads a `rlplanner.policy/v1` file (or takes the request's
+/// [`crate::PreloadedPolicy`] when its path matches), rebuilds the
+/// environment and network geometry recorded in the file's metadata, and
+/// runs **one greedy (argmax) rollout**: no training episodes, no
+/// optimiser allocation, no RND — the "serve forever" half of train once,
+/// serve forever. If greedy placement dead-ends on an unfamiliar system,
+/// a bounded number of further rollouts sample from the policy
+/// distribution, seeded by the method's `seed`, so the solve is still
+/// fully deterministic. The outcome's manifest records the
+/// policy path and the checksum that actually ran, so a replay can pin
+/// the exact file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PretrainedPlanner;
+
+/// How many seeded sampled rollouts a pretrained solve may fall back to
+/// when the greedy rollout dead-ends (see [`PretrainedPlanner`]).
+const PRETRAINED_FALLBACK_ROLLOUTS: usize = 64;
+
+impl PretrainedPlanner {
+    /// Resolves the policy file for a request: the preloaded copy when its
+    /// path matches the method's, otherwise a fresh read from disk.
+    fn policy_file(request: &FloorplanRequest, path: &str) -> Result<Arc<PolicyFile>, PlanError> {
+        if let Some(preloaded) = request.preloaded_policy() {
+            if preloaded.path() == path {
+                rlp_obs::obs_counter!("plan.policy_preload_hits").inc();
+                return Ok(preloaded.file().clone());
+            }
+        }
+        PolicyFile::load(path)
+            .map(Arc::new)
+            .map_err(|error| PlanError::Policy {
+                path: path.to_string(),
+                error,
+            })
+    }
+}
+
+impl Planner for PretrainedPlanner {
+    fn name(&self) -> &'static str {
+        "pretrained"
+    }
+
+    fn solve_observed(
+        &self,
+        request: &FloorplanRequest,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<FloorplanOutcome, PlanError> {
+        let _span = rlp_obs::obs_span!(
+            rlp_obs::Level::Debug,
+            "rlplanner",
+            "plan.solve",
+            planner = self.name(),
+            system = request.system().name(),
+        );
+        let mut resolved = request.resolved_method();
+        let Method::Pretrained { config } = &resolved else {
+            return Err(PlanError::UnsupportedMethod {
+                planner: self.name(),
+                method: request.method().label(),
+            });
+        };
+        let path = config.policy_path.clone();
+        let file = Self::policy_file(request, &path)?;
+        let checksum = file.checksum();
+        if let Some(expected) = config.checksum {
+            if expected != checksum {
+                return Err(PlanError::Policy {
+                    path,
+                    error: PolicyError::ChecksumMismatch {
+                        stored: expected,
+                        computed: checksum,
+                    },
+                });
+            }
+        }
+        let (env_config, agent_config) =
+            configs_from_policy(&file).map_err(|error| PlanError::Policy {
+                path: path.clone(),
+                error,
+            })?;
+        let (analyzer, thermal_prep) = request.thermal_analyzer()?;
+        let reward =
+            RewardCalculator::new(request.system().clone(), analyzer, request.reward().clone());
+        let mut env = FloorplanEnv::new(reward, env_config);
+        let mut model =
+            build_actor_critic(&env.observation_shape(), env.action_count(), &agent_config);
+        file.apply_to(&mut model)
+            .map_err(|error| PlanError::Policy {
+                path: path.clone(),
+                error,
+            })?;
+
+        // One greedy rollout: at every step, take the most probable
+        // feasible cell. Greedy placement can paint itself into a corner
+        // on a system the policy never saw (a later chiplet ends up with
+        // no feasible cell), so on failure up to
+        // `PRETRAINED_FALLBACK_ROLLOUTS` further rollouts sample from the
+        // policy distribution instead — seeded from the method's `seed`,
+        // so the whole solve stays deterministic. The first rollout that
+        // produces a finite placement wins; only completed episodes reach
+        // the reward pipeline, and `evaluations` counts those.
+        let start = Instant::now();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut full_evals = 0usize;
+        for attempt in 0..=PRETRAINED_FALLBACK_ROLLOUTS {
+            let mut observation = env.reset();
+            loop {
+                let mut shape = vec![1];
+                shape.extend_from_slice(observation.state.shape());
+                let states = observation.state.reshape(shape);
+                let (logits, _) = model.evaluate(&states, false);
+                let distribution =
+                    Categorical::from_logits(logits.row(0).data(), Some(&observation.action_mask));
+                let action = if attempt == 0 {
+                    distribution.argmax()
+                } else {
+                    distribution.sample(&mut rng)
+                };
+                let step = env.step(action);
+                if step.done {
+                    break;
+                }
+                observation = step
+                    .observation
+                    .expect("non-terminal step has an observation");
+            }
+            if env.placement().is_complete() {
+                full_evals += 1;
+            }
+            if env.last_breakdown().is_some() {
+                break;
+            }
+        }
+        let runtime = start.elapsed();
+        let breakdown = env.last_breakdown().ok_or(PlanError::Incomplete)?;
+        let placement = env.placement().clone();
+
+        // The manifest records the checksum that actually ran, whether or
+        // not the request pinned one, so a replay can require the same file.
+        if let Method::Pretrained { config } = &mut resolved {
+            config.checksum = Some(checksum);
+        }
+        observer.on_candidate(0, breakdown.reward, breakdown.reward);
+        rlp_obs::obs_counter!("plan.solves").inc();
+        rlp_obs::obs_counter!("plan.pretrained_solves").inc();
+        rlp_obs::obs_histogram!("plan.solve_ns").record_duration(runtime);
+        Ok(FloorplanOutcome {
+            placement,
+            breakdown,
+            telemetry: vec![TelemetrySample {
+                index: 0,
+                reward: breakdown.reward,
+                best_reward: breakdown.reward,
+            }],
+            evaluations: full_evals,
+            // Each completed episode ends in one full reward evaluation;
+            // the common case is a single greedy rollout, so 1.
+            evaluation: EvalTelemetry {
+                mode: EvalMode::Full,
+                counts: EvalCounts {
+                    full: full_evals,
+                    incremental: 0,
+                },
+            },
+            // Inference collects no training episodes — that is the point.
+            training: None,
+            runtime,
+            thermal_prep,
+            manifest: manifest_for(request, resolved),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,6 +767,10 @@ mod tests {
         assert_eq!(planner_for(&Method::rl_rnd()).name(), "ppo");
         assert_eq!(planner_for(&Method::sa()).name(), "sa-baseline");
         assert_eq!(planner_for(&Method::gradient()).name(), "gradient");
+        assert_eq!(
+            planner_for(&Method::pretrained("p.policy")).name(),
+            "pretrained"
+        );
     }
 
     #[test]
@@ -552,5 +785,11 @@ mod tests {
         };
         assert!(err.to_string().contains("ppo"));
         assert!(err.to_string().contains("sa"));
+        let err = PlanError::Policy {
+            path: "weights.policy".to_string(),
+            error: PolicyError::Truncated,
+        };
+        assert!(err.to_string().contains("weights.policy"));
+        assert!(err.source().is_some());
     }
 }

@@ -100,7 +100,7 @@ pub use baseline::{Tap25dBaseline, Tap25dResult};
 pub use env::{EnvConfig, FloorplanEnv};
 pub use facade::{
     planner_for, GradientPlanner, NullSolveObserver, PlanError, Planner, PpoPlanner,
-    SaBaselinePlanner, SolveObserver,
+    PretrainedPlanner, SaBaselinePlanner, SolveObserver,
 };
 pub use gradient::{GradientConfig, GradientDescent, GradientResult, GradientStalled};
 pub use outcome::{
@@ -110,12 +110,19 @@ pub use parse::{
     outcome_from_json, outcome_from_value, request_from_json, request_from_value, OutcomeParseError,
 };
 pub use planner::{RlPlanner, RlPlannerConfig, TrainingResult, TrainingStalled};
-pub use request::{Budget, FloorplanRequest, FloorplanRequestBuilder, Method, PrebuiltThermal};
+pub use request::{
+    Budget, FloorplanRequest, FloorplanRequestBuilder, Method, PrebuiltThermal, PreloadedPolicy,
+    PretrainedConfig,
+};
 pub use reward::{DeltaRewardObjective, RewardBreakdown, RewardCalculator, RewardConfig};
 
 // Re-exported so facade users can match on configuration errors without
 // depending on `rlp_rl` directly.
 pub use rlp_rl::ConfigError;
+
+// Re-exported so pretrained-policy users can load, inspect and match on
+// policy files/errors without depending on `rlp_nn` directly.
+pub use rlp_nn::{PolicyError, PolicyFile, POLICY_SCHEMA};
 
 // Re-exported so reward/outcome telemetry types can be named without
 // depending on `rlp_sa` directly.

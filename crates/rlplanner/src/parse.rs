@@ -32,7 +32,7 @@ use crate::outcome::{
 };
 use crate::planner::RlPlannerConfig;
 use crate::report::{OUTCOME_SCHEMA, REQUEST_SCHEMA};
-use crate::request::{Budget, FloorplanRequest, Method};
+use crate::request::{Budget, FloorplanRequest, Method, PretrainedConfig};
 use crate::reward::{RewardBreakdown, RewardConfig};
 use crate::{AgentConfig, EnvConfig};
 use rlp_chiplet::bumps::BumpConfig;
@@ -496,6 +496,9 @@ fn method_from(obj: &Value) -> Result<Method, OutcomeParseError> {
         "gradient" => Ok(Method::Gradient {
             config: gradient_config_from(obj)?,
         }),
+        "pretrained" => Ok(Method::Pretrained {
+            config: pretrained_config_from(obj)?,
+        }),
         other => err(format!("field `method.kind` has unknown method `{other}`")),
     }
 }
@@ -574,6 +577,30 @@ fn gradient_config_from(obj: &Value) -> Result<GradientConfig, OutcomeParseError
             Value::Null => None,
             _ => Some(usize_field(obj, "method.max_evaluations")?),
         },
+    })
+}
+
+fn pretrained_config_from(obj: &Value) -> Result<PretrainedConfig, OutcomeParseError> {
+    // The checksum is written as null (unpinned) or an `0x...` hex string,
+    // like `training.merge_order_hash`.
+    let checksum = match field(obj, "method.checksum")? {
+        Value::Null => None,
+        value => {
+            let Some(hash) = value.as_str() else {
+                return err("field `method.checksum` must be null or a hex-string hash");
+            };
+            let digits = hash.strip_prefix("0x").unwrap_or(hash);
+            Some(
+                u64::from_str_radix(digits, 16).map_err(|_| OutcomeParseError {
+                    message: format!("field `method.checksum` is not a hex hash: `{hash}`"),
+                })?,
+            )
+        }
+    };
+    Ok(PretrainedConfig {
+        policy_path: str_field(obj, "method.policy_path")?.to_string(),
+        checksum,
+        seed: u64_field(obj, "method.seed")?,
     })
 }
 
@@ -920,6 +947,50 @@ mod tests {
         let parsed = request_from_json(&json).expect("parses");
         assert_eq!(request_json(&parsed), json);
         assert!(parsed.warm_start());
+    }
+
+    #[test]
+    fn pretrained_request_round_trips_byte_for_byte() {
+        use crate::report::request_json;
+        let mut sys = ChipletSystem::new("req-p", 20.0, 20.0);
+        sys.add_chiplet(Chiplet::new("solo", 5.0, 5.0, 10.0));
+
+        // Unpinned checksum renders as null and comes back as None.
+        let request = FloorplanRequest::builder()
+            .system(sys.clone())
+            .method(Method::pretrained("weights/gen.policy"))
+            .build()
+            .unwrap();
+        let json = request_json(&request);
+        assert!(json.contains("\"kind\": \"pretrained\""));
+        assert!(json.contains("\"policy_path\": \"weights/gen.policy\""));
+        assert!(json.contains("\"checksum\": null"));
+        let parsed = request_from_json(&json).expect("parses");
+        assert_eq!(request_json(&parsed), json);
+        assert_eq!(parsed.method(), request.method());
+
+        // A pinned checksum round-trips through the hex-string encoding.
+        let request = FloorplanRequest::builder()
+            .system(sys)
+            .method(Method::Pretrained {
+                config: PretrainedConfig {
+                    policy_path: "gen.policy".to_string(),
+                    checksum: Some(0x0123_4567_89ab_cdef),
+                    seed: 9,
+                },
+            })
+            .build()
+            .unwrap();
+        let json = request_json(&request);
+        assert!(json.contains("\"checksum\": \"0x0123456789abcdef\""));
+        let parsed = request_from_json(&json).expect("parses");
+        assert_eq!(request_json(&parsed), json);
+        assert_eq!(parsed.method(), request.method());
+
+        // A malformed checksum is a named error, not a panic.
+        let doc = json.replace("\"0x0123456789abcdef\"", "\"0xnope\"");
+        let error = request_from_json(&doc).unwrap_err();
+        assert!(error.to_string().contains("not a hex hash"), "{error}");
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The RLPlanner training loop.
 
-use crate::agent::{build_actor_critic, build_rnd, AgentConfig};
+use crate::agent::{build_actor_critic, build_rnd, policy_metadata, AgentConfig};
 use crate::env::{EnvConfig, FloorplanEnv};
 use crate::reward::{RewardBreakdown, RewardCalculator, RewardConfig};
 use rlp_chiplet::{ChipletSystem, Placement};
+use rlp_nn::{PolicyError, PolicyFile};
 use rlp_rl::{
     ConfigError, Environment, NullTrainingObserver, PpoAgent, PpoConfig, RandomNetworkDistillation,
     RolloutBuffer, TrainingObserver, VecEnvPool,
@@ -353,6 +354,30 @@ impl<A: ThermalAnalyzer + Clone + Send> RlPlanner<A> {
             episodes_per_s: episodes_run as f64 / runtime.as_secs_f64().max(f64::MIN_POSITIVE),
             merge_order_hash,
         })
+    }
+
+    /// Snapshots the agent's current policy/value weights into an in-memory
+    /// `rlplanner.policy/v1` file, tagged with the environment and network
+    /// geometry (see [`crate::agent::policy_metadata`]) so
+    /// [`crate::Method::Pretrained`] can rebuild a matching network later.
+    /// `extra` entries (e.g. `trained.*` provenance) are appended after the
+    /// geometry keys.
+    pub fn export_policy(&mut self, extra: Vec<(String, String)>) -> PolicyFile {
+        let mut metadata = policy_metadata(&self.config.env, &self.config.agent);
+        metadata.extend(extra);
+        self.agent.model_mut().export_policy(metadata)
+    }
+
+    /// Loads a policy snapshot into the agent — the generalist-training
+    /// path, where one policy's weights carry across planners built for
+    /// different systems (the fixed grid keeps the network shapes equal).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PolicyError`] when the snapshot was saved from a
+    /// different architecture; the agent is untouched on error.
+    pub fn import_policy(&mut self, file: &PolicyFile) -> Result<(), PolicyError> {
+        self.agent.model_mut().import_policy(file)
     }
 
     /// Runs one greedy (argmax) episode with the current policy and returns

@@ -39,7 +39,7 @@
 //!   "telemetry": [ { "index": 0, "reward": -2.5, "best_reward": -2.5 } ],
 //!   "manifest": {
 //!     "seed": 7,
-//!     "method": { "kind": "rl" | "rl-rnd" | "sa" | "gradient", ... },
+//!     "method": { "kind": "rl" | "rl-rnd" | "sa" | "gradient" | "pretrained", ... },
 //!     "thermal": { "kind": "grid" | "fast", ... },
 //!     "reward": { "lambda": 0.0003, ... },
 //!     "warm_start": false
@@ -87,7 +87,7 @@
 //!     "chiplets": [ { "name": "cpu", "width_mm": 8, "height_mm": 8, "power_w": 25 } ],
 //!     "nets": [ { "from": 0, "to": 1, "wires": 64 } ]
 //!   },
-//!   "method": { "kind": "rl" | "rl-rnd" | "sa" | "gradient", ... },
+//!   "method": { "kind": "rl" | "rl-rnd" | "sa" | "gradient" | "pretrained", ... },
 //!   "thermal": { "kind": "grid" | "fast", ... },
 //!   "reward": { "lambda": 0.0003, ... },
 //!   "budget": null | { "evaluations": 600 } | { "time_limit_s": 30 },
@@ -113,7 +113,7 @@
 use crate::gradient::GradientConfig;
 use crate::outcome::{FloorplanOutcome, RunManifest};
 use crate::planner::RlPlannerConfig;
-use crate::request::{Budget, FloorplanRequest, Method};
+use crate::request::{Budget, FloorplanRequest, Method, PretrainedConfig};
 use crate::reward::RewardConfig;
 use rlp_chiplet::{ChipletSystem, Placement};
 use rlp_sa::SaConfig;
@@ -367,12 +367,29 @@ fn gradient_method_json(config: &GradientConfig) -> String {
     format!("{{\n  {}\n}}", indent(&fields, 2))
 }
 
+fn pretrained_method_json(config: &PretrainedConfig) -> String {
+    let checksum = config
+        .checksum
+        .map_or("null".to_string(), |c| format!("\"{c:#018x}\""));
+    let fields = format!(
+        "\"kind\": \"pretrained\",\n\
+         \"policy_path\": \"{}\",\n\
+         \"checksum\": {},\n\
+         \"seed\": {}",
+        json_escape(&config.policy_path),
+        checksum,
+        config.seed,
+    );
+    format!("{{\n  {}\n}}", indent(&fields, 2))
+}
+
 fn method_json(method: &Method) -> String {
     match method {
         Method::Rl { config } => rl_method_json("rl", config),
         Method::RlRnd { config } => rl_method_json("rl-rnd", config),
         Method::Sa { config } => sa_method_json(config),
         Method::Gradient { config } => gradient_method_json(config),
+        Method::Pretrained { config } => pretrained_method_json(config),
     }
 }
 

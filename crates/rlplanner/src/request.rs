@@ -23,11 +23,49 @@ use crate::outcome::{FloorplanOutcome, RunManifest};
 use crate::planner::RlPlannerConfig;
 use crate::reward::RewardConfig;
 use rlp_chiplet::ChipletSystem;
+use rlp_nn::PolicyFile;
 use rlp_rl::ConfigError;
 use rlp_sa::SaConfig;
 use rlp_thermal::{AnyThermalAnalyzer, ThermalBackend, ThermalError, ThermalPrep};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Configuration of an inference-only solve from a saved policy — the
+/// "train once, serve forever" path. The policy file is a
+/// `rlplanner.policy/v1` document (see [`rlp_nn::policy`]) typically
+/// produced by [`FloorplanRequestBuilder::save_policy`] or the CLI's
+/// `train-generalist` mode.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PretrainedConfig {
+    /// Path of the `rlplanner.policy/v1` file holding the trained weights.
+    /// Read at solve time unless the request carries a matching
+    /// [`PreloadedPolicy`].
+    pub policy_path: String,
+    /// Expected checksum of the policy file. `None` accepts any file at
+    /// `policy_path`; `Some` makes the solve fail with a typed error when
+    /// the file's checksum differs — the replay-integrity knob. The
+    /// manifest always records the checksum that actually ran.
+    pub checksum: Option<u64>,
+    /// Seed recorded in the manifest. The greedy rollout draws no random
+    /// numbers, so this never changes the result; it exists so replayed
+    /// manifests stay uniform across methods.
+    pub seed: u64,
+}
+
+impl PretrainedConfig {
+    /// Validates the configuration. Deliberately does **not** touch the
+    /// filesystem — campaign builders probe requests long before the solve
+    /// runs, and the file only has to exist at solve time.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.policy_path.is_empty() {
+            return Err(ConfigError::Invalid {
+                field: "policy_path",
+                reason: "a pretrained method needs a policy file path".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
 
 /// The optimisation method of a request — one row of the paper's tables.
 ///
@@ -57,6 +95,13 @@ pub enum Method {
     Gradient {
         /// Full descent configuration.
         config: GradientConfig,
+    },
+    /// Inference-only greedy rollout of a saved policy — no training, no
+    /// optimiser allocation, no RND. One argmax episode, milliseconds
+    /// instead of minutes.
+    Pretrained {
+        /// Policy file path, optional expected checksum, manifest seed.
+        config: PretrainedConfig,
     },
 }
 
@@ -89,14 +134,81 @@ impl Method {
         }
     }
 
-    /// Stable machine-readable label (`"rl"`, `"rl-rnd"`, `"sa"` or
-    /// `"gradient"`), used in manifests and reports.
+    /// Inference-only greedy rollout of the policy saved at `policy_path`.
+    ///
+    /// # Examples
+    ///
+    /// Train once (normally `--save-policy` or `rlplanner_cli
+    /// train-generalist`), then every later solve is inference-only:
+    ///
+    /// ```
+    /// use rlp_benchmarks::synthetic_case;
+    /// use rlp_thermal::{CharacterizationOptions, ThermalBackend, ThermalConfig};
+    /// use rlplanner::{AgentConfig, Budget, FloorplanRequest, Method, RlPlannerConfig};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let tiny_backend = || ThermalBackend::Fast {
+    ///     config: ThermalConfig::with_grid(12, 12),
+    ///     characterization: CharacterizationOptions {
+    ///         footprint_samples_mm: vec![4.0, 10.0],
+    ///         distance_bins: 8,
+    ///         ..CharacterizationOptions::default()
+    ///     },
+    /// };
+    /// let path = std::env::temp_dir()
+    ///     .join(format!("rlp-doc-{}.policy", std::process::id()));
+    ///
+    /// // Train briefly and save the policy…
+    /// FloorplanRequest::builder()
+    ///     .system(synthetic_case(1))
+    ///     .method(Method::Rl {
+    ///         config: RlPlannerConfig {
+    ///             episodes_per_update: 2,
+    ///             agent: AgentConfig {
+    ///                 conv_channels: (2, 4),
+    ///                 feature_dim: 16,
+    ///                 ..AgentConfig::default()
+    ///             },
+    ///             ..RlPlannerConfig::default()
+    ///         },
+    ///     })
+    ///     .thermal(tiny_backend())
+    ///     .budget(Budget::Evaluations(2))
+    ///     .save_policy(path.display().to_string())
+    ///     .build()?
+    ///     .solve()?;
+    ///
+    /// // …then solve from the file: milliseconds, no training.
+    /// let outcome = FloorplanRequest::builder()
+    ///     .system(synthetic_case(1))
+    ///     .method(Method::pretrained(path.display().to_string()))
+    ///     .thermal(tiny_backend())
+    ///     .build()?
+    ///     .solve()?;
+    /// assert!(outcome.training.is_none());
+    /// assert!(outcome.placement.is_complete());
+    /// # std::fs::remove_file(&path).ok();
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn pretrained(policy_path: impl Into<String>) -> Self {
+        Method::Pretrained {
+            config: PretrainedConfig {
+                policy_path: policy_path.into(),
+                ..PretrainedConfig::default()
+            },
+        }
+    }
+
+    /// Stable machine-readable label (`"rl"`, `"rl-rnd"`, `"sa"`,
+    /// `"gradient"` or `"pretrained"`), used in manifests and reports.
     pub fn label(&self) -> &'static str {
         match self {
             Method::Rl { .. } => "rl",
             Method::RlRnd { .. } => "rl-rnd",
             Method::Sa { .. } => "sa",
             Method::Gradient { .. } => "gradient",
+            Method::Pretrained { .. } => "pretrained",
         }
     }
 
@@ -107,6 +219,7 @@ impl Method {
             Method::RlRnd { .. } => "RLPlanner (RND)",
             Method::Sa { .. } => "TAP-2.5D",
             Method::Gradient { .. } => "Gradient",
+            Method::Pretrained { .. } => "RLPlanner (pretrained)",
         }
     }
 
@@ -118,6 +231,7 @@ impl Method {
             Method::Rl { config } | Method::RlRnd { config } => config.seed,
             Method::Sa { config } => config.seed,
             Method::Gradient { config } => config.seed,
+            Method::Pretrained { config } => config.seed,
         }
     }
 
@@ -127,6 +241,7 @@ impl Method {
             Method::Rl { config } | Method::RlRnd { config } => config.validate(),
             Method::Sa { config } => config.validate().map_err(crate::baseline::sa_config_error),
             Method::Gradient { config } => config.validate(),
+            Method::Pretrained { config } => config.validate(),
         }
     }
 }
@@ -202,6 +317,40 @@ impl PrebuiltThermal {
     }
 }
 
+/// A policy file already parsed and validated ahead of a request — by a
+/// daemon that loaded it at startup, typically — together with the path it
+/// was read from. The pretrained planner uses it instead of re-reading the
+/// file from disk when the paths match; like [`PrebuiltThermal`], it is a
+/// process-local cache handle, never serialized, and the manifest records
+/// only the path + checksum so replay needs no cache.
+#[derive(Debug, Clone)]
+pub struct PreloadedPolicy {
+    path: String,
+    file: Arc<PolicyFile>,
+}
+
+impl PreloadedPolicy {
+    /// Wraps an already-parsed policy and the path it was read from (the
+    /// caller's contract: `file` really is the parse of the file at
+    /// `path`).
+    pub fn new(path: impl Into<String>, file: Arc<PolicyFile>) -> Self {
+        Self {
+            path: path.into(),
+            file,
+        }
+    }
+
+    /// The path the policy was read from.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The parsed policy.
+    pub fn file(&self) -> &Arc<PolicyFile> {
+        &self.file
+    }
+}
+
 /// A fully-described floorplanning run; see the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct FloorplanRequest {
@@ -214,6 +363,8 @@ pub struct FloorplanRequest {
     seed: Option<u64>,
     parallel_envs: Option<usize>,
     warm_start: bool,
+    save_policy: Option<String>,
+    preloaded_policy: Option<PreloadedPolicy>,
 }
 
 impl FloorplanRequest {
@@ -330,6 +481,19 @@ impl FloorplanRequest {
         self.warm_start
     }
 
+    /// Where an RL solve writes its trained weights afterwards, if
+    /// anywhere. Local output plumbing, not part of the run's identity:
+    /// never serialized, never recorded in the manifest.
+    pub fn save_policy(&self) -> Option<&str> {
+        self.save_policy.as_deref()
+    }
+
+    /// The pre-parsed policy the request carries, if any (see
+    /// [`PreloadedPolicy`]).
+    pub fn preloaded_policy(&self) -> Option<&PreloadedPolicy> {
+        self.preloaded_policy.as_ref()
+    }
+
     /// Solves the request with the planner matching its method.
     ///
     /// # Errors
@@ -389,6 +553,16 @@ impl FloorplanRequest {
                 }
                 Method::Gradient { config }
             }
+            Method::Pretrained { config } => {
+                // Inference is exactly one greedy rollout: budget and
+                // parallelism overrides have nothing to scale, so only the
+                // seed folds in (manifest bookkeeping).
+                let mut config = config.clone();
+                if let Some(seed) = self.seed {
+                    config.seed = seed;
+                }
+                Method::Pretrained { config }
+            }
         }
     }
 
@@ -410,6 +584,8 @@ pub struct FloorplanRequestBuilder {
     seed: Option<u64>,
     parallel_envs: Option<usize>,
     warm_start: bool,
+    save_policy: Option<String>,
+    preloaded_policy: Option<PreloadedPolicy>,
 }
 
 impl Default for FloorplanRequestBuilder {
@@ -424,6 +600,8 @@ impl Default for FloorplanRequestBuilder {
             seed: None,
             parallel_envs: None,
             warm_start: false,
+            save_policy: None,
+            preloaded_policy: None,
         }
     }
 }
@@ -501,6 +679,27 @@ impl FloorplanRequestBuilder {
     #[must_use]
     pub fn warm_start(mut self, warm_start: bool) -> Self {
         self.warm_start = warm_start;
+        self
+    }
+
+    /// Writes the trained weights to `path` as a `rlplanner.policy/v1`
+    /// file after an RL solve finishes (ignored by SA, gradient and
+    /// pretrained solves). Local output plumbing: never serialized with
+    /// the request and never recorded in the manifest, because it does not
+    /// affect the run's result.
+    #[must_use]
+    pub fn save_policy(mut self, path: impl Into<String>) -> Self {
+        self.save_policy = Some(path.into());
+        self
+    }
+
+    /// Attaches an already-parsed policy file so a pretrained solve skips
+    /// the disk read — the daemon's load-at-startup path (see
+    /// [`PreloadedPolicy`]). Used only when its path equals the method's
+    /// `policy_path`; ignored by every other method.
+    #[must_use]
+    pub fn preloaded_policy(mut self, preloaded: PreloadedPolicy) -> Self {
+        self.preloaded_policy = Some(preloaded);
         self
     }
 
@@ -582,6 +781,8 @@ impl FloorplanRequestBuilder {
             seed: self.seed,
             parallel_envs: self.parallel_envs,
             warm_start: self.warm_start,
+            save_policy: self.save_policy,
+            preloaded_policy: self.preloaded_policy,
         })
     }
 }

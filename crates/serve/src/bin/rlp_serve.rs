@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! rlp_serve [--addr <host:port>] [--workers <n>] [--capacity <n>]
+//!           [--policy <path>]
 //!           [--log-level <off|error|warn|info|debug|trace>]
 //!
 //!   --addr       listen address (default 127.0.0.1:7878; port 0 lets the
@@ -9,6 +10,10 @@
 //!   --workers    solver threads sharing one thermal-model cache (default 2)
 //!   --capacity   bounded job-queue capacity; a full queue answers `busy`
 //!                (default 16)
+//!   --policy     `rlplanner.policy/v1` file to preload; pretrained
+//!                requests naming this path solve from the in-memory copy
+//!                with zero training episodes. A corrupt or unreadable
+//!                file fails startup, not the first request
 //!   --log-level  structured-log filter (default `info`; overrides the
 //!                `RLP_LOG` environment variable)
 //! ```
@@ -36,7 +41,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rlp_serve [--addr <host:port>] [--workers <n>] [--capacity <n>] \
-         [--log-level <filter>]"
+         [--policy <path>] [--log-level <filter>]"
     );
     ExitCode::from(2)
 }
@@ -88,6 +93,13 @@ fn main() -> ExitCode {
                     return usage();
                 }
             },
+            "policy" => {
+                if value.is_empty() {
+                    eprintln!("--policy needs a non-empty path");
+                    return usage();
+                }
+                config.policy = Some(value);
+            }
             "log-level" => match rlp_obs::Level::parse_filter(&value) {
                 Ok(filter) => rlp_obs::set_max_level(filter),
                 Err(e) => {

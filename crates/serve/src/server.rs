@@ -22,8 +22,8 @@ use crate::queue::{AdmitError, JobQueue, JobState};
 use rlp_thermal::ThermalModelCache;
 use rlplanner::report::outcome_json;
 use rlplanner::{
-    planner_for, request_from_value, FloorplanOutcome, FloorplanRequest, PlanError,
-    PrebuiltThermal, SolveObserver,
+    planner_for, request_from_value, FloorplanOutcome, FloorplanRequest, Method, PlanError,
+    PolicyFile, PrebuiltThermal, PreloadedPolicy, SolveObserver,
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -41,6 +41,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded queue capacity (waiting jobs beyond the running ones).
     pub queue_capacity: usize,
+    /// Optional `rlplanner.policy/v1` file to load at startup. Pretrained
+    /// requests naming this exact path then solve from the in-memory copy
+    /// — no per-job disk read — and a corrupt file fails the bind, not the
+    /// first request.
+    pub policy: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +54,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             queue_capacity: 16,
+            policy: None,
         }
     }
 }
@@ -96,6 +102,7 @@ struct Job {
 struct Shared {
     queue: JobQueue<Job>,
     cache: ThermalModelCache,
+    policy: Option<PreloadedPolicy>,
     workers: usize,
     shutdown: AtomicBool,
 }
@@ -142,17 +149,40 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and sizes the worker pool and queue.
+    /// Binds the listener, sizes the worker pool and queue, and — when
+    /// [`ServerConfig::policy`] is set — loads and checks the policy file
+    /// up front, so a daemon that starts can actually serve it.
     ///
     /// # Errors
     ///
-    /// Returns the bind error.
+    /// Returns the bind error, or an [`io::ErrorKind::InvalidData`] error
+    /// when the configured policy file is unreadable or corrupt
+    /// (fail-fast: a bad file is a startup error, not a per-request one).
     ///
     /// # Panics
     ///
     /// Panics if `workers` or `queue_capacity` is zero.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         assert!(config.workers > 0, "the daemon needs at least one worker");
+        let policy = match &config.policy {
+            Some(path) => {
+                let file = PolicyFile::load(path).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("policy file `{path}`: {e}"),
+                    )
+                })?;
+                let checksum = file.checksum();
+                rlp_obs::obs_event!(
+                    rlp_obs::Level::Info,
+                    "rlp_serve",
+                    "preloaded policy `{path}` (checksum {checksum:#018x})",
+                    checksum = checksum,
+                );
+                Some(PreloadedPolicy::new(path.clone(), Arc::new(file)))
+            }
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         Ok(Server {
@@ -160,6 +190,7 @@ impl Server {
             shared: Arc::new(Shared {
                 queue: JobQueue::new(config.queue_capacity),
                 cache: ThermalModelCache::new(),
+                policy,
                 workers: config.workers,
                 shutdown: AtomicBool::new(false),
             }),
@@ -236,7 +267,7 @@ fn run_worker(shared: &Shared) {
         // Record the terminal state before sending the terminal frame, so a
         // client that receives the frame never observes stale counters.
         let solve_timer = rlp_obs::Stopwatch::start();
-        match solve_job(id, &job, &shared.cache) {
+        match solve_job(id, &job, shared) {
             Ok(outcome) => {
                 solve_timer.stop(rlp_obs::obs_histogram!("serve.job.solve_ns"));
                 let serialize_timer = rlp_obs::Stopwatch::start();
@@ -289,17 +320,20 @@ fn record_finished_job(timings: &crate::queue::JobTimings, ok: bool) {
 
 /// Solves one job against the process-wide cache; the caller renders the
 /// canonical outcome document (so serialization is its own timed phase).
-fn solve_job(id: u64, job: &Job, cache: &ThermalModelCache) -> Result<FloorplanOutcome, PlanError> {
+fn solve_job(id: u64, job: &Job, shared: &Shared) -> Result<FloorplanOutcome, PlanError> {
     let request = &job.request;
     // Route analyzer construction through the shared cache, then attach the
     // result as a prebuilt analyzer: the solve itself is unchanged, and a
     // cache-served model is bit-identical to a fresh characterisation.
-    let (analyzer, prep) = request.thermal().build_cached(request.system(), cache)?;
+    let (analyzer, prep) = request
+        .thermal()
+        .build_cached(request.system(), &shared.cache)?;
     let mut builder = FloorplanRequest::builder()
         .system(request.system().clone())
         .method(request.method().clone())
         .thermal(request.thermal().clone())
         .reward(request.reward().clone())
+        .warm_start(request.warm_start())
         .prebuilt_thermal(PrebuiltThermal::new(
             request.thermal().clone(),
             Arc::new(analyzer),
@@ -313,6 +347,12 @@ fn solve_job(id: u64, job: &Job, cache: &ThermalModelCache) -> Result<FloorplanO
     }
     if let Some(parallel_envs) = request.parallel_envs() {
         builder = builder.parallel_envs(parallel_envs);
+    }
+    // A pretrained request naming the daemon's preloaded policy solves
+    // from the in-memory copy (the facade only uses it when the paths
+    // match, so a request naming a different file still reads the disk).
+    if let (Some(preloaded), Method::Pretrained { .. }) = (&shared.policy, request.method()) {
+        builder = builder.preloaded_policy(preloaded.clone());
     }
     let request = builder.build()?;
     let mut observer = ProgressStreamer {

@@ -64,10 +64,19 @@ fn sa_request_with_moves(
 }
 
 fn start_server(workers: usize, capacity: usize) -> (SocketAddr, JoinHandle<io::Result<()>>) {
+    start_server_with_policy(workers, capacity, None)
+}
+
+fn start_server_with_policy(
+    workers: usize,
+    capacity: usize,
+    policy: Option<String>,
+) -> (SocketAddr, JoinHandle<io::Result<()>>) {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
         queue_capacity: capacity,
+        policy,
     })
     .expect("bind on an OS-assigned port");
     let addr = server.local_addr().expect("bound address");
@@ -413,4 +422,169 @@ fn metrics_rpc_exposes_a_job_timeline_and_frames_carry_timings() {
     assert_eq!(ack.get("type").and_then(Value::as_str), Some("shutdown"));
     drop(stream);
     server.join().expect("server thread").expect("clean exit");
+}
+
+/// The thermal backend the pretrained tests share with `tests/pretrained.rs`
+/// at the repository root: small enough that characterisation is cheap.
+fn tiny_fast_backend() -> ThermalBackend {
+    ThermalBackend::Fast {
+        config: ThermalConfig::with_grid(12, 12),
+        characterization: CharacterizationOptions {
+            footprint_samples_mm: vec![4.0, 10.0],
+            distance_bins: 8,
+            ..CharacterizationOptions::default()
+        },
+    }
+}
+
+/// Trains a two-episode RL run on `synthetic_case(1)` and saves its policy
+/// to a scratch path unique to this process and `name`.
+fn train_tiny_policy(name: &str) -> std::path::PathBuf {
+    use rlplanner::{AgentConfig, RlPlannerConfig};
+    let path =
+        std::env::temp_dir().join(format!("rlp-daemon-{}-{name}.policy", std::process::id()));
+    FloorplanRequest::builder()
+        .system(synthetic_case(1))
+        .method(Method::Rl {
+            config: RlPlannerConfig {
+                episodes_per_update: 2,
+                agent: AgentConfig {
+                    conv_channels: (2, 4),
+                    feature_dim: 16,
+                    rnd_hidden_dim: 16,
+                    rnd_embedding_dim: 4,
+                    ..AgentConfig::default()
+                },
+                ..RlPlannerConfig::default()
+            },
+        })
+        .thermal(tiny_fast_backend())
+        .budget(Budget::Evaluations(2))
+        .seed(5)
+        .save_policy(path.display().to_string())
+        .build()
+        .expect("training request is valid")
+        .solve()
+        .expect("training solve succeeds");
+    path
+}
+
+fn pretrained_request(path: &std::path::Path) -> FloorplanRequest {
+    FloorplanRequest::builder()
+        .system(synthetic_case(1))
+        .method(Method::pretrained(path.display().to_string()))
+        .thermal(tiny_fast_backend())
+        .build()
+        .expect("pretrained request is valid")
+}
+
+#[test]
+fn preloaded_pretrained_daemon_solve_is_byte_identical_and_needs_no_disk() {
+    let path = train_tiny_policy("preload");
+    let request = pretrained_request(&path);
+    let direct = outcome_json(
+        request.system(),
+        &request.solve().expect("direct pretrained solve"),
+    );
+
+    // The daemon preloads the policy at bind; deleting the file afterwards
+    // proves the solve runs from the in-memory copy, not the filesystem.
+    let (addr, server) = start_server_with_policy(1, 4, Some(path.display().to_string()));
+    std::fs::remove_file(&path).expect("remove policy after preload");
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let Submit::Accepted(job) = client.submit(&request_json(&request), 0).expect("submit") else {
+        panic!("empty daemon rejected a pretrained solve");
+    };
+    let result = client.wait_outcome(job).expect("pretrained job completes");
+    let served = canonical(&result.outcome, request.system());
+    assert_eq!(
+        deterministic_projection(&served),
+        deterministic_projection(&direct),
+        "daemon pretrained solve diverged from the direct planner"
+    );
+
+    // Inference only: the served outcome carries no training telemetry.
+    let parsed = outcome_from_value(&result.outcome, request.system()).expect("outcome parses");
+    assert!(parsed.training.is_none(), "daemon solve must not train");
+    assert_eq!(parsed.evaluations, 1, "one greedy rollout");
+
+    assert_eq!(client.shutdown().expect("shutdown ack"), 0);
+    server.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn hostile_policy_files_surface_as_failed_frames_not_crashes() {
+    // No preload: the worker reads the policy path per request.
+    let (addr, server) = start_server(1, 2);
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    let submit_and_fail = |client: &mut ServeClient, path: &std::path::Path| -> String {
+        let Submit::Accepted(job) = client
+            .submit(&request_json(&pretrained_request(path)), 0)
+            .expect("submit")
+        else {
+            panic!("daemon rejected a structurally valid pretrained request");
+        };
+        match client.wait_outcome(job) {
+            Err(ClientError::Remote(message)) => message,
+            other => panic!("hostile policy file did not fail the job: {other:?}"),
+        }
+    };
+
+    // A missing file is a typed I/O failure naming the path.
+    let missing = std::env::temp_dir().join(format!(
+        "rlp-daemon-{}-does-not-exist.policy",
+        std::process::id()
+    ));
+    let message = submit_and_fail(&mut client, &missing);
+    assert!(
+        message.contains("policy file"),
+        "unhelpful error: {message}"
+    );
+    assert!(
+        message.contains("does-not-exist"),
+        "error does not name the path: {message}"
+    );
+
+    // A corrupt (checksum-flipped) file is a typed integrity failure.
+    let path = train_tiny_policy("corrupt");
+    let mut bytes = std::fs::read(&path).expect("read policy");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("rewrite policy");
+    let message = submit_and_fail(&mut client, &path);
+    std::fs::remove_file(&path).ok();
+    assert!(
+        message.contains("checksum"),
+        "corruption not surfaced as a checksum error: {message}"
+    );
+
+    // The daemon survives both failures and still answers RPCs.
+    assert_eq!(client.status(999).expect("status"), "unknown");
+    client.shutdown().expect("shutdown ack");
+    server.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn binding_on_a_corrupt_policy_fails_fast() {
+    let path = std::env::temp_dir().join(format!(
+        "rlp-daemon-{}-bad-preload.policy",
+        std::process::id()
+    ));
+    std::fs::write(&path, b"PNG\x89 definitely not a policy file").expect("write garbage");
+    let Err(err) = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 1,
+        policy: Some(path.display().to_string()),
+    }) else {
+        panic!("binding with a corrupt policy must fail");
+    };
+    std::fs::remove_file(&path).ok();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("policy file"),
+        "unhelpful bind error: {err}"
+    );
 }

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Markdown link check over README.md, docs/*.md and ROADMAP.md.
+
+Verifies every relative link target exists, and every fragment
+(`file.md#anchor`, or `#anchor` within a file) resolves to a heading
+using GitHub's slug algorithm. External (http/https/mailto) links are
+skipped — the build is offline.
+
+Usage: python3 scripts/linkcheck.py
+"""
+
+import glob
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: drop markdown emphasis/code markers,
+    lowercase, keep [a-z0-9 -_], spaces to hyphens."""
+    text = re.sub(r"[`*]", "", heading).strip()
+    text = text.lower()
+    text = re.sub(r"[^a-z0-9 \-_]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path in cache:
+        return cache[path]
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path) as fh:
+        for line in fh:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slug = github_slug(m.group(1))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                slugs.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = slugs
+    return slugs
+
+
+def check_file(path):
+    problems = []
+    in_fence = False
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                rel, _, fragment = target.partition("#")
+                dest = (
+                    path
+                    if not rel
+                    else os.path.normpath(
+                        os.path.join(os.path.dirname(path), rel)
+                    )
+                )
+                if not os.path.exists(dest):
+                    problems.append(
+                        f"{path}:{lineno}: broken link `{target}` "
+                        f"(no such file {os.path.relpath(dest, REPO)})"
+                    )
+                    continue
+                if fragment and dest.endswith(".md"):
+                    if fragment not in anchors_of(dest):
+                        problems.append(
+                            f"{path}:{lineno}: broken anchor `{target}` "
+                            f"(no heading slugs to `{fragment}` in "
+                            f"{os.path.relpath(dest, REPO)})"
+                        )
+    return problems
+
+
+def main():
+    files = [os.path.join(REPO, "README.md"), os.path.join(REPO, "ROADMAP.md")]
+    files += sorted(glob.glob(os.path.join(REPO, "docs", "*.md")))
+    problems = []
+    checked = 0
+    for path in files:
+        if not os.path.exists(path):
+            problems.append(f"expected file missing: {path}")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if problems:
+        print(f"\nlink check FAILED with {len(problems)} problem(s)")
+        return 1
+    print(f"link check passed ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
